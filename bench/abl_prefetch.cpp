@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Ablation (extension): next-block metadata prefetching. Spatial data
+ * locality translates into *sequential* metadata block access (§IV-B),
+ * so a trivially simple next-block prefetcher should capture streaming
+ * benchmarks' metadata misses — and waste traffic on scattered ones.
+ */
+#include "common.hpp"
+
+using namespace maps;
+using namespace maps::bench;
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = Options::parse(argc, argv);
+    banner("Ablation: next-block metadata prefetching (extension)",
+           "§IV-B (Amount of Data Protected) + §VI directions", opts);
+
+    TextTable table({"benchmark", "md misses (off)", "md misses (on)",
+                     "miss delta", "prefetches", "md traffic (off)",
+                     "md traffic (on)", "traffic delta"});
+    for (const char *bench :
+         {"libquantum", "streamcluster", "fft", "leslie3d", "canneal",
+          "mcf"}) {
+        auto cfg = defaultConfig(bench, opts, 600'000, 200'000);
+        cfg.secure.prefetchNextMetadata = false;
+        const auto off = runBenchmark(cfg);
+        cfg.secure.prefetchNextMetadata = true;
+        const auto on = runBenchmark(cfg);
+
+        const auto pct = [](double a, double b) {
+            return b > 0.0
+                       ? TextTable::fmt(100.0 * (a - b) / b, 1) + "%"
+                       : "-";
+        };
+        table.addRow(
+            {bench, TextTable::fmt(off.mdCache.totalMisses()),
+             TextTable::fmt(on.mdCache.totalMisses()),
+             pct(static_cast<double>(on.mdCache.totalMisses()),
+                 static_cast<double>(off.mdCache.totalMisses())),
+             TextTable::fmt(on.controller.prefetchesIssued),
+             TextTable::fmt(off.controller.metadataMemAccesses()),
+             TextTable::fmt(on.controller.metadataMemAccesses()),
+             pct(static_cast<double>(
+                     on.controller.metadataMemAccesses()),
+                 static_cast<double>(
+                     off.controller.metadataMemAccesses()))});
+    }
+    table.print(std::cout);
+
+    std::printf(
+        "\nexpected shape: streaming workloads (libquantum,\n"
+        "streamcluster, fft) see large demand-miss drops at roughly\n"
+        "traffic-neutral cost (the prefetch was going to be fetched\n"
+        "anyway); scattered workloads (canneal, mcf) waste traffic.\n");
+    return 0;
+}

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Figure 6: metadata cache misses (MPKI) for pseudo-LRU, EVA, Belady's
+ * MIN (stale future knowledge from a true-LRU profiling run) and
+ * iterMIN (MIN iterated to a fixed point), on a 64KB metadata cache.
+ *
+ * Extension columns: true LRU, SRRIP, and per-type-classified EVA.
+ *
+ * The paper's result: no policy wins everywhere, and MIN / iterMIN are
+ * frequently *worse* than pseudo-LRU because the access stream depends
+ * on cache contents and miss costs are non-uniform (§V).
+ */
+#include "common.hpp"
+
+#include "cache/policy_belady.hpp"
+#include "offline/itermin.hpp"
+
+using namespace maps;
+using namespace maps::bench;
+
+namespace {
+
+struct PolicyRun
+{
+    std::uint64_t misses = 0;
+    std::uint64_t mdMemAccesses = 0;
+    InstCount instructions = 1;
+
+    double mpki() const
+    {
+        return 1000.0 * static_cast<double>(misses) /
+               static_cast<double>(instructions);
+    }
+    /** Memory accesses are the cost-weighted view: a counter miss can
+     * trigger a whole tree traversal (§V's non-uniform miss costs). */
+    double trafficMpki() const
+    {
+        return 1000.0 * static_cast<double>(mdMemAccesses) /
+               static_cast<double>(instructions);
+    }
+};
+
+PolicyRun
+runPolicy(const SimConfig &base, std::unique_ptr<ReplacementPolicy> policy,
+          std::vector<Addr> *trace_out)
+{
+    SimConfig cfg = base;
+    SecureMemorySim sim(cfg, std::move(policy));
+    if (trace_out) {
+        sim.setMetadataTap(
+            [trace_out](const MetadataAccess &a) {
+                trace_out->push_back(a.addr);
+            },
+            /*include_warmup=*/true);
+    }
+    const auto report = sim.run();
+    return {report.mdCache.totalMisses(),
+            report.controller.metadataMemAccesses(),
+            report.instructions};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = Options::parse(argc, argv);
+    banner("Figure 6: eviction policies on a 64KB metadata cache",
+           "Figure 6 (§V-A/B, Eviction Policies / Optimal Eviction)",
+           opts);
+
+    const std::vector<std::string> benchmarks{
+        "canneal", "cactusADM", "fft",  "leslie3d",
+        "libquantum", "mcf",   "barnes"};
+
+    TextTable table({"benchmark", "pseudo-LRU", "EVA", "MIN", "iterMIN",
+                     "trueLRU*", "SRRIP*", "EVA-typed*", "MIN divergence"});
+    TextTable traffic({"benchmark", "pseudo-LRU", "EVA", "MIN",
+                       "iterMIN", "trueLRU*", "SRRIP*", "EVA-typed*"});
+
+    for (const auto &benchmark : benchmarks) {
+        auto base = defaultConfig(benchmark, opts, 1'000'000, 300'000);
+        base.secure.cache.sizeBytes = 64_KiB; // the paper's Fig. 6 point
+
+        const auto plru =
+            runPolicy(base, makeReplacementPolicy("plru"), nullptr);
+        const auto eva =
+            runPolicy(base, makeReplacementPolicy("eva"), nullptr);
+        const auto lru =
+            runPolicy(base, makeReplacementPolicy("lru"), nullptr);
+        const auto srrip =
+            runPolicy(base, makeReplacementPolicy("srrip"), nullptr);
+        const auto eva_typed =
+            runPolicy(base, makeReplacementPolicy("eva-typed"), nullptr);
+
+        // MIN and iterMIN via the fixed-point driver: iteration 0 is
+        // the true-LRU profiling run, iteration 1 is the paper's MIN.
+        std::vector<PolicyRun> iterations;
+        IterMinDriver driver;
+        const auto simulate =
+            [&](std::unique_ptr<ReplacementPolicy> policy,
+                std::vector<Addr> &trace_out) -> std::uint64_t {
+            const auto run = runPolicy(base, std::move(policy),
+                                       &trace_out);
+            iterations.push_back(run);
+            return run.misses;
+        };
+        const auto iter = driver.run(simulate, "lru", 3);
+        const PolicyRun min_run =
+            iterations.size() > 1 ? iterations[1] : PolicyRun{};
+        const PolicyRun itermin_run = iterations.back();
+        const double divergence =
+            iter.divergencesPerIteration.size() > 1
+                ? static_cast<double>(iter.divergencesPerIteration[1])
+                : 0.0;
+
+        table.addRow({benchmark, TextTable::fmt(plru.mpki(), 1),
+                      TextTable::fmt(eva.mpki(), 1),
+                      TextTable::fmt(min_run.mpki(), 1),
+                      TextTable::fmt(itermin_run.mpki(), 1),
+                      TextTable::fmt(lru.mpki(), 1),
+                      TextTable::fmt(srrip.mpki(), 1),
+                      TextTable::fmt(eva_typed.mpki(), 1),
+                      TextTable::fmt(divergence, 0)});
+        traffic.addRow({benchmark, TextTable::fmt(plru.trafficMpki(), 1),
+                        TextTable::fmt(eva.trafficMpki(), 1),
+                        TextTable::fmt(min_run.trafficMpki(), 1),
+                        TextTable::fmt(itermin_run.trafficMpki(), 1),
+                        TextTable::fmt(lru.trafficMpki(), 1),
+                        TextTable::fmt(srrip.trafficMpki(), 1),
+                        TextTable::fmt(eva_typed.trafficMpki(), 1)});
+    }
+    std::printf("metadata cache miss MPKI (count view):\n");
+    table.print(std::cout);
+    std::printf("\nmetadata *memory accesses* per kilo-instruction "
+                "(cost-weighted view;\na counter miss can trigger a "
+                "whole tree traversal):\n");
+    traffic.print(std::cout);
+
+    std::printf(
+        "\n(*) extension columns beyond the paper's four policies.\n"
+        "expected shape (paper): no single winner; MIN and iterMIN do\n"
+        "not beat pseudo-LRU consistently (stale future knowledge +\n"
+        "uniform-cost assumption: MIN minimizes miss *count* while the\n"
+        "cost-weighted view shows the expensive counter misses it\n"
+        "trades for cheap hash hits); EVA suffers from bimodal reuse.\n"
+        "'MIN divergence' counts live accesses that differed from the\n"
+        "profiling trace MIN's oracle was built from.\n");
+    return 0;
+}

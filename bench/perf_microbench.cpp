@@ -1,0 +1,118 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot paths: cache
+ * accesses per policy, controller request handling, DRAM model, reuse
+ * analysis, and workload generation. These guard the simulator's own
+ * performance, not the paper's results.
+ */
+#include <benchmark/benchmark.h>
+
+#include "analysis/reuse.hpp"
+#include "cache/cache.hpp"
+#include "hierarchy/hierarchy.hpp"
+#include "mem/dram.hpp"
+#include "mem/fixed_latency.hpp"
+#include "secmem/controller.hpp"
+#include "util/rng.hpp"
+#include "workloads/suite.hpp"
+
+namespace {
+
+using namespace maps;
+
+void
+BM_CacheAccess(benchmark::State &state,
+               const std::string &policy)
+{
+    CacheGeometry geom;
+    geom.sizeBytes = 64_KiB;
+    geom.assoc = 8;
+    SetAssociativeCache cache(geom, makeReplacementPolicy(policy));
+    Rng rng(1);
+    for (auto _ : state) {
+        const Addr addr = rng.nextBounded(4096) * kBlockSize;
+        benchmark::DoNotOptimize(cache.access(addr, false));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_CAPTURE(BM_CacheAccess, lru, std::string("lru"));
+BENCHMARK_CAPTURE(BM_CacheAccess, plru, std::string("plru"));
+BENCHMARK_CAPTURE(BM_CacheAccess, eva, std::string("eva"));
+BENCHMARK_CAPTURE(BM_CacheAccess, srrip, std::string("srrip"));
+
+void
+BM_DramAccess(benchmark::State &state)
+{
+    DramModel dram;
+    Rng rng(2);
+    Cycles now = 0;
+    for (auto _ : state) {
+        const Addr addr = rng.nextBounded(1 << 22) * kBlockSize;
+        benchmark::DoNotOptimize(dram.access(addr, false, now));
+        now += 10;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DramAccess);
+
+void
+BM_ControllerRead(benchmark::State &state)
+{
+    SecureMemoryConfig cfg;
+    cfg.layout.protectedBytes = 256_MiB;
+    FixedLatencyMemory mem(150);
+    SecureMemoryController ctrl(cfg, mem);
+    Rng rng(3);
+    for (auto _ : state) {
+        MemoryRequest req;
+        req.addr = rng.nextBounded(256_MiB / kBlockSize) * kBlockSize;
+        req.kind = rng.nextBool(0.2) ? RequestKind::Writeback
+                                     : RequestKind::Read;
+        benchmark::DoNotOptimize(ctrl.handleRequest(req));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ControllerRead);
+
+void
+BM_ReuseAnalyzer(benchmark::State &state)
+{
+    ReuseDistanceAnalyzer analyzer;
+    Rng rng(4);
+    for (auto _ : state) {
+        analyzer.observe(rng.nextBounded(1 << 16) * kBlockSize,
+                         MetadataType::Counter, AccessType::Read);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReuseAnalyzer);
+
+void
+BM_WorkloadGeneration(benchmark::State &state, const std::string &bench)
+{
+    auto gen = makeBenchmark(bench, 1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(gen->next());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_CAPTURE(BM_WorkloadGeneration, canneal,
+                  std::string("canneal"));
+BENCHMARK_CAPTURE(BM_WorkloadGeneration, libquantum,
+                  std::string("libquantum"));
+BENCHMARK_CAPTURE(BM_WorkloadGeneration, leslie3d,
+                  std::string("leslie3d"));
+
+void
+BM_HierarchyAccess(benchmark::State &state)
+{
+    CacheHierarchy hierarchy;
+    auto gen = makeBenchmark("fft", 1);
+    for (auto _ : state)
+        hierarchy.access(gen->next());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HierarchyAccess);
+
+} // namespace
+
+BENCHMARK_MAIN();

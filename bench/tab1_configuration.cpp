@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Table I: the simulation configuration. Prints the configured system
+ * and self-checks that the defaults used across the benches match the
+ * paper's table.
+ */
+#include "common.hpp"
+
+#include "util/logging.hpp"
+
+using namespace maps;
+using namespace maps::bench;
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = Options::parse(argc, argv);
+    banner("Table I: Simulation Configuration",
+           "Table I (Simulation Methodologies, §III)", opts);
+
+    const SimConfig cfg = defaultConfig("libquantum", opts);
+
+    TextTable table({"Parameter", "Paper", "This repo"});
+    table.addRow({"Processor", "out-of-order core",
+                  "trace-driven unit-IPC core + stall model"});
+    table.addRow({"Clock Frequency", "3GHz",
+                  TextTable::fmt(cfg.energy.cpuFreqGhz, 0) + "GHz"});
+    table.addRow({"L1 I & D Cache", "32KB 8-way",
+                  TextTable::fmtSize(cfg.hierarchy.l1Bytes) + " " +
+                      std::to_string(cfg.hierarchy.l1Assoc) + "-way"});
+    table.addRow({"L2 Cache", "256KB 8-way",
+                  TextTable::fmtSize(cfg.hierarchy.l2Bytes) + " " +
+                      std::to_string(cfg.hierarchy.l2Assoc) + "-way"});
+    table.addRow({"L3 Cache", "2MB 8-way",
+                  TextTable::fmtSize(cfg.hierarchy.llcBytes) + " " +
+                      std::to_string(cfg.hierarchy.llcAssoc) + "-way"});
+    table.addRow({"Memory Size", "4GB",
+                  TextTable::fmtSize(cfg.secure.layout.protectedBytes) +
+                      " protected (scaled; see DESIGN.md)"});
+    table.addRow({"Memory Latency", "from DRAMSim2",
+                  "banked row-buffer DRAM-lite"});
+    table.addRow({"Hash Latency", "40 processor cycles",
+                  std::to_string(cfg.secure.hashLatency) + " cycles"});
+    table.addRow({"Hash Throughput", "1 per DRAM cycle",
+                  "pipelined (transaction-level)"});
+    table.print(std::cout);
+
+    // Self-checks: the defaults every other bench inherits really are
+    // the paper's.
+    fatalIf(cfg.hierarchy.l1Bytes != 32_KiB || cfg.hierarchy.l1Assoc != 8,
+            "L1 default drifted from Table I");
+    fatalIf(cfg.hierarchy.l2Bytes != 256_KiB ||
+                cfg.hierarchy.l2Assoc != 8,
+            "L2 default drifted from Table I");
+    fatalIf(cfg.hierarchy.llcBytes != 2_MiB ||
+                cfg.hierarchy.llcAssoc != 8,
+            "LLC default drifted from Table I");
+    fatalIf(cfg.secure.hashLatency != 40,
+            "hash latency drifted from Table I");
+    fatalIf(cfg.energy.cpuFreqGhz != 3.0,
+            "clock frequency drifted from Table I");
+    std::printf("\nself-check: defaults match Table I\n");
+    return 0;
+}

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * maps_sim: the general-purpose command-line driver. Every knob of the
+ * secure memory system is a flag; prints a full report.
+ *
+ *   ./maps_sim --benchmark=canneal --md-size=128K --policy=eva
+ *   ./maps_sim --benchmark=mix:canneal+libquantum --layout=sgx --no-spec
+ *   ./maps_sim --help
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/simulator.hpp"
+#include "util/table.hpp"
+
+using namespace maps;
+
+namespace {
+
+std::uint64_t
+parseSize(const std::string &text)
+{
+    char *end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    std::uint64_t mult = 1;
+    if (end && *end) {
+        switch (*end) {
+          case 'K':
+          case 'k':
+            mult = 1024;
+            break;
+          case 'M':
+          case 'm':
+            mult = 1024 * 1024;
+            break;
+          case 'G':
+          case 'g':
+            mult = 1024ull * 1024 * 1024;
+            break;
+          default:
+            std::fprintf(stderr, "bad size suffix in '%s'\n",
+                         text.c_str());
+            std::exit(1);
+        }
+    }
+    return static_cast<std::uint64_t>(v * static_cast<double>(mult));
+}
+
+void
+usage()
+{
+    std::puts(
+        "maps_sim — secure memory simulator driver\n"
+        "\n"
+        "  --benchmark=NAME      registry name or mix:a+b+c "
+        "(default libquantum)\n"
+        "  --list                list registered benchmarks and exit\n"
+        "  --refs=N              measured references (default 1000000)\n"
+        "  --warmup=N            warmup references (default refs/4)\n"
+        "  --seed=N              RNG seed (default 1)\n"
+        "  --llc=SIZE            LLC capacity (default 2M)\n"
+        "  --md-size=SIZE        metadata cache capacity (default 64K)\n"
+        "  --md-assoc=N          metadata cache ways (default 8)\n"
+        "  --policy=NAME         lru|plru|random|srrip|drrip|drrip-typed"
+        "|eva|eva-typed|cost-lru (default plru)\n"
+        "  --contents=MODE       all|counters|counters+hashes "
+        "(default all)\n"
+        "  --partition=MODE      none|static:K|dueling (default none)\n"
+        "  --layout=MODE         pi|sgx (default pi)\n"
+        "  --protected=SIZE      protected memory (default 256M)\n"
+        "  --partial-writes      enable partial hash writes\n"
+        "  --prefetch            enable next-block metadata prefetch\n"
+        "  --no-spec             disable speculation\n"
+        "  --no-md-cache         disable the metadata cache\n"
+        "  --no-lazy-tree        write tree paths immediately\n"
+        "  --fixed-latency=N     replace DRAM with N-cycle memory\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    SimConfig cfg;
+    cfg.benchmark = "libquantum";
+    cfg.measureRefs = 1'000'000;
+    cfg.warmupRefs = 0; // derived below if unset
+    cfg.secure.layout.protectedBytes = 256_MiB;
+    bool warmup_set = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&arg]() { return arg.substr(arg.find('=') + 1); };
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (arg == "--list") {
+            for (const auto &spec : benchmarkSuite()) {
+                std::printf("%-14s %-8s %-5s %s\n", spec.name.c_str(),
+                            suiteName(spec.suite),
+                            spec.memoryIntensive ? "hi" : "lo",
+                            spec.character.c_str());
+            }
+            return 0;
+        } else if (arg.rfind("--benchmark=", 0) == 0) {
+            cfg.benchmark = value();
+        } else if (arg.rfind("--refs=", 0) == 0) {
+            cfg.measureRefs = std::strtoull(value().c_str(), nullptr, 10);
+        } else if (arg.rfind("--warmup=", 0) == 0) {
+            cfg.warmupRefs = std::strtoull(value().c_str(), nullptr, 10);
+            warmup_set = true;
+        } else if (arg.rfind("--seed=", 0) == 0) {
+            cfg.seed = std::strtoull(value().c_str(), nullptr, 10);
+        } else if (arg.rfind("--llc=", 0) == 0) {
+            cfg.hierarchy.llcBytes = parseSize(value());
+        } else if (arg.rfind("--md-size=", 0) == 0) {
+            cfg.secure.cache.sizeBytes = parseSize(value());
+        } else if (arg.rfind("--md-assoc=", 0) == 0) {
+            cfg.secure.cache.assoc = static_cast<std::uint32_t>(
+                std::strtoul(value().c_str(), nullptr, 10));
+        } else if (arg.rfind("--policy=", 0) == 0) {
+            cfg.secure.cache.policy = value();
+        } else if (arg.rfind("--contents=", 0) == 0) {
+            const std::string mode = value();
+            if (mode == "counters") {
+                cfg.secure.cache.cacheHashes = false;
+                cfg.secure.cache.cacheTree = false;
+            } else if (mode == "counters+hashes") {
+                cfg.secure.cache.cacheTree = false;
+            } else if (mode != "all") {
+                std::fprintf(stderr, "bad --contents mode\n");
+                return 1;
+            }
+        } else if (arg.rfind("--partition=", 0) == 0) {
+            const std::string mode = value();
+            if (mode == "none") {
+                cfg.secure.cache.partition = PartitionScheme::None;
+            } else if (mode.rfind("static:", 0) == 0) {
+                cfg.secure.cache.partition = PartitionScheme::Static;
+                cfg.secure.cache.staticCounterWays =
+                    static_cast<std::uint32_t>(std::strtoul(
+                        mode.c_str() + 7, nullptr, 10));
+            } else if (mode == "dueling") {
+                cfg.secure.cache.partition = PartitionScheme::Dueling;
+            } else {
+                std::fprintf(stderr, "bad --partition mode\n");
+                return 1;
+            }
+        } else if (arg.rfind("--layout=", 0) == 0) {
+            cfg.secure.layout.counterMode =
+                value() == "sgx" ? CounterMode::MonolithicSgx
+                                 : CounterMode::SplitPi;
+        } else if (arg.rfind("--protected=", 0) == 0) {
+            cfg.secure.layout.protectedBytes = parseSize(value());
+        } else if (arg == "--partial-writes") {
+            cfg.secure.cache.partialWrites = true;
+        } else if (arg == "--prefetch") {
+            cfg.secure.prefetchNextMetadata = true;
+        } else if (arg == "--no-spec") {
+            cfg.secure.speculation = false;
+        } else if (arg == "--no-md-cache") {
+            cfg.secure.cacheEnabled = false;
+        } else if (arg == "--no-lazy-tree") {
+            cfg.secure.lazyTreeUpdate = false;
+        } else if (arg.rfind("--fixed-latency=", 0) == 0) {
+            cfg.useDram = false;
+            cfg.fixedLatencyCycles =
+                std::strtoull(value().c_str(), nullptr, 10);
+        } else {
+            std::fprintf(stderr, "unknown flag: %s (try --help)\n",
+                         arg.c_str());
+            return 1;
+        }
+    }
+    if (!warmup_set)
+        cfg.warmupRefs = cfg.measureRefs / 4;
+
+    std::printf("maps_sim: %s | md %s %s | policy %s | layout %s%s%s\n\n",
+                cfg.benchmark.c_str(),
+                cfg.secure.cacheEnabled
+                    ? TextTable::fmtSize(cfg.secure.cache.sizeBytes)
+                          .c_str()
+                    : "disabled",
+                cfg.secure.cache.partialWrites ? "+pw" : "",
+                cfg.secure.cache.policy.c_str(),
+                counterModeName(cfg.secure.layout.counterMode),
+                cfg.secure.speculation ? "" : " no-spec",
+                cfg.secure.prefetchNextMetadata ? " prefetch" : "");
+
+    const RunReport report = runBenchmark(cfg);
+
+    TextTable table({"metric", "value"});
+    table.addRow({"instructions", TextTable::fmt(report.instructions)});
+    table.addRow({"LLC MPKI", TextTable::fmt(report.llcMpki, 2)});
+    table.addRow({"metadata MPKI",
+                  TextTable::fmt(report.metadataMpki, 2)});
+    table.addRow({"memory accesses / request",
+                  TextTable::fmt(report.memAccessesPerRequest, 2)});
+    table.addRow({"avg read latency (cyc)",
+                  TextTable::fmt(report.controller.avgReadLatency(), 1)});
+    table.addRow({"DRAM row hit rate",
+                  TextTable::fmt(
+                      report.memory.accesses()
+                          ? static_cast<double>(report.memory.rowHits) /
+                                static_cast<double>(
+                                    report.memory.accesses())
+                          : 0.0,
+                      3)});
+    table.addRow({"cycles", TextTable::fmt(report.cycles)});
+    table.addRow({"energy (uJ)",
+                  TextTable::fmt(report.energy.totalPj() * 1e-6, 2)});
+    table.addRow({"ED^2", TextTable::fmt(report.ed2, 9)});
+    table.addRow({"page overflows",
+                  TextTable::fmt(report.controller.pageOverflows)});
+    table.addRow({"prefetches issued",
+                  TextTable::fmt(report.controller.prefetchesIssued)});
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Quickstart: simulate one benchmark through the full secure-memory
+ * stack (L1/L2/LLC -> metadata cache -> counters/tree/hashes -> DRAM)
+ * and print what secure memory costs.
+ *
+ *   ./quickstart [benchmark] [metadata-cache-size-KB]
+ *   ./quickstart canneal 128
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/simulator.hpp"
+#include "util/table.hpp"
+
+using namespace maps;
+
+int
+main(int argc, char **argv)
+{
+    const std::string benchmark = argc > 1 ? argv[1] : "libquantum";
+    const std::uint64_t md_kb =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 64;
+
+    if (benchmark.rfind("mix:", 0) != 0 &&
+        !findBenchmark(benchmark)) {
+        std::fprintf(stderr, "unknown benchmark '%s'; available:\n",
+                     benchmark.c_str());
+        for (const auto &name : benchmarkNames())
+            std::fprintf(stderr, "  %s\n", name.c_str());
+        return 1;
+    }
+
+    // 1. Configure: Table I hierarchy, 256MB protected memory, a
+    //    unified metadata cache of the requested size.
+    SimConfig cfg;
+    cfg.benchmark = benchmark;
+    cfg.warmupRefs = 250'000;
+    cfg.measureRefs = 1'000'000;
+    cfg.secure.layout.protectedBytes = 256_MiB;
+    cfg.secure.cache.sizeBytes = md_kb * 1024;
+
+    // 2. Run the secure system and an insecure baseline.
+    std::printf("simulating %s with a %lluKB metadata cache...\n",
+                benchmark.c_str(),
+                static_cast<unsigned long long>(md_kb));
+    const RunReport secure = runBenchmark(cfg);
+
+    SimConfig base_cfg = cfg;
+    base_cfg.secureEnabled = false;
+    const RunReport baseline = runBenchmark(base_cfg);
+
+    // 3. Report.
+    TextTable table({"metric", "insecure", "secure", "overhead"});
+    auto ratio = [](double a, double b) {
+        return b > 0 ? TextTable::fmt(a / b, 2) + "x" : "-";
+    };
+    table.addRow({"instructions", TextTable::fmt(baseline.instructions),
+                  TextTable::fmt(secure.instructions), "-"});
+    table.addRow({"LLC MPKI", TextTable::fmt(baseline.llcMpki, 1),
+                  TextTable::fmt(secure.llcMpki, 1), "-"});
+    table.addRow({"DRAM accesses",
+                  TextTable::fmt(baseline.memory.accesses()),
+                  TextTable::fmt(secure.memory.accesses()),
+                  ratio(static_cast<double>(secure.memory.accesses()),
+                        static_cast<double>(baseline.memory.accesses()))});
+    table.addRow({"cycles", TextTable::fmt(baseline.cycles),
+                  TextTable::fmt(secure.cycles),
+                  ratio(static_cast<double>(secure.cycles),
+                        static_cast<double>(baseline.cycles))});
+    table.addRow({"energy (uJ)",
+                  TextTable::fmt(baseline.energy.totalPj() * 1e-6, 1),
+                  TextTable::fmt(secure.energy.totalPj() * 1e-6, 1),
+                  ratio(secure.energy.totalPj(),
+                        baseline.energy.totalPj())});
+    table.addRow({"ED^2", TextTable::fmt(baseline.ed2, 9),
+                  TextTable::fmt(secure.ed2, 9),
+                  ratio(secure.ed2, baseline.ed2)});
+    table.print(std::cout);
+
+    std::printf("\nsecure-memory detail:\n");
+    TextTable detail({"metric", "value"});
+    detail.addRow({"metadata MPKI",
+                   TextTable::fmt(secure.metadataMpki, 2)});
+    detail.addRow({"memory accesses per request",
+                   TextTable::fmt(secure.memAccessesPerRequest, 2)});
+    const auto &ctl = secure.controller;
+    for (unsigned c = 0; c < kNumMemCategories; ++c) {
+        detail.addRow(
+            {std::string("DRAM reads/writes: ") +
+                 memCategoryName(static_cast<MemCategory>(c)),
+             TextTable::fmt(ctl.memReads[c]) + " / " +
+                 TextTable::fmt(ctl.memWrites[c])});
+    }
+    detail.addRow({"counter page overflows",
+                   TextTable::fmt(ctl.pageOverflows)});
+    detail.addRow({"tree levels fetched",
+                   TextTable::fmt(ctl.treeLevelsFetched)});
+    detail.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,56 @@
+#include "analysis/bimodal.hpp"
+
+namespace maps {
+
+const char *
+reuseClassName(unsigned cls)
+{
+    switch (cls) {
+      case 0:
+        return "<=128blk(8KB)";
+      case 1:
+        return "128-256blk";
+      case 2:
+        return "256-512blk";
+      case 3:
+        return ">512blk(32KB)";
+    }
+    return "?";
+}
+
+unsigned
+reuseClassOf(std::uint64_t distance_blocks)
+{
+    for (unsigned cls = 0; cls < kReuseClassBounds.size(); ++cls) {
+        if (distance_blocks <= kReuseClassBounds[cls])
+            return cls;
+    }
+    return kNumReuseClasses - 1;
+}
+
+std::array<double, kNumReuseClasses>
+classifyReuse(const ExactHistogram &distances)
+{
+    std::array<std::uint64_t, kNumReuseClasses> counts{};
+    for (const auto &[distance, count] : distances.cells())
+        counts[reuseClassOf(distance)] += count;
+
+    std::array<double, kNumReuseClasses> fractions{};
+    const std::uint64_t total = distances.totalCount();
+    if (total == 0)
+        return fractions;
+    for (unsigned cls = 0; cls < kNumReuseClasses; ++cls) {
+        fractions[cls] = static_cast<double>(counts[cls]) /
+                         static_cast<double>(total);
+    }
+    return fractions;
+}
+
+double
+bimodalityScore(const ExactHistogram &distances)
+{
+    const auto fractions = classifyReuse(distances);
+    return fractions.front() + fractions.back();
+}
+
+} // namespace maps

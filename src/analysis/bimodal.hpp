@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Figure 4's reuse-distance classification: four classes in blocks,
+ * (i) <=128, (ii) 128-256, (iii) 256-512, (iv) >512.
+ */
+#ifndef MAPS_ANALYSIS_BIMODAL_HPP
+#define MAPS_ANALYSIS_BIMODAL_HPP
+
+#include <array>
+#include <string>
+
+#include "util/histogram.hpp"
+
+namespace maps {
+
+inline constexpr unsigned kNumReuseClasses = 4;
+
+/** Class boundaries in blocks (64B each): 8KB / 16KB / 32KB. */
+inline constexpr std::array<std::uint64_t, 3> kReuseClassBounds{128, 256,
+                                                                512};
+
+const char *reuseClassName(unsigned cls);
+
+/** Which class a distance (in blocks) falls into. */
+unsigned reuseClassOf(std::uint64_t distance_blocks);
+
+/** Fraction of accesses per class (cold misses excluded). */
+std::array<double, kNumReuseClasses>
+classifyReuse(const ExactHistogram &distances);
+
+/**
+ * Bimodality score: fraction of accesses in the extreme classes
+ * (i) + (iv). The paper observes most benchmarks are near 1.0, with
+ * canneal and cactusADM as exceptions.
+ */
+double bimodalityScore(const ExactHistogram &distances);
+
+} // namespace maps
+
+#endif // MAPS_ANALYSIS_BIMODAL_HPP

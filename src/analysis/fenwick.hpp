@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Fenwick (binary indexed) tree over access timestamps — the core of the
+ * O(N log N) reuse-distance algorithm.
+ *
+ * Growable: the structure keeps the raw per-position values and rebuilds
+ * the tree on capacity doubling (a plain resize would leave the new
+ * nodes without the counts of the positions they cover). Amortized O(1)
+ * per growth step.
+ */
+#ifndef MAPS_ANALYSIS_FENWICK_HPP
+#define MAPS_ANALYSIS_FENWICK_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace maps {
+
+/** Prefix-sum tree of small counters, growable on the right. */
+class FenwickTree
+{
+  public:
+    explicit FenwickTree(std::size_t capacity = 0)
+    {
+        if (capacity)
+            grow(capacity);
+    }
+
+    std::size_t size() const { return tree_.empty() ? 0 : tree_.size() - 1; }
+
+    /** Add delta at position i (1-based). Grows as needed. */
+    void
+    add(std::size_t i, std::int32_t delta)
+    {
+        if (i > size())
+            grow(i + i / 2 + 1);
+        raw_[i] = static_cast<std::int32_t>(raw_[i] + delta);
+        for (; i < tree_.size(); i += i & (~i + 1))
+            tree_[i] += delta;
+    }
+
+    /** Sum of positions [1, i]. */
+    std::int64_t
+    prefixSum(std::size_t i) const
+    {
+        if (i > size())
+            i = size();
+        std::int64_t sum = 0;
+        for (; i > 0; i -= i & (~i + 1))
+            sum += tree_[i];
+        return sum;
+    }
+
+    /** Sum of positions [lo, hi]; 0 when lo > hi. */
+    std::int64_t
+    rangeSum(std::size_t lo, std::size_t hi) const
+    {
+        if (lo > hi)
+            return 0;
+        return prefixSum(hi) - (lo > 1 ? prefixSum(lo - 1) : 0);
+    }
+
+  private:
+    std::vector<std::int32_t> tree_; // 1-based; [0] unused
+    std::vector<std::int32_t> raw_;  // per-position values
+
+    /** Grow to at least n positions and rebuild the tree in O(n). */
+    void
+    grow(std::size_t n)
+    {
+        if (n + 1 <= tree_.size())
+            return;
+        raw_.resize(n + 1, 0);
+        tree_.assign(n + 1, 0);
+        // Linear-time Fenwick construction from the raw values.
+        for (std::size_t i = 1; i <= n; ++i) {
+            tree_[i] += raw_[i];
+            const std::size_t parent = i + (i & (~i + 1));
+            if (parent <= n)
+                tree_[parent] += tree_[i];
+        }
+    }
+};
+
+} // namespace maps
+
+#endif // MAPS_ANALYSIS_FENWICK_HPP

@@ -1,0 +1,53 @@
+#include "analysis/reuse.hpp"
+
+namespace maps {
+
+ReuseDistanceAnalyzer::ReuseDistanceAnalyzer()
+{
+    last_.reserve(1 << 16);
+}
+
+void
+ReuseDistanceAnalyzer::observe(Addr block_addr, MetadataType type,
+                               AccessType access)
+{
+    const auto type_idx = static_cast<std::size_t>(type);
+    ++accesses_[type_idx];
+    ++time_;
+
+    const auto it = last_.find(block_addr);
+    if (it == last_.end()) {
+        ++coldMisses_[type_idx];
+        last_.emplace(block_addr, LastInfo{time_, access});
+        active_.add(time_, +1);
+        return;
+    }
+
+    const std::uint64_t prev_time = it->second.time;
+    // Distinct blocks accessed strictly between the two touches: count
+    // the blocks whose *last* access falls in (prev_time, now).
+    const auto distance = static_cast<std::uint64_t>(
+        active_.rangeSum(prev_time + 1, time_ - 1));
+
+    typeHist_[type_idx].add(distance);
+    const ReuseTransition transition =
+        classifyTransition(it->second.access, access);
+    transitionHist_[type_idx][static_cast<std::size_t>(transition)].add(
+        distance);
+
+    active_.add(prev_time, -1);
+    active_.add(time_, +1);
+    it->second.time = time_;
+    it->second.access = access;
+}
+
+ExactHistogram
+ReuseDistanceAnalyzer::combinedHistogram() const
+{
+    ExactHistogram combined;
+    for (const auto &hist : typeHist_)
+        combined.merge(hist);
+    return combined;
+}
+
+} // namespace maps

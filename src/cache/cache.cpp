@@ -1,0 +1,168 @@
+#include "cache/cache.hpp"
+
+#include "util/logging.hpp"
+
+namespace maps {
+
+SetAssociativeCache::SetAssociativeCache(
+    CacheGeometry geometry, std::unique_ptr<ReplacementPolicy> policy,
+    std::unique_ptr<WayPartition> partition)
+    : geom_(geometry),
+      policy_(std::move(policy)),
+      partition_(std::move(partition))
+{
+    geom_.validate();
+    fatalIf(!policy_, "cache requires a replacement policy");
+    lines_.assign(static_cast<std::size_t>(geom_.numSets()) * geom_.assoc,
+                  Line{});
+    policy_->init(geom_.numSets(), geom_.assoc);
+    if (partition_)
+        partition_->init(geom_.numSets(), geom_.assoc);
+}
+
+int
+SetAssociativeCache::findWay(std::uint32_t set, std::uint64_t tag) const
+{
+    for (std::uint32_t w = 0; w < geom_.assoc; ++w) {
+        const Line &line = lineAt(set, w);
+        if (line.valid && line.tag == tag)
+            return static_cast<int>(w);
+    }
+    return -1;
+}
+
+CacheAccessOutcome
+SetAssociativeCache::access(Addr addr, bool write, std::uint8_t type_class)
+{
+    const std::uint32_t set = geom_.setIndexOf(addr);
+    const std::uint64_t tag = geom_.tagOf(addr);
+    const std::size_t type_idx = type_class < 4 ? type_class : 3;
+
+    ReplContext ctx;
+    ctx.addr = addrOf(set, tag);
+    ctx.write = write;
+    ctx.typeClass = type_class;
+
+    CacheAccessOutcome outcome;
+
+    const int hit_way = findWay(set, tag);
+    if (hit_way >= 0) {
+        outcome.hit = true;
+        ++stats_.hits;
+        ++stats_.hitsByType[type_idx];
+        Line &line = lineAt(set, static_cast<std::uint32_t>(hit_way));
+        line.dirty = line.dirty || write;
+        policy_->touch(set, static_cast<std::uint32_t>(hit_way), ctx);
+        if (partition_)
+            partition_->onHit(set, ctx);
+        return outcome;
+    }
+
+    ++stats_.misses;
+    ++stats_.missesByType[type_idx];
+    if (partition_)
+        partition_->onMiss(set, ctx);
+
+    const std::uint64_t allowed =
+        partition_ ? partition_->allowedWays(set, ctx)
+                   : fullWayMask(geom_.assoc);
+    panicIf(allowed == 0, "partition produced an empty way mask");
+
+    // Prefer an invalid allowed way.
+    std::uint32_t fill_way = geom_.assoc;
+    for (std::uint32_t w = 0; w < geom_.assoc; ++w) {
+        if ((allowed & (std::uint64_t{1} << w)) && !lineAt(set, w).valid) {
+            fill_way = w;
+            break;
+        }
+    }
+
+    if (fill_way == geom_.assoc) {
+        ReplLineInfo infos[64];
+        for (std::uint32_t w = 0; w < geom_.assoc; ++w) {
+            const Line &l = lineAt(set, w);
+            infos[w].addr = l.valid ? addrOf(set, l.tag) : kInvalidAddr;
+            infos[w].valid = l.valid;
+            infos[w].dirty = l.dirty;
+            infos[w].typeClass = l.typeClass;
+        }
+        fill_way = policy_->victim(set, infos, allowed, ctx);
+        panicIf(fill_way >= geom_.assoc ||
+                    !(allowed & (std::uint64_t{1} << fill_way)),
+                "policy victim outside the allowed mask");
+        Line &victim = lineAt(set, fill_way);
+        panicIf(!victim.valid, "victimized an invalid line");
+        outcome.evictedValid = true;
+        outcome.evictedAddr = addrOf(set, victim.tag);
+        outcome.evictedDirty = victim.dirty;
+        outcome.evictedType = victim.typeClass;
+        ++stats_.evictions;
+        if (victim.dirty)
+            ++stats_.dirtyEvictions;
+        --validLines_;
+    }
+
+    Line &line = lineAt(set, fill_way);
+    line.tag = tag;
+    line.valid = true;
+    line.dirty = write;
+    line.typeClass = type_class;
+    ++validLines_;
+    policy_->insert(set, fill_way, ctx);
+    return outcome;
+}
+
+bool
+SetAssociativeCache::probe(Addr addr) const
+{
+    return findWay(geom_.setIndexOf(addr), geom_.tagOf(addr)) >= 0;
+}
+
+bool
+SetAssociativeCache::invalidate(Addr addr, bool *was_dirty)
+{
+    const std::uint32_t set = geom_.setIndexOf(addr);
+    const int way = findWay(set, geom_.tagOf(addr));
+    if (way < 0)
+        return false;
+    Line &line = lineAt(set, static_cast<std::uint32_t>(way));
+    if (was_dirty)
+        *was_dirty = line.dirty;
+    line.valid = false;
+    line.dirty = false;
+    --validLines_;
+    policy_->invalidate(set, static_cast<std::uint32_t>(way));
+    return true;
+}
+
+bool
+SetAssociativeCache::cleanLine(Addr addr)
+{
+    const std::uint32_t set = geom_.setIndexOf(addr);
+    const int way = findWay(set, geom_.tagOf(addr));
+    if (way < 0)
+        return false;
+    lineAt(set, static_cast<std::uint32_t>(way)).dirty = false;
+    return true;
+}
+
+void
+SetAssociativeCache::forEachLine(
+    const std::function<void(const ReplLineInfo &)> &fn) const
+{
+    for (std::uint32_t set = 0; set < geom_.numSets(); ++set) {
+        for (std::uint32_t w = 0; w < geom_.assoc; ++w) {
+            const Line &line = lineAt(set, w);
+            if (!line.valid)
+                continue;
+            ReplLineInfo info;
+            info.addr = addrOf(set, line.tag);
+            info.valid = true;
+            info.dirty = line.dirty;
+            info.typeClass = line.typeClass;
+            fn(info);
+        }
+    }
+}
+
+} // namespace maps

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * SetAssociativeCache: the tag-store model used for the L1/L2/LLC and the
+ * metadata cache. Write-back, write-allocate, transaction-level (no MSHRs
+ * or banking — MAPS' metrics are counts and distributions).
+ */
+#ifndef MAPS_CACHE_CACHE_HPP
+#define MAPS_CACHE_CACHE_HPP
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cache/geometry.hpp"
+#include "cache/partition.hpp"
+#include "cache/replacement.hpp"
+
+namespace maps {
+
+/** What happened on an access, including any eviction it caused. */
+struct CacheAccessOutcome
+{
+    bool hit = false;
+    /** A victim line was evicted to make room. */
+    bool evictedValid = false;
+    Addr evictedAddr = kInvalidAddr;
+    bool evictedDirty = false;
+    std::uint8_t evictedType = 0;
+};
+
+/** Aggregate counters; per-typeClass breakdowns sized for MetadataType. */
+struct CacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t dirtyEvictions = 0;
+    std::array<std::uint64_t, 4> hitsByType{};
+    std::array<std::uint64_t, 4> missesByType{};
+
+    std::uint64_t accesses() const { return hits + misses; }
+    double missRate() const
+    {
+        return accesses()
+                   ? static_cast<double>(misses) /
+                         static_cast<double>(accesses())
+                   : 0.0;
+    }
+};
+
+/**
+ * A set-associative, write-back, write-allocate cache with a pluggable
+ * replacement policy and optional way-partitioning.
+ */
+class SetAssociativeCache
+{
+  public:
+    /**
+     * @param geometry  validated shape.
+     * @param policy    replacement policy (owned).
+     * @param partition optional way partition (owned); nullptr = none.
+     */
+    SetAssociativeCache(CacheGeometry geometry,
+                        std::unique_ptr<ReplacementPolicy> policy,
+                        std::unique_ptr<WayPartition> partition = nullptr);
+
+    /**
+     * Access a block. On a miss the block is filled (allocate-on-write
+     * too) and a victim may be evicted.
+     *
+     * @param addr       block-aligned (or any address within the block).
+     * @param write      store (marks the line dirty).
+     * @param type_class caller-defined class (MetadataType for metadata).
+     */
+    CacheAccessOutcome access(Addr addr, bool write,
+                              std::uint8_t type_class = 0);
+
+    /** Hit test without state change. */
+    bool probe(Addr addr) const;
+
+    /**
+     * Remove a block if present.
+     * @return true if found; was_dirty reports its dirty bit.
+     */
+    bool invalidate(Addr addr, bool *was_dirty = nullptr);
+
+    /** Mark a resident block clean (after an external writeback). */
+    bool cleanLine(Addr addr);
+
+    /** Invoke fn for every valid line. */
+    void
+    forEachLine(const std::function<void(const ReplLineInfo &)> &fn) const;
+
+    const CacheGeometry &geometry() const { return geom_; }
+    const CacheStats &stats() const { return stats_; }
+    void clearStats() { stats_ = CacheStats{}; }
+    ReplacementPolicy &policy() { return *policy_; }
+    WayPartition *partition() { return partition_.get(); }
+
+    /** Number of currently valid lines. */
+    std::uint64_t validLines() const { return validLines_; }
+
+  private:
+    struct Line
+    {
+        std::uint64_t tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint8_t typeClass = 0;
+    };
+
+    CacheGeometry geom_;
+    std::unique_ptr<ReplacementPolicy> policy_;
+    std::unique_ptr<WayPartition> partition_;
+    std::vector<Line> lines_; // sets * ways
+    std::uint64_t validLines_ = 0;
+    CacheStats stats_;
+
+    Line &lineAt(std::uint32_t set, std::uint32_t way)
+    {
+        return lines_[static_cast<std::size_t>(set) * geom_.assoc + way];
+    }
+    const Line &lineAt(std::uint32_t set, std::uint32_t way) const
+    {
+        return lines_[static_cast<std::size_t>(set) * geom_.assoc + way];
+    }
+
+    /** Reconstruct a block address from set/tag. */
+    Addr addrOf(std::uint32_t set, std::uint64_t tag) const
+    {
+        return (tag * geom_.numSets() + set) *
+               static_cast<Addr>(geom_.blockBytes);
+    }
+
+    int findWay(std::uint32_t set, std::uint64_t tag) const;
+};
+
+} // namespace maps
+
+#endif // MAPS_CACHE_CACHE_HPP

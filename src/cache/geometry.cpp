@@ -1,0 +1,34 @@
+#include "cache/geometry.hpp"
+
+#include "util/bitops.hpp"
+#include "util/logging.hpp"
+
+namespace maps {
+
+std::uint32_t
+CacheGeometry::setIndexOf(Addr addr) const
+{
+    return static_cast<std::uint32_t>((addr / blockBytes) % numSets());
+}
+
+std::uint64_t
+CacheGeometry::tagOf(Addr addr) const
+{
+    return (addr / blockBytes) / numSets();
+}
+
+void
+CacheGeometry::validate() const
+{
+    fatalIf(sizeBytes == 0, "cache size must be non-zero");
+    fatalIf(assoc == 0, "associativity must be non-zero");
+    fatalIf(assoc > 64, "associativity above 64 ways is unsupported");
+    fatalIf(blockBytes == 0 || !isPow2(blockBytes),
+            "block size must be a power of two");
+    fatalIf(sizeBytes % (static_cast<std::uint64_t>(assoc) * blockBytes) !=
+                0,
+            "cache size must be a multiple of assoc * block size");
+    fatalIf(!isPow2(numSets()), "number of sets must be a power of two");
+}
+
+} // namespace maps

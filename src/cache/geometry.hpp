@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Set-associative cache geometry: size/associativity/block arithmetic.
+ */
+#ifndef MAPS_CACHE_GEOMETRY_HPP
+#define MAPS_CACHE_GEOMETRY_HPP
+
+#include <cstdint>
+
+#include "util/types.hpp"
+
+namespace maps {
+
+/** Immutable description of a cache's shape. */
+struct CacheGeometry
+{
+    std::uint64_t sizeBytes = 0;
+    std::uint32_t assoc = 1;
+    std::uint32_t blockBytes = kBlockSize;
+
+    std::uint32_t numSets() const
+    {
+        return static_cast<std::uint32_t>(
+            sizeBytes / (static_cast<std::uint64_t>(assoc) * blockBytes));
+    }
+
+    std::uint64_t numLines() const
+    {
+        return sizeBytes / blockBytes;
+    }
+
+    std::uint32_t setIndexOf(Addr addr) const;
+    std::uint64_t tagOf(Addr addr) const;
+
+    /** fatal() on inconsistent parameters (non-power-of-two sets, etc). */
+    void validate() const;
+};
+
+} // namespace maps
+
+#endif // MAPS_CACHE_GEOMETRY_HPP

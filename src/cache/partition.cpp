@@ -1,0 +1,123 @@
+#include "cache/partition.hpp"
+
+#include "util/logging.hpp"
+
+namespace maps {
+
+void
+WayPartition::onHit(std::uint32_t, const ReplContext &)
+{
+}
+
+void
+WayPartition::onMiss(std::uint32_t, const ReplContext &)
+{
+}
+
+void
+StaticPartition::init(std::uint32_t, std::uint32_t ways)
+{
+    ways_ = ways;
+    fatalIf(counterWays_ == 0 || counterWays_ >= ways,
+            "static partition must give both counters and hashes >= 1 way");
+    fullMask_ = fullWayMask(ways);
+    counterMask_ = fullWayMask(counterWays_);
+    hashMask_ = fullMask_ & ~counterMask_;
+}
+
+std::uint64_t
+StaticPartition::allowedWays(std::uint32_t, const ReplContext &ctx)
+{
+    switch (static_cast<MetadataType>(ctx.typeClass)) {
+      case MetadataType::Counter:
+        return counterMask_;
+      case MetadataType::Hash:
+        return hashMask_;
+      default:
+        return fullMask_;
+    }
+}
+
+std::string
+StaticPartition::name() const
+{
+    return "static(" + std::to_string(counterWays_) + "/" +
+           std::to_string(ways_ - counterWays_) + ")";
+}
+
+SetDuelingPartition::SetDuelingPartition(std::uint32_t split_a,
+                                         std::uint32_t split_b,
+                                         std::uint32_t leader_stride,
+                                         unsigned psel_bits)
+    : partA_(split_a),
+      partB_(split_b),
+      leaderStride_(leader_stride),
+      pselMax_(1 << (psel_bits - 1))
+{
+    fatalIf(leader_stride < 2, "leader stride must be at least 2");
+    fatalIf(psel_bits < 2 || psel_bits > 20, "psel bits out of range");
+}
+
+void
+SetDuelingPartition::init(std::uint32_t sets, std::uint32_t ways)
+{
+    partA_.init(sets, ways);
+    partB_.init(sets, ways);
+    psel_ = 0;
+    if (sets < leaderStride_)
+        warn("set-dueling: too few sets for distinct leader groups");
+}
+
+SetDuelingPartition::SetRole
+SetDuelingPartition::roleOf(std::uint32_t set) const
+{
+    // Leaders distributed uniformly: one A-leader and one B-leader per
+    // stride of sets, offset by half a stride so they interleave.
+    const std::uint32_t phase = set % leaderStride_;
+    if (phase == 0)
+        return SetRole::LeaderA;
+    if (phase == leaderStride_ / 2)
+        return SetRole::LeaderB;
+    return SetRole::Follower;
+}
+
+std::uint64_t
+SetDuelingPartition::allowedWays(std::uint32_t set, const ReplContext &ctx)
+{
+    switch (roleOf(set)) {
+      case SetRole::LeaderA:
+        return partA_.allowedWays(set, ctx);
+      case SetRole::LeaderB:
+        return partB_.allowedWays(set, ctx);
+      case SetRole::Follower:
+        break;
+    }
+    return psel_ >= 0 ? partA_.allowedWays(set, ctx)
+                      : partB_.allowedWays(set, ctx);
+}
+
+void
+SetDuelingPartition::onMiss(std::uint32_t set, const ReplContext &)
+{
+    switch (roleOf(set)) {
+      case SetRole::LeaderA:
+        // A miss in A's leaders is evidence for B.
+        if (psel_ > -pselMax_)
+            --psel_;
+        break;
+      case SetRole::LeaderB:
+        if (psel_ < pselMax_ - 1)
+            ++psel_;
+        break;
+      case SetRole::Follower:
+        break;
+    }
+}
+
+std::uint32_t
+SetDuelingPartition::activeSplit() const
+{
+    return psel_ >= 0 ? partA_.counterWays() : partB_.counterWays();
+}
+
+} // namespace maps

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Way-partitioning for metadata caches (paper §V-C).
+ *
+ * Partitions constrain which ways counter and hash blocks may occupy;
+ * tree nodes are always unconstrained ("Tree nodes need not be included
+ * in the partitioning scheme"). Three schemes: none, static split, and
+ * dynamic set-dueling between two candidate splits [18,19].
+ */
+#ifndef MAPS_CACHE_PARTITION_HPP
+#define MAPS_CACHE_PARTITION_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "cache/replacement.hpp"
+#include "trace/record.hpp"
+
+namespace maps {
+
+/** Interface: per-access allowed-way masks plus dueling feedback hooks. */
+class WayPartition
+{
+  public:
+    virtual ~WayPartition() = default;
+
+    virtual void init(std::uint32_t sets, std::uint32_t ways) = 0;
+
+    /** Mask of ways the incoming block may be inserted into. Non-zero. */
+    virtual std::uint64_t allowedWays(std::uint32_t set,
+                                      const ReplContext &ctx) = 0;
+
+    /** Called on every cache hit (for dueling statistics). */
+    virtual void onHit(std::uint32_t set, const ReplContext &ctx);
+
+    /** Called on every cache miss (for dueling statistics). */
+    virtual void onMiss(std::uint32_t set, const ReplContext &ctx);
+
+    virtual std::string name() const = 0;
+};
+
+/** No constraint: every type may use every way. */
+class NoPartition : public WayPartition
+{
+  public:
+    void init(std::uint32_t, std::uint32_t ways) override
+    {
+        mask_ = fullWayMask(ways);
+    }
+    std::uint64_t allowedWays(std::uint32_t, const ReplContext &) override
+    {
+        return mask_;
+    }
+    std::string name() const override { return "none"; }
+
+  private:
+    std::uint64_t mask_ = ~std::uint64_t{0};
+};
+
+/**
+ * Static split: counters use ways [0, counterWays), hashes use
+ * [counterWays, ways); tree nodes (and any other class) use all ways.
+ */
+class StaticPartition : public WayPartition
+{
+  public:
+    explicit StaticPartition(std::uint32_t counter_ways)
+        : counterWays_(counter_ways)
+    {
+    }
+
+    void init(std::uint32_t sets, std::uint32_t ways) override;
+    std::uint64_t allowedWays(std::uint32_t set,
+                              const ReplContext &ctx) override;
+    std::string name() const override;
+
+    std::uint32_t counterWays() const { return counterWays_; }
+
+  private:
+    std::uint32_t counterWays_;
+    std::uint32_t ways_ = 0;
+    std::uint64_t counterMask_ = 0;
+    std::uint64_t hashMask_ = 0;
+    std::uint64_t fullMask_ = 0;
+};
+
+/**
+ * Set-dueling dynamic partition: two uniformly distributed leader groups
+ * run two different static splits; a saturating PSEL counter driven by
+ * leader misses selects the split followers use.
+ */
+class SetDuelingPartition : public WayPartition
+{
+  public:
+    /**
+     * @param split_a        counter ways for leader group A.
+     * @param split_b        counter ways for leader group B.
+     * @param leader_stride  one leader of each group per this many sets.
+     * @param psel_bits      width of the saturating selector.
+     */
+    SetDuelingPartition(std::uint32_t split_a, std::uint32_t split_b,
+                        std::uint32_t leader_stride = 32,
+                        unsigned psel_bits = 10);
+
+    void init(std::uint32_t sets, std::uint32_t ways) override;
+    std::uint64_t allowedWays(std::uint32_t set,
+                              const ReplContext &ctx) override;
+    void onMiss(std::uint32_t set, const ReplContext &ctx) override;
+    std::string name() const override { return "set-dueling"; }
+
+    /** Currently winning split (counter ways), for inspection. */
+    std::uint32_t activeSplit() const;
+
+  private:
+    StaticPartition partA_;
+    StaticPartition partB_;
+    std::uint32_t leaderStride_;
+    std::int32_t psel_ = 0;
+    std::int32_t pselMax_ = 512;
+
+    enum class SetRole : std::uint8_t { Follower, LeaderA, LeaderB };
+    SetRole roleOf(std::uint32_t set) const;
+};
+
+} // namespace maps
+
+#endif // MAPS_CACHE_PARTITION_HPP

@@ -1,0 +1,47 @@
+#include "cache/policy_belady.hpp"
+
+#include "util/logging.hpp"
+
+namespace maps {
+
+void
+BeladyPolicy::init(std::uint32_t, std::uint32_t ways)
+{
+    ways_ = ways;
+}
+
+void
+BeladyPolicy::touch(std::uint32_t, std::uint32_t, const ReplContext &ctx)
+{
+    oracle_.onAccess(ctx.addr);
+}
+
+void
+BeladyPolicy::insert(std::uint32_t, std::uint32_t, const ReplContext &ctx)
+{
+    oracle_.onAccess(ctx.addr);
+}
+
+std::uint32_t
+BeladyPolicy::victim(std::uint32_t, const ReplLineInfo *lines,
+                     std::uint64_t allowed_mask, const ReplContext &)
+{
+    panicIf(allowed_mask == 0, "MIN victim with empty allowed mask");
+    std::uint32_t best = 64;
+    std::uint64_t best_next = 0;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (!(allowed_mask & (std::uint64_t{1} << w)))
+            continue;
+        const std::uint64_t next = oracle_.nextUse(lines[w].addr);
+        if (best >= ways_ || next > best_next) {
+            best = w;
+            best_next = next;
+            if (next == FutureOracle::kNeverUsed)
+                break; // cannot do better than "never used again"
+        }
+    }
+    panicIf(best >= ways_, "MIN victim found no allowed way");
+    return best;
+}
+
+} // namespace maps

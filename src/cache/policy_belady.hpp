@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Belady's MIN as an oracle-driven policy.
+ *
+ * MIN requires future knowledge; the FutureOracle abstraction supplies
+ * it. The offline module provides a TraceOracle built from a recorded
+ * profiling run (the paper records it under true LRU), which faithfully
+ * reproduces the *stale future knowledge* problem of §V-B: once live
+ * accesses diverge from the recorded trace, the oracle's answers are
+ * wrong, and MIN underperforms even pseudo-LRU.
+ */
+#ifndef MAPS_CACHE_POLICY_BELADY_HPP
+#define MAPS_CACHE_POLICY_BELADY_HPP
+
+#include "cache/replacement.hpp"
+
+namespace maps {
+
+/** Supplies next-use positions for Belady's MIN. */
+class FutureOracle
+{
+  public:
+    virtual ~FutureOracle() = default;
+
+    /**
+     * Advance the oracle's cursor by one access. Called once per cache
+     * access in stream order, with the live access's address (which may
+     * differ from the recorded trace — the cursor advances in lock-step
+     * regardless, reproducing the paper's divergence).
+     */
+    virtual void onAccess(Addr addr) = 0;
+
+    /**
+     * Position of the next use of @c addr strictly after the cursor;
+     * returns kNeverUsed when the oracle believes it is never used again.
+     */
+    virtual std::uint64_t nextUse(Addr addr) const = 0;
+
+    static constexpr std::uint64_t kNeverUsed = ~std::uint64_t{0};
+};
+
+/** Belady's MIN: victimize the line whose next use is furthest away. */
+class BeladyPolicy : public ReplacementPolicy
+{
+  public:
+    /** The oracle must outlive the policy. */
+    explicit BeladyPolicy(FutureOracle &oracle) : oracle_(oracle) {}
+
+    void init(std::uint32_t sets, std::uint32_t ways) override;
+    void touch(std::uint32_t set, std::uint32_t way,
+               const ReplContext &ctx) override;
+    void insert(std::uint32_t set, std::uint32_t way,
+                const ReplContext &ctx) override;
+    std::uint32_t victim(std::uint32_t set, const ReplLineInfo *lines,
+                         std::uint64_t allowed_mask,
+                         const ReplContext &ctx) override;
+    std::string name() const override { return "min"; }
+
+  private:
+    FutureOracle &oracle_;
+    std::uint32_t ways_ = 0;
+};
+
+} // namespace maps
+
+#endif // MAPS_CACHE_POLICY_BELADY_HPP

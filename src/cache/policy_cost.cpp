@@ -1,0 +1,66 @@
+#include "cache/policy_cost.hpp"
+
+#include "util/logging.hpp"
+
+namespace maps {
+
+CostAwareLruPolicy::CostAwareLruPolicy(CostTable costs) : costs_(costs)
+{
+    for (const double c : costs_.cost)
+        fatalIf(c <= 0.0, "miss costs must be positive");
+}
+
+void
+CostAwareLruPolicy::init(std::uint32_t sets, std::uint32_t ways)
+{
+    ways_ = ways;
+    clock_ = 0;
+    stamps_.assign(static_cast<std::size_t>(sets) * ways, 0);
+}
+
+void
+CostAwareLruPolicy::touch(std::uint32_t set, std::uint32_t way,
+                          const ReplContext &)
+{
+    stamps_[static_cast<std::size_t>(set) * ways_ + way] = ++clock_;
+}
+
+void
+CostAwareLruPolicy::insert(std::uint32_t set, std::uint32_t way,
+                           const ReplContext &)
+{
+    stamps_[static_cast<std::size_t>(set) * ways_ + way] = ++clock_;
+}
+
+std::uint32_t
+CostAwareLruPolicy::victim(std::uint32_t set, const ReplLineInfo *lines,
+                           std::uint64_t allowed_mask, const ReplContext &)
+{
+    panicIf(allowed_mask == 0, "cost-lru victim with empty allowed mask");
+    std::uint32_t best = 64;
+    double best_score = -1.0;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (!(allowed_mask & (std::uint64_t{1} << w)))
+            continue;
+        const std::uint64_t stamp =
+            stamps_[static_cast<std::size_t>(set) * ways_ + w];
+        // Age since last touch, discounted by how expensive the line's
+        // miss would be. +1 keeps just-touched lines comparable.
+        const double age = static_cast<double>(clock_ - stamp) + 1.0;
+        const double score = age / costOf(lines[w].typeClass);
+        if (score > best_score) {
+            best_score = score;
+            best = w;
+        }
+    }
+    panicIf(best >= ways_, "cost-lru victim found no allowed way");
+    return best;
+}
+
+void
+CostAwareLruPolicy::invalidate(std::uint32_t set, std::uint32_t way)
+{
+    stamps_[static_cast<std::size_t>(set) * ways_ + way] = 0;
+}
+
+} // namespace maps

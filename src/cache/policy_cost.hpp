@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Cost-aware LRU — an online policy for the paper's §VI direction:
+ * "the metadata cache should have an eviction policy that accounts for
+ * multiple miss costs".
+ *
+ * Victim choice divides a line's recency age by its miss cost, so a
+ * counter block (whose miss may trigger a whole tree traversal) must be
+ * proportionally staler than a hash block before it is evicted. Costs
+ * are per typeClass and configurable; the defaults reflect the
+ * metadata cost structure (§V): counter >> tree > hash.
+ */
+#ifndef MAPS_CACHE_POLICY_COST_HPP
+#define MAPS_CACHE_POLICY_COST_HPP
+
+#include <array>
+#include <vector>
+
+#include "cache/replacement.hpp"
+
+namespace maps {
+
+/** Per-typeClass miss costs (indexed by typeClass, up to 4 classes). */
+struct CostTable
+{
+    std::array<double, 4> cost{1.0, 1.0, 1.0, 1.0};
+
+    /** Metadata defaults: counter misses may pay a tree walk. */
+    static CostTable
+    metadataDefaults(std::uint32_t tree_levels = 4)
+    {
+        CostTable t;
+        t.cost[0] = 1.0 + tree_levels; // Counter
+        t.cost[1] = 2.0;               // TreeNode
+        t.cost[2] = 1.0;               // Hash
+        t.cost[3] = 1.0;               // Data/other
+        return t;
+    }
+};
+
+/** LRU ranked by age/cost: evict the line with the largest ratio. */
+class CostAwareLruPolicy : public ReplacementPolicy
+{
+  public:
+    explicit CostAwareLruPolicy(CostTable costs
+                                = CostTable::metadataDefaults());
+
+    void init(std::uint32_t sets, std::uint32_t ways) override;
+    void touch(std::uint32_t set, std::uint32_t way,
+               const ReplContext &ctx) override;
+    void insert(std::uint32_t set, std::uint32_t way,
+                const ReplContext &ctx) override;
+    std::uint32_t victim(std::uint32_t set, const ReplLineInfo *lines,
+                         std::uint64_t allowed_mask,
+                         const ReplContext &ctx) override;
+    void invalidate(std::uint32_t set, std::uint32_t way) override;
+    std::string name() const override { return "cost-lru"; }
+
+    const CostTable &costs() const { return costs_; }
+
+  private:
+    CostTable costs_;
+    std::uint32_t ways_ = 0;
+    std::uint64_t clock_ = 0;
+    std::vector<std::uint64_t> stamps_; // sets * ways
+
+    double costOf(std::uint8_t type_class) const
+    {
+        return costs_.cost[type_class < 4 ? type_class : 3];
+    }
+};
+
+} // namespace maps
+
+#endif // MAPS_CACHE_POLICY_COST_HPP

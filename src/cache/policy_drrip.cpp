@@ -1,0 +1,121 @@
+#include "cache/policy_drrip.hpp"
+
+#include "util/logging.hpp"
+
+namespace maps {
+
+DrripPolicy::DrripPolicy(DrripConfig cfg)
+    : cfg_(cfg),
+      maxRrpv_(static_cast<std::uint8_t>((1u << cfg.rrpvBits) - 1)),
+      pselMax_(1 << (cfg.pselBits - 1)),
+      rng_(cfg.seed)
+{
+    fatalIf(cfg_.rrpvBits == 0 || cfg_.rrpvBits > 7,
+            "DRRIP needs 1..7 RRPV bits");
+    fatalIf(cfg_.brripEpsilon < 2, "BRRIP epsilon must be >= 2");
+    fatalIf(cfg_.leaderStride < 2, "leader stride must be >= 2");
+}
+
+void
+DrripPolicy::init(std::uint32_t sets, std::uint32_t ways)
+{
+    ways_ = ways;
+    rrpv_.assign(static_cast<std::size_t>(sets) * ways, maxRrpv_);
+    psel_.fill(0);
+    if (sets < cfg_.leaderStride)
+        warn("DRRIP: too few sets for distinct leader groups");
+}
+
+DrripPolicy::SetRole
+DrripPolicy::roleOf(std::uint32_t set) const
+{
+    const std::uint32_t phase = set % cfg_.leaderStride;
+    if (phase == 0)
+        return SetRole::LeaderSrrip;
+    if (phase == cfg_.leaderStride / 2)
+        return SetRole::LeaderBrrip;
+    return SetRole::Follower;
+}
+
+std::uint8_t
+DrripPolicy::insertionRrpv(std::uint32_t set, const ReplContext &ctx)
+{
+    bool use_brrip;
+    switch (roleOf(set)) {
+      case SetRole::LeaderSrrip:
+        use_brrip = false;
+        break;
+      case SetRole::LeaderBrrip:
+        use_brrip = true;
+        break;
+      default:
+        use_brrip = psel_[classOf(ctx)] < 0;
+        break;
+    }
+    if (!use_brrip)
+        return static_cast<std::uint8_t>(maxRrpv_ - 1);
+    // BRRIP: distant insertion, with an occasional intermediate one so
+    // streams are eventually recognized.
+    return rng_.nextBounded(cfg_.brripEpsilon) == 0
+               ? static_cast<std::uint8_t>(maxRrpv_ - 1)
+               : maxRrpv_;
+}
+
+void
+DrripPolicy::touch(std::uint32_t set, std::uint32_t way,
+                   const ReplContext &)
+{
+    rrpv_[static_cast<std::size_t>(set) * ways_ + way] = 0;
+}
+
+void
+DrripPolicy::insert(std::uint32_t set, std::uint32_t way,
+                    const ReplContext &ctx)
+{
+    rrpv_[static_cast<std::size_t>(set) * ways_ + way] =
+        insertionRrpv(set, ctx);
+
+    // The duel: a miss (each insert follows a miss) in a leader set
+    // votes against that leader's insertion mode for the class.
+    const unsigned cls = classOf(ctx);
+    switch (roleOf(set)) {
+      case SetRole::LeaderSrrip:
+        if (psel_[cls] > -pselMax_)
+            --psel_[cls];
+        break;
+      case SetRole::LeaderBrrip:
+        if (psel_[cls] < pselMax_ - 1)
+            ++psel_[cls];
+        break;
+      case SetRole::Follower:
+        break;
+    }
+}
+
+std::uint32_t
+DrripPolicy::victim(std::uint32_t set, const ReplLineInfo *,
+                    std::uint64_t allowed_mask, const ReplContext &)
+{
+    panicIf(allowed_mask == 0, "DRRIP victim with empty allowed mask");
+    const std::size_t base = static_cast<std::size_t>(set) * ways_;
+    while (true) {
+        for (std::uint32_t w = 0; w < ways_; ++w) {
+            if ((allowed_mask & (std::uint64_t{1} << w)) &&
+                rrpv_[base + w] >= maxRrpv_) {
+                return w;
+            }
+        }
+        for (std::uint32_t w = 0; w < ways_; ++w) {
+            if (rrpv_[base + w] < maxRrpv_)
+                ++rrpv_[base + w];
+        }
+    }
+}
+
+bool
+DrripPolicy::brripActive(std::uint8_t type_class) const
+{
+    return psel_[cfg_.typedInsertion ? (type_class & 3) : 0] < 0;
+}
+
+} // namespace maps

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * DRRIP (Jaleel et al., ISCA 2010): dynamic RRIP that set-duels SRRIP
+ * against BRRIP, with an optional per-metadata-type insertion mode —
+ * the paper's §IV-D suggestion that "architects could build on reuse
+ * prediction for traditional caches, adding information about the
+ * metadata type".
+ *
+ * Typed insertion duels *per typeClass*: each metadata type gets its
+ * own PSEL, so a thrash-prone type (e.g. hashes under streaming) can
+ * pick BRRIP while counters keep SRRIP.
+ */
+#ifndef MAPS_CACHE_POLICY_DRRIP_HPP
+#define MAPS_CACHE_POLICY_DRRIP_HPP
+
+#include <array>
+#include <vector>
+
+#include "cache/replacement.hpp"
+#include "util/rng.hpp"
+
+namespace maps {
+
+/** DRRIP tuning. */
+struct DrripConfig
+{
+    unsigned rrpvBits = 2;
+    /** One insertion duel per typeClass instead of one global. */
+    bool typedInsertion = false;
+    /** BRRIP inserts at max-1 with probability 1/brripEpsilon. */
+    std::uint32_t brripEpsilon = 32;
+    std::uint32_t leaderStride = 32;
+    unsigned pselBits = 10;
+    std::uint64_t seed = 1;
+};
+
+class DrripPolicy : public ReplacementPolicy
+{
+  public:
+    explicit DrripPolicy(DrripConfig cfg = {});
+
+    void init(std::uint32_t sets, std::uint32_t ways) override;
+    void touch(std::uint32_t set, std::uint32_t way,
+               const ReplContext &ctx) override;
+    void insert(std::uint32_t set, std::uint32_t way,
+                const ReplContext &ctx) override;
+    std::uint32_t victim(std::uint32_t set, const ReplLineInfo *lines,
+                         std::uint64_t allowed_mask,
+                         const ReplContext &ctx) override;
+    std::string name() const override
+    {
+        return cfg_.typedInsertion ? "drrip-typed" : "drrip";
+    }
+
+    /** True when followers of the class currently use BRRIP. */
+    bool brripActive(std::uint8_t type_class = 0) const;
+
+  private:
+    enum class SetRole : std::uint8_t { Follower, LeaderSrrip,
+                                        LeaderBrrip };
+
+    DrripConfig cfg_;
+    std::uint8_t maxRrpv_ = 3;
+    std::uint32_t ways_ = 0;
+    std::vector<std::uint8_t> rrpv_; // sets * ways
+    std::array<std::int32_t, 4> psel_{};
+    std::int32_t pselMax_ = 512;
+    Rng rng_;
+
+    SetRole roleOf(std::uint32_t set) const;
+    unsigned classOf(const ReplContext &ctx) const
+    {
+        return cfg_.typedInsertion ? (ctx.typeClass & 3) : 0;
+    }
+    std::uint8_t insertionRrpv(std::uint32_t set, const ReplContext &ctx);
+};
+
+} // namespace maps
+
+#endif // MAPS_CACHE_POLICY_DRRIP_HPP

@@ -1,0 +1,174 @@
+#include "cache/policy_eva.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.hpp"
+
+namespace maps {
+
+EvaPolicy::EvaPolicy(EvaConfig cfg) : cfg_(cfg)
+{
+    fatalIf(cfg_.maxAge < 2, "EVA needs at least two age buckets");
+    fatalIf(cfg_.classifyByType && cfg_.numClasses == 0,
+            "EVA classification needs at least one class");
+}
+
+void
+EvaPolicy::init(std::uint32_t sets, std::uint32_t ways)
+{
+    ways_ = ways;
+    lines_ = static_cast<std::uint64_t>(sets) * ways;
+    clock_ = 0;
+
+    ageGranularity_ = cfg_.ageGranularity
+                          ? cfg_.ageGranularity
+                          : std::max<std::uint64_t>(1, lines_ / 8);
+    const std::uint64_t period =
+        cfg_.updatePeriod ? cfg_.updatePeriod : 8 * lines_;
+    nextUpdate_ = period;
+
+    birth_.assign(lines_, 0);
+    lineClass_.assign(lines_, 0);
+
+    hitHist_.assign(numClasses(),
+                    std::vector<std::uint64_t>(cfg_.maxAge, 0));
+    evictHist_.assign(numClasses(),
+                      std::vector<std::uint64_t>(cfg_.maxAge, 0));
+    // Initial ranks favour evicting older lines (LRU-like) until the
+    // first histogram fold provides real statistics.
+    ranks_.assign(numClasses(), std::vector<double>(cfg_.maxAge));
+    for (auto &table : ranks_) {
+        for (unsigned a = 0; a < cfg_.maxAge; ++a)
+            table[a] = -static_cast<double>(a);
+    }
+}
+
+unsigned
+EvaPolicy::ageOf(std::uint64_t birth) const
+{
+    const std::uint64_t age = (clock_ - birth) / ageGranularity_;
+    return static_cast<unsigned>(
+        std::min<std::uint64_t>(age, cfg_.maxAge - 1));
+}
+
+void
+EvaPolicy::tick()
+{
+    ++clock_;
+    if (clock_ >= nextUpdate_) {
+        recomputeRanks();
+        const std::uint64_t period =
+            cfg_.updatePeriod ? cfg_.updatePeriod : 8 * lines_;
+        nextUpdate_ = clock_ + period;
+    }
+}
+
+void
+EvaPolicy::touch(std::uint32_t set, std::uint32_t way,
+                 const ReplContext &ctx)
+{
+    tick();
+    const std::size_t idx = static_cast<std::size_t>(set) * ways_ + way;
+    const unsigned cls = classOf(ctx.typeClass);
+    hitHist_[cls][ageOf(birth_[idx])]++;
+    // A hit starts a new "lifetime" for the line (EVA models hits as
+    // terminating the current lifetime).
+    birth_[idx] = clock_;
+    lineClass_[idx] = ctx.typeClass;
+}
+
+void
+EvaPolicy::insert(std::uint32_t set, std::uint32_t way,
+                  const ReplContext &ctx)
+{
+    tick();
+    const std::size_t idx = static_cast<std::size_t>(set) * ways_ + way;
+    birth_[idx] = clock_;
+    lineClass_[idx] = ctx.typeClass;
+}
+
+std::uint32_t
+EvaPolicy::victim(std::uint32_t set, const ReplLineInfo *,
+                  std::uint64_t allowed_mask, const ReplContext &)
+{
+    panicIf(allowed_mask == 0, "EVA victim with empty allowed mask");
+    std::uint32_t best = 64;
+    double best_rank = std::numeric_limits<double>::infinity();
+    unsigned best_age = 0;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (!(allowed_mask & (std::uint64_t{1} << w)))
+            continue;
+        const std::size_t idx = static_cast<std::size_t>(set) * ways_ + w;
+        const unsigned age = ageOf(birth_[idx]);
+        const unsigned cls = classOf(lineClass_[idx]);
+        const double rank = ranks_[cls][age];
+        if (best >= ways_ || rank < best_rank ||
+            (rank == best_rank && age > best_age)) {
+            best = w;
+            best_rank = rank;
+            best_age = age;
+        }
+    }
+    panicIf(best >= ways_, "EVA victim found no allowed way");
+
+    const std::size_t idx = static_cast<std::size_t>(set) * ways_ + best;
+    const unsigned cls = classOf(lineClass_[idx]);
+    evictHist_[cls][ageOf(birth_[idx])]++;
+    return best;
+}
+
+void
+EvaPolicy::invalidate(std::uint32_t set, std::uint32_t way)
+{
+    birth_[static_cast<std::size_t>(set) * ways_ + way] = clock_;
+}
+
+void
+EvaPolicy::recomputeRanks()
+{
+    for (unsigned cls = 0; cls < numClasses(); ++cls) {
+        auto &hits = hitHist_[cls];
+        auto &evictions = evictHist_[cls];
+
+        std::uint64_t total_hits = 0, total_events = 0;
+        for (unsigned a = 0; a < cfg_.maxAge; ++a) {
+            total_hits += hits[a];
+            total_events += hits[a] + evictions[a];
+        }
+        if (total_events == 0)
+            continue; // keep previous ranks (or the LRU-like defaults)
+
+        // Per-access opportunity cost: the cache's hit rate per lifetime
+        // event, as in the EVA reference formulation.
+        const double cost = static_cast<double>(total_hits) /
+                            static_cast<double>(total_events);
+
+        // Backward sweep: accumulate hits, events, and the expected
+        // remaining lifetime integral for ages >= a.
+        double acc_hits = 0.0, acc_events = 0.0, acc_lifetime = 0.0;
+        for (int a = static_cast<int>(cfg_.maxAge) - 1; a >= 0; --a) {
+            acc_hits += static_cast<double>(hits[a]);
+            acc_events += static_cast<double>(
+                hits[a] + evictions[a]);
+            acc_lifetime += acc_events;
+            if (acc_events > 0.0) {
+                ranks_[cls][a] =
+                    (acc_hits - cost * acc_lifetime) / acc_events;
+            } else {
+                // No observations this old: assume dead (strongly
+                // prefer eviction).
+                ranks_[cls][a] =
+                    -std::numeric_limits<double>::infinity();
+            }
+        }
+
+        // Exponential decay so the policy adapts to phase changes.
+        for (unsigned a = 0; a < cfg_.maxAge; ++a) {
+            hits[a] /= 2;
+            evictions[a] /= 2;
+        }
+    }
+}
+
+} // namespace maps

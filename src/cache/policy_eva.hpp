@@ -1,0 +1,96 @@
+/**
+ * @file
+ * EVA replacement (Beckmann & Sanchez, HPCA 2017): economic value added.
+ *
+ * Lines are ranked by EVA(age) = expected future hits minus the cache's
+ * average hit opportunity cost over the line's expected remaining
+ * lifetime. Ages are coarsened global-access counts; hit/eviction age
+ * histograms are folded periodically into a rank table.
+ *
+ * The paper (§V-A) finds EVA underperforms on metadata because reuse
+ * distances are bimodal; an optional per-metadata-type classification
+ * (one histogram per type) is provided to explore that observation.
+ */
+#ifndef MAPS_CACHE_POLICY_EVA_HPP
+#define MAPS_CACHE_POLICY_EVA_HPP
+
+#include <vector>
+
+#include "cache/replacement.hpp"
+
+namespace maps {
+
+/** Tuning knobs for EVA. */
+struct EvaConfig
+{
+    /** Number of age buckets in the histograms. */
+    unsigned maxAge = 64;
+    /** Accesses per age tick; 0 = auto (lines / 8). */
+    std::uint64_t ageGranularity = 0;
+    /** Rank recompute period in accesses; 0 = auto (8 * lines). */
+    std::uint64_t updatePeriod = 0;
+    /** Keep one histogram per typeClass instead of one global. */
+    bool classifyByType = false;
+    /** Number of type classes when classifyByType is set. */
+    unsigned numClasses = 4;
+};
+
+class EvaPolicy : public ReplacementPolicy
+{
+  public:
+    explicit EvaPolicy(EvaConfig cfg = {});
+
+    void init(std::uint32_t sets, std::uint32_t ways) override;
+    void touch(std::uint32_t set, std::uint32_t way,
+               const ReplContext &ctx) override;
+    void insert(std::uint32_t set, std::uint32_t way,
+                const ReplContext &ctx) override;
+    std::uint32_t victim(std::uint32_t set, const ReplLineInfo *lines,
+                         std::uint64_t allowed_mask,
+                         const ReplContext &ctx) override;
+    void invalidate(std::uint32_t set, std::uint32_t way) override;
+    std::string name() const override
+    {
+        return cfg_.classifyByType ? "eva-typed" : "eva";
+    }
+
+    /** Rank table for inspection in tests. */
+    const std::vector<double> &ranks(unsigned cls = 0) const
+    {
+        return ranks_[cls];
+    }
+
+  private:
+    EvaConfig cfg_;
+    std::uint32_t ways_ = 0;
+    std::uint64_t lines_ = 0;
+    std::uint64_t clock_ = 0;
+    std::uint64_t nextUpdate_ = 0;
+    std::uint64_t ageGranularity_ = 1;
+
+    std::vector<std::uint64_t> birth_;    // sets * ways, access stamp
+    std::vector<std::uint8_t> lineClass_; // sets * ways
+
+    // Per class: hit / eviction age histograms and rank tables.
+    std::vector<std::vector<std::uint64_t>> hitHist_;
+    std::vector<std::vector<std::uint64_t>> evictHist_;
+    std::vector<std::vector<double>> ranks_;
+
+    unsigned numClasses() const
+    {
+        return cfg_.classifyByType ? cfg_.numClasses : 1;
+    }
+    unsigned classOf(std::uint8_t type_class) const
+    {
+        return cfg_.classifyByType
+                   ? (type_class % cfg_.numClasses)
+                   : 0;
+    }
+    unsigned ageOf(std::uint64_t birth) const;
+    void recomputeRanks();
+    void tick();
+};
+
+} // namespace maps
+
+#endif // MAPS_CACHE_POLICY_EVA_HPP

@@ -1,0 +1,56 @@
+#include "cache/policy_lru.hpp"
+
+#include "util/logging.hpp"
+
+namespace maps {
+
+void
+TrueLruPolicy::init(std::uint32_t sets, std::uint32_t ways)
+{
+    ways_ = ways;
+    clock_ = 0;
+    stamps_.assign(static_cast<std::size_t>(sets) * ways, 0);
+}
+
+void
+TrueLruPolicy::touch(std::uint32_t set, std::uint32_t way,
+                     const ReplContext &)
+{
+    stamps_[static_cast<std::size_t>(set) * ways_ + way] = ++clock_;
+}
+
+void
+TrueLruPolicy::insert(std::uint32_t set, std::uint32_t way,
+                      const ReplContext &)
+{
+    stamps_[static_cast<std::size_t>(set) * ways_ + way] = ++clock_;
+}
+
+std::uint32_t
+TrueLruPolicy::victim(std::uint32_t set, const ReplLineInfo *,
+                      std::uint64_t allowed_mask, const ReplContext &)
+{
+    panicIf(allowed_mask == 0, "LRU victim with empty allowed mask");
+    std::uint32_t best = 64;
+    std::uint64_t best_stamp = ~std::uint64_t{0};
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (!(allowed_mask & (std::uint64_t{1} << w)))
+            continue;
+        const std::uint64_t stamp =
+            stamps_[static_cast<std::size_t>(set) * ways_ + w];
+        if (stamp < best_stamp) {
+            best_stamp = stamp;
+            best = w;
+        }
+    }
+    panicIf(best >= ways_, "LRU victim found no allowed way");
+    return best;
+}
+
+void
+TrueLruPolicy::invalidate(std::uint32_t set, std::uint32_t way)
+{
+    stamps_[static_cast<std::size_t>(set) * ways_ + way] = 0;
+}
+
+} // namespace maps

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * True LRU replacement (exact recency order per set).
+ */
+#ifndef MAPS_CACHE_POLICY_LRU_HPP
+#define MAPS_CACHE_POLICY_LRU_HPP
+
+#include <vector>
+
+#include "cache/replacement.hpp"
+
+namespace maps {
+
+/**
+ * Exact LRU: per-line 64-bit last-touch stamps; victim is the allowed way
+ * with the oldest stamp. The paper uses true LRU both as a baseline and to
+ * record the profiling trace that feeds MIN.
+ */
+class TrueLruPolicy : public ReplacementPolicy
+{
+  public:
+    void init(std::uint32_t sets, std::uint32_t ways) override;
+    void touch(std::uint32_t set, std::uint32_t way,
+               const ReplContext &ctx) override;
+    void insert(std::uint32_t set, std::uint32_t way,
+                const ReplContext &ctx) override;
+    std::uint32_t victim(std::uint32_t set, const ReplLineInfo *lines,
+                         std::uint64_t allowed_mask,
+                         const ReplContext &ctx) override;
+    void invalidate(std::uint32_t set, std::uint32_t way) override;
+    std::string name() const override { return "lru"; }
+
+  private:
+    std::uint32_t ways_ = 0;
+    std::uint64_t clock_ = 0;
+    std::vector<std::uint64_t> stamps_; // sets * ways
+};
+
+} // namespace maps
+
+#endif // MAPS_CACHE_POLICY_LRU_HPP

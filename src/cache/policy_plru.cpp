@@ -1,0 +1,103 @@
+#include "cache/policy_plru.hpp"
+
+#include "util/bitops.hpp"
+#include "util/logging.hpp"
+
+namespace maps {
+
+void
+TreePlruPolicy::init(std::uint32_t sets, std::uint32_t ways)
+{
+    fatalIf(!isPow2(ways), "tree PLRU requires power-of-two associativity");
+    ways_ = ways;
+    nodes_ = ways > 1 ? ways - 1 : 0;
+    bits_.assign(static_cast<std::size_t>(sets) * nodes_, false);
+}
+
+void
+TreePlruPolicy::touchWay(std::uint32_t set, std::uint32_t way)
+{
+    if (ways_ == 1)
+        return;
+    // Walk from the root; at each node flip the bit away from the
+    // accessed way's half.
+    std::uint32_t lo = 0, hi = ways_;
+    std::uint32_t node = 0; // index within the set's implicit tree
+    const std::size_t base = static_cast<std::size_t>(set) * nodes_;
+    while (hi - lo > 1) {
+        const std::uint32_t mid = lo + (hi - lo) / 2;
+        const bool go_right = way >= mid;
+        // Convention: bit true means "the left half was touched more
+        // recently", so the victim walk follows the bit rightward.
+        bits_[base + node] = !go_right;
+        if (go_right) {
+            node = 2 * node + 2;
+            lo = mid;
+        } else {
+            node = 2 * node + 1;
+            hi = mid;
+        }
+    }
+}
+
+void
+TreePlruPolicy::touch(std::uint32_t set, std::uint32_t way,
+                      const ReplContext &)
+{
+    touchWay(set, way);
+}
+
+void
+TreePlruPolicy::insert(std::uint32_t set, std::uint32_t way,
+                       const ReplContext &)
+{
+    touchWay(set, way);
+}
+
+bool
+TreePlruPolicy::subtreeHasAllowed(std::uint32_t lo, std::uint32_t hi,
+                                  std::uint64_t allowed_mask) const
+{
+    for (std::uint32_t w = lo; w < hi; ++w) {
+        if (allowed_mask & (std::uint64_t{1} << w))
+            return true;
+    }
+    return false;
+}
+
+std::uint32_t
+TreePlruPolicy::victim(std::uint32_t set, const ReplLineInfo *,
+                       std::uint64_t allowed_mask, const ReplContext &)
+{
+    panicIf(allowed_mask == 0, "PLRU victim with empty allowed mask");
+    if (ways_ == 1)
+        return 0;
+
+    std::uint32_t lo = 0, hi = ways_;
+    std::uint32_t node = 0;
+    const std::size_t base = static_cast<std::size_t>(set) * nodes_;
+    while (hi - lo > 1) {
+        const std::uint32_t mid = lo + (hi - lo) / 2;
+        // bit true == left touched more recently => pseudo-LRU is right.
+        bool follow_right = bits_[base + node];
+        const bool left_ok = subtreeHasAllowed(lo, mid, allowed_mask);
+        const bool right_ok = subtreeHasAllowed(mid, hi, allowed_mask);
+        panicIf(!left_ok && !right_ok, "PLRU subtree lost allowed ways");
+        if (follow_right && !right_ok)
+            follow_right = false;
+        else if (!follow_right && !left_ok)
+            follow_right = true;
+        if (follow_right) {
+            node = 2 * node + 2;
+            lo = mid;
+        } else {
+            node = 2 * node + 1;
+            hi = mid;
+        }
+    }
+    panicIf(!(allowed_mask & (std::uint64_t{1} << lo)),
+            "PLRU picked a disallowed way");
+    return lo;
+}
+
+} // namespace maps

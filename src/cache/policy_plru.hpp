@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Tree-based pseudo-LRU (the paper's hardware baseline).
+ */
+#ifndef MAPS_CACHE_POLICY_PLRU_HPP
+#define MAPS_CACHE_POLICY_PLRU_HPP
+
+#include <vector>
+
+#include "cache/replacement.hpp"
+
+namespace maps {
+
+/**
+ * Binary-tree PLRU: one bit per internal node pointing toward the
+ * pseudo-least-recently-used half. Associativity must be a power of two.
+ * With a partition mask the traversal is constrained to subtrees that
+ * contain at least one allowed way.
+ */
+class TreePlruPolicy : public ReplacementPolicy
+{
+  public:
+    void init(std::uint32_t sets, std::uint32_t ways) override;
+    void touch(std::uint32_t set, std::uint32_t way,
+               const ReplContext &ctx) override;
+    void insert(std::uint32_t set, std::uint32_t way,
+                const ReplContext &ctx) override;
+    std::uint32_t victim(std::uint32_t set, const ReplLineInfo *lines,
+                         std::uint64_t allowed_mask,
+                         const ReplContext &ctx) override;
+    std::string name() const override { return "plru"; }
+
+  private:
+    std::uint32_t ways_ = 0;
+    std::uint32_t nodes_ = 0; // internal nodes per set == ways - 1
+    std::vector<bool> bits_;  // sets * nodes
+
+    void touchWay(std::uint32_t set, std::uint32_t way);
+    bool subtreeHasAllowed(std::uint32_t node_ways_lo,
+                           std::uint32_t node_ways_hi,
+                           std::uint64_t allowed_mask) const;
+};
+
+} // namespace maps
+
+#endif // MAPS_CACHE_POLICY_PLRU_HPP

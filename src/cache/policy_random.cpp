@@ -1,0 +1,32 @@
+#include "cache/policy_random.hpp"
+
+#include <bit>
+
+#include "util/logging.hpp"
+
+namespace maps {
+
+void
+RandomPolicy::init(std::uint32_t, std::uint32_t ways)
+{
+    ways_ = ways;
+}
+
+std::uint32_t
+RandomPolicy::victim(std::uint32_t, const ReplLineInfo *,
+                     std::uint64_t allowed_mask, const ReplContext &)
+{
+    panicIf(allowed_mask == 0, "random victim with empty allowed mask");
+    const unsigned count = std::popcount(allowed_mask);
+    std::uint64_t pick = rng_.nextBounded(count);
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (allowed_mask & (std::uint64_t{1} << w)) {
+            if (pick == 0)
+                return w;
+            --pick;
+        }
+    }
+    panic("random victim ran past the allowed mask");
+}
+
+} // namespace maps

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Random replacement (seeded, deterministic).
+ */
+#ifndef MAPS_CACHE_POLICY_RANDOM_HPP
+#define MAPS_CACHE_POLICY_RANDOM_HPP
+
+#include "cache/replacement.hpp"
+#include "util/rng.hpp"
+
+namespace maps {
+
+/** Picks a uniformly random allowed way. Useful as a sanity baseline. */
+class RandomPolicy : public ReplacementPolicy
+{
+  public:
+    explicit RandomPolicy(std::uint64_t seed = 1) : rng_(seed) {}
+
+    void init(std::uint32_t sets, std::uint32_t ways) override;
+    void touch(std::uint32_t, std::uint32_t, const ReplContext &) override
+    {
+    }
+    void insert(std::uint32_t, std::uint32_t, const ReplContext &) override
+    {
+    }
+    std::uint32_t victim(std::uint32_t set, const ReplLineInfo *lines,
+                         std::uint64_t allowed_mask,
+                         const ReplContext &ctx) override;
+    std::string name() const override { return "random"; }
+
+  private:
+    std::uint32_t ways_ = 0;
+    Rng rng_;
+};
+
+} // namespace maps
+
+#endif // MAPS_CACHE_POLICY_RANDOM_HPP

@@ -1,0 +1,56 @@
+#include "cache/policy_srrip.hpp"
+
+#include "util/logging.hpp"
+
+namespace maps {
+
+SrripPolicy::SrripPolicy(unsigned bits)
+    : maxRrpv_(static_cast<std::uint8_t>((1u << bits) - 1))
+{
+    fatalIf(bits == 0 || bits > 7, "SRRIP needs 1..7 RRPV bits");
+}
+
+void
+SrripPolicy::init(std::uint32_t sets, std::uint32_t ways)
+{
+    ways_ = ways;
+    rrpv_.assign(static_cast<std::size_t>(sets) * ways, maxRrpv_);
+}
+
+void
+SrripPolicy::touch(std::uint32_t set, std::uint32_t way,
+                   const ReplContext &)
+{
+    rrpv_[static_cast<std::size_t>(set) * ways_ + way] = 0;
+}
+
+void
+SrripPolicy::insert(std::uint32_t set, std::uint32_t way,
+                    const ReplContext &)
+{
+    rrpv_[static_cast<std::size_t>(set) * ways_ + way] =
+        static_cast<std::uint8_t>(maxRrpv_ - 1);
+}
+
+std::uint32_t
+SrripPolicy::victim(std::uint32_t set, const ReplLineInfo *,
+                    std::uint64_t allowed_mask, const ReplContext &)
+{
+    panicIf(allowed_mask == 0, "SRRIP victim with empty allowed mask");
+    const std::size_t base = static_cast<std::size_t>(set) * ways_;
+    while (true) {
+        for (std::uint32_t w = 0; w < ways_; ++w) {
+            if ((allowed_mask & (std::uint64_t{1} << w)) &&
+                rrpv_[base + w] >= maxRrpv_) {
+                return w;
+            }
+        }
+        // Age every line in the set (classic SRRIP behaviour).
+        for (std::uint32_t w = 0; w < ways_; ++w) {
+            if (rrpv_[base + w] < maxRrpv_)
+                ++rrpv_[base + w];
+        }
+    }
+}
+
+} // namespace maps

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Static RRIP (Jaleel et al., ISCA 2010) — a reuse-prediction baseline
+ * the paper points to as a foundation for future metadata policies.
+ */
+#ifndef MAPS_CACHE_POLICY_SRRIP_HPP
+#define MAPS_CACHE_POLICY_SRRIP_HPP
+
+#include <vector>
+
+#include "cache/replacement.hpp"
+
+namespace maps {
+
+/**
+ * 2-bit SRRIP with hit-priority promotion: insert at RRPV = max-1,
+ * promote to 0 on hit, victimize the first allowed way at max RRPV,
+ * aging the set when none is found.
+ */
+class SrripPolicy : public ReplacementPolicy
+{
+  public:
+    explicit SrripPolicy(unsigned bits = 2);
+
+    void init(std::uint32_t sets, std::uint32_t ways) override;
+    void touch(std::uint32_t set, std::uint32_t way,
+               const ReplContext &ctx) override;
+    void insert(std::uint32_t set, std::uint32_t way,
+                const ReplContext &ctx) override;
+    std::uint32_t victim(std::uint32_t set, const ReplLineInfo *lines,
+                         std::uint64_t allowed_mask,
+                         const ReplContext &ctx) override;
+    std::string name() const override { return "srrip"; }
+
+  private:
+    std::uint8_t maxRrpv_;
+    std::uint32_t ways_ = 0;
+    std::vector<std::uint8_t> rrpv_; // sets * ways
+};
+
+} // namespace maps
+
+#endif // MAPS_CACHE_POLICY_SRRIP_HPP

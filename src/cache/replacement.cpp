@@ -1,0 +1,71 @@
+#include "cache/replacement.hpp"
+
+#include "cache/policy_cost.hpp"
+#include "cache/policy_drrip.hpp"
+#include "cache/policy_eva.hpp"
+#include "cache/policy_lru.hpp"
+#include "cache/policy_plru.hpp"
+#include "cache/policy_random.hpp"
+#include "cache/policy_srrip.hpp"
+#include "util/logging.hpp"
+
+namespace maps {
+
+void
+ReplacementPolicy::invalidate(std::uint32_t, std::uint32_t)
+{
+}
+
+std::unique_ptr<ReplacementPolicy>
+makeReplacementPolicy(PolicyKind kind, std::uint64_t seed)
+{
+    switch (kind) {
+      case PolicyKind::TrueLru:
+        return std::make_unique<TrueLruPolicy>();
+      case PolicyKind::TreePlru:
+        return std::make_unique<TreePlruPolicy>();
+      case PolicyKind::Random:
+        return std::make_unique<RandomPolicy>(seed);
+      case PolicyKind::Srrip:
+        return std::make_unique<SrripPolicy>();
+      case PolicyKind::Eva:
+        return std::make_unique<EvaPolicy>();
+    }
+    panic("unknown replacement policy kind");
+}
+
+std::unique_ptr<ReplacementPolicy>
+makeReplacementPolicy(const std::string &name, std::uint64_t seed)
+{
+    if (name == "lru")
+        return makeReplacementPolicy(PolicyKind::TrueLru, seed);
+    if (name == "plru")
+        return makeReplacementPolicy(PolicyKind::TreePlru, seed);
+    if (name == "random")
+        return makeReplacementPolicy(PolicyKind::Random, seed);
+    if (name == "srrip")
+        return makeReplacementPolicy(PolicyKind::Srrip, seed);
+    if (name == "eva")
+        return makeReplacementPolicy(PolicyKind::Eva, seed);
+    if (name == "eva-typed") {
+        EvaConfig cfg;
+        cfg.classifyByType = true;
+        return std::make_unique<EvaPolicy>(cfg);
+    }
+    if (name == "cost-lru")
+        return std::make_unique<CostAwareLruPolicy>();
+    if (name == "drrip") {
+        DrripConfig cfg;
+        cfg.seed = seed;
+        return std::make_unique<DrripPolicy>(cfg);
+    }
+    if (name == "drrip-typed") {
+        DrripConfig cfg;
+        cfg.typedInsertion = true;
+        cfg.seed = seed;
+        return std::make_unique<DrripPolicy>(cfg);
+    }
+    fatal("unknown replacement policy: " + name);
+}
+
+} // namespace maps

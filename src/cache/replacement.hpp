@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Replacement-policy interface shared by every cache in MAPS.
+ *
+ * Policies are per-cache objects that see hits (touch), fills (insert),
+ * invalidations, and are asked for a victim way when a set is full. The
+ * victim call carries a bitmask of ways the incoming block may occupy so
+ * way-partitioning composes with any policy.
+ */
+#ifndef MAPS_CACHE_REPLACEMENT_HPP
+#define MAPS_CACHE_REPLACEMENT_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace maps {
+
+/** Per-line state a policy may inspect when choosing a victim. */
+struct ReplLineInfo
+{
+    Addr addr = kInvalidAddr;
+    bool valid = false;
+    bool dirty = false;
+    /** Caller-defined class (MetadataType for metadata caches). */
+    std::uint8_t typeClass = 0;
+};
+
+/** Context describing the access that triggered the policy callback. */
+struct ReplContext
+{
+    Addr addr = 0;
+    bool write = false;
+    std::uint8_t typeClass = 0;
+};
+
+/** All 'ways' bits set. */
+inline constexpr std::uint64_t
+fullWayMask(std::uint32_t ways)
+{
+    return ways >= 64 ? ~std::uint64_t{0}
+                      : ((std::uint64_t{1} << ways) - 1);
+}
+
+/** Abstract replacement policy. */
+class ReplacementPolicy
+{
+  public:
+    virtual ~ReplacementPolicy() = default;
+
+    /** Bind to a cache shape; called once before use. */
+    virtual void init(std::uint32_t sets, std::uint32_t ways) = 0;
+
+    /** A resident line was hit. */
+    virtual void touch(std::uint32_t set, std::uint32_t way,
+                       const ReplContext &ctx) = 0;
+
+    /** A line was filled into (set, way). */
+    virtual void insert(std::uint32_t set, std::uint32_t way,
+                        const ReplContext &ctx) = 0;
+
+    /**
+     * Choose a victim among the valid lines of a full set.
+     *
+     * @param lines        'ways' entries describing the set.
+     * @param allowed_mask bit i set => way i may be victimized. Non-zero,
+     *                     and every allowed way is valid.
+     * @return the chosen way (must have its bit set in allowed_mask).
+     */
+    virtual std::uint32_t victim(std::uint32_t set,
+                                 const ReplLineInfo *lines,
+                                 std::uint64_t allowed_mask,
+                                 const ReplContext &ctx) = 0;
+
+    /** A line was invalidated externally. */
+    virtual void invalidate(std::uint32_t set, std::uint32_t way);
+
+    virtual std::string name() const = 0;
+};
+
+/** Known policy names for makeReplacementPolicy. */
+enum class PolicyKind : std::uint8_t
+{
+    TrueLru,
+    TreePlru,
+    Random,
+    Srrip,
+    Eva,
+};
+
+/** Factory for the standard online policies. */
+std::unique_ptr<ReplacementPolicy> makeReplacementPolicy(PolicyKind kind,
+                                                         std::uint64_t seed
+                                                         = 1);
+
+/** Factory by name ("lru", "plru", "random", "srrip", "eva"). */
+std::unique_ptr<ReplacementPolicy>
+makeReplacementPolicy(const std::string &name, std::uint64_t seed = 1);
+
+} // namespace maps
+
+#endif // MAPS_CACHE_REPLACEMENT_HPP

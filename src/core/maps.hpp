@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Umbrella header: include <core/maps.hpp> (with -I src) to get the
+ * whole public MAPS API — the simulator façade, the secure-memory
+ * stack, workloads, analysis, and the offline toolkit.
+ */
+#ifndef MAPS_CORE_MAPS_HPP
+#define MAPS_CORE_MAPS_HPP
+
+#include "analysis/bimodal.hpp"
+#include "analysis/reuse.hpp"
+#include "cache/cache.hpp"
+#include "cache/partition.hpp"
+#include "cache/policy_belady.hpp"
+#include "cache/policy_cost.hpp"
+#include "cache/policy_drrip.hpp"
+#include "cache/policy_eva.hpp"
+#include "core/simulator.hpp"
+#include "energy/energy.hpp"
+#include "hierarchy/hierarchy.hpp"
+#include "mem/dram.hpp"
+#include "mem/fixed_latency.hpp"
+#include "offline/capture.hpp"
+#include "offline/csopt.hpp"
+#include "offline/itermin.hpp"
+#include "offline/min_sim.hpp"
+#include "offline/oracle.hpp"
+#include "secmem/controller.hpp"
+#include "secmem/counter_store.hpp"
+#include "secmem/integrity_tree.hpp"
+#include "secmem/layout.hpp"
+#include "secmem/metadata_cache.hpp"
+#include "trace/trace_io.hpp"
+#include "trace/trace_stats.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/suite.hpp"
+
+#endif // MAPS_CORE_MAPS_HPP

@@ -1,0 +1,152 @@
+#include "core/simulator.hpp"
+
+#include "util/logging.hpp"
+
+namespace maps {
+
+SecureMemorySim::SecureMemorySim(SimConfig cfg,
+                                 std::unique_ptr<ReplacementPolicy>
+                                     md_policy)
+    : cfg_(std::move(cfg)), energyModel_(cfg_.energy)
+{
+    generator_ = makeBenchmark(cfg_.benchmark, cfg_.seed);
+
+    if (cfg_.useDram)
+        memory_ = std::make_unique<DramModel>();
+    else
+        memory_ = std::make_unique<FixedLatencyMemory>(
+            cfg_.fixedLatencyCycles);
+
+    if (cfg_.secureEnabled) {
+        controller_ = std::make_unique<SecureMemoryController>(
+            cfg_.secure, *memory_, std::move(md_policy));
+    }
+
+    hierarchy_ = std::make_unique<CacheHierarchy>(cfg_.hierarchy);
+    hierarchy_->setRequestSink(
+        [this](const MemoryRequest &req) { serviceRequest(req); });
+}
+
+void
+SecureMemorySim::setMetadataTap(SecureMemoryController::MetadataTap tap,
+                                bool include_warmup)
+{
+    userTap_ = std::move(tap);
+    if (controller_) {
+        controller_->setMetadataTap(
+            [this, include_warmup](const MetadataAccess &acc) {
+                if ((measuring_ || include_warmup) && userTap_)
+                    userTap_(acc);
+            });
+    }
+}
+
+void
+SecureMemorySim::serviceRequest(const MemoryRequest &req)
+{
+    if (controller_) {
+        const RequestOutcome outcome =
+            controller_->handleRequest(req, cycles_);
+        // Reads stall the core; posted writes do not (write buffers).
+        if (req.kind == RequestKind::Read)
+            cycles_ += outcome.latency;
+        return;
+    }
+    // Insecure baseline: a plain block transfer.
+    const auto result =
+        memory_->access(req.addr, req.isWrite(), cycles_);
+    if (req.kind == RequestKind::Read)
+        cycles_ += result.latency;
+}
+
+RunReport
+SecureMemorySim::run()
+{
+    // Warmup: fill caches, then discard statistics.
+    measuring_ = false;
+    for (std::uint64_t i = 0; i < cfg_.warmupRefs; ++i)
+        hierarchy_->access(generator_->next());
+
+    hierarchy_->clearStats();
+    memory_->clearStats();
+    if (controller_)
+        controller_->clearStats();
+    cycles_ = 0;
+    measuring_ = true;
+
+    for (std::uint64_t i = 0; i < cfg_.measureRefs; ++i) {
+        const MemRef ref = generator_->next();
+        cycles_ += ref.instGap; // unit-IPC core
+        hierarchy_->access(ref);
+    }
+    measuring_ = false;
+
+    RunReport report;
+    report.benchmark = cfg_.benchmark;
+    report.hierarchy = hierarchy_->stats();
+    report.instructions = report.hierarchy.instructions;
+    report.refs = report.hierarchy.refs;
+    report.memory = memory_->stats();
+    report.llcMpki = report.hierarchy.llcMpki();
+
+    if (controller_) {
+        report.controller = controller_->stats();
+        report.mdCache = controller_->metadataCache().stats();
+        report.metadataMpki =
+            controller_->metadataCache().mpki(report.instructions);
+        const auto requests = report.controller.requests();
+        report.memAccessesPerRequest =
+            requests ? static_cast<double>(
+                           report.controller.totalMemAccesses()) /
+                           static_cast<double>(requests)
+                     : 0.0;
+    }
+
+    // Timing: unit-IPC core plus read-request stalls, both folded into
+    // cycles_ during the run.
+    report.cycles = cycles_;
+    report.seconds = energyModel_.secondsOf(report.cycles);
+
+    // Energy: dynamic per level + DRAM + SRAM leakage.
+    const auto &h = *hierarchy_;
+    report.energy.l1Pj = energyModel_.cacheDynamicPj(
+        cfg_.hierarchy.l1Bytes, h.l1().stats().accesses());
+    report.energy.l2Pj = energyModel_.cacheDynamicPj(
+        cfg_.hierarchy.l2Bytes, h.l2().stats().accesses());
+    report.energy.llcPj = energyModel_.cacheDynamicPj(
+        cfg_.hierarchy.llcBytes, h.llc().stats().accesses());
+
+    std::uint64_t sram_bytes = cfg_.hierarchy.l1Bytes +
+                               cfg_.hierarchy.l2Bytes +
+                               cfg_.hierarchy.llcBytes;
+    if (controller_) {
+        const auto &md = controller_->metadataCache();
+        std::uint64_t md_accesses = 0;
+        for (unsigned t = 0; t < kNumMetadataTypes; ++t) {
+            md_accesses += md.stats().accesses[t] - md.stats().bypasses[t];
+        }
+        if (cfg_.secure.cacheEnabled) {
+            report.energy.mdCachePj = energyModel_.cacheDynamicPj(
+                cfg_.secure.cache.sizeBytes, md_accesses);
+            sram_bytes += cfg_.secure.cache.sizeBytes;
+        }
+    }
+    report.energy.dramPj =
+        energyModel_.dramAccessPj() *
+        static_cast<double>(report.memory.accesses());
+    report.energy.leakagePj =
+        energyModel_.leakagePj(sram_bytes, report.seconds);
+
+    report.ed2 =
+        energyDelaySquared(report.energy.totalPj(), report.seconds);
+    return report;
+}
+
+RunReport
+runBenchmark(const SimConfig &cfg)
+{
+    SecureMemorySim sim(cfg);
+    return sim.run();
+}
+
+} // namespace maps

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * SecureMemorySim: the top-level façade wiring a workload through the
+ * cache hierarchy, the secure memory controller and DRAM, with energy
+ * and delay accounting. This is the public entry point used by the
+ * examples and every figure bench.
+ */
+#ifndef MAPS_CORE_SIMULATOR_HPP
+#define MAPS_CORE_SIMULATOR_HPP
+
+#include <memory>
+#include <string>
+
+#include "energy/energy.hpp"
+#include "hierarchy/hierarchy.hpp"
+#include "mem/dram.hpp"
+#include "mem/fixed_latency.hpp"
+#include "secmem/controller.hpp"
+#include "workloads/suite.hpp"
+
+namespace maps {
+
+/** Full experiment configuration (Table I defaults). */
+struct SimConfig
+{
+    /** Benchmark name from the registry (workloads/suite.hpp). */
+    std::string benchmark = "libquantum";
+    std::uint64_t seed = 1;
+
+    /** References to warm caches before measurement (paper: 50M inst). */
+    std::uint64_t warmupRefs = 200'000;
+    /** Measured references (paper: 500M instructions). */
+    std::uint64_t measureRefs = 2'000'000;
+
+    HierarchyConfig hierarchy;
+    SecureMemoryConfig secure;
+    /** False simulates an insecure baseline (no metadata at all). */
+    bool secureEnabled = true;
+
+    /** Use the banked DRAM model; false = fixed latency. */
+    bool useDram = true;
+    Cycles fixedLatencyCycles = 200;
+
+    EnergyConfig energy;
+};
+
+/** Everything a run produces. */
+struct RunReport
+{
+    std::string benchmark;
+    InstCount instructions = 0;
+    std::uint64_t refs = 0;
+
+    HierarchyStats hierarchy;
+    ControllerStats controller;
+    MetadataCacheStats mdCache;
+    MemoryStats memory;
+
+    double llcMpki = 0.0;
+    /** Metadata cache misses (+ bypasses) per kilo-instruction. */
+    double metadataMpki = 0.0;
+
+    Cycles cycles = 0;
+    double seconds = 0.0;
+    EnergyBreakdown energy;
+    double ed2 = 0.0;
+
+    /** Extra memory accesses per LLC-level request (overhead factor). */
+    double memAccessesPerRequest = 0.0;
+};
+
+/**
+ * One simulation instance. Construct, optionally install taps or a
+ * metadata replacement policy override, then run().
+ */
+class SecureMemorySim
+{
+  public:
+    /**
+     * @param cfg       validated configuration.
+     * @param md_policy optional metadata-cache policy override (e.g. an
+     *                  oracle-driven BeladyPolicy); nullptr uses
+     *                  cfg.secure.cache.policy.
+     */
+    explicit SecureMemorySim(SimConfig cfg,
+                             std::unique_ptr<ReplacementPolicy> md_policy
+                             = nullptr);
+
+    /**
+     * Observe metadata accesses.
+     * @param include_warmup also deliver warmup-phase accesses — needed
+     *        when the stream feeds a MIN oracle, whose cursor must stay
+     *        aligned with every access the replacement policy sees.
+     */
+    void setMetadataTap(SecureMemoryController::MetadataTap tap,
+                        bool include_warmup = false);
+
+    /** Run warmup + measurement and produce the report. */
+    RunReport run();
+
+    /** Components (valid after construction). */
+    CacheHierarchy &hierarchy() { return *hierarchy_; }
+    SecureMemoryController &controller() { return *controller_; }
+    MemoryModel &memory() { return *memory_; }
+    const SimConfig &config() const { return cfg_; }
+
+  private:
+    SimConfig cfg_;
+    std::unique_ptr<AccessGenerator> generator_;
+    std::unique_ptr<MemoryModel> memory_;
+    std::unique_ptr<SecureMemoryController> controller_;
+    std::unique_ptr<CacheHierarchy> hierarchy_;
+    EnergyModel energyModel_;
+
+    Cycles cycles_ = 0;
+    bool measuring_ = false;
+    SecureMemoryController::MetadataTap userTap_;
+
+    void serviceRequest(const MemoryRequest &req);
+};
+
+/** Convenience: run one benchmark with a given config. */
+RunReport runBenchmark(const SimConfig &cfg);
+
+} // namespace maps
+
+#endif // MAPS_CORE_SIMULATOR_HPP

@@ -1,0 +1,61 @@
+#include "energy/energy.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace maps {
+
+EnergyModel::EnergyModel(EnergyConfig cfg) : cfg_(cfg)
+{
+    fatalIf(cfg_.sramRefBytes == 0, "SRAM reference size must be non-zero");
+    fatalIf(cfg_.cpuFreqGhz <= 0.0, "CPU frequency must be positive");
+}
+
+double
+EnergyModel::sramAccessPj(std::uint64_t size_bytes) const
+{
+    const double bits = 8.0 * static_cast<double>(kBlockSize);
+    const double scale =
+        std::pow(static_cast<double>(size_bytes) /
+                     static_cast<double>(cfg_.sramRefBytes),
+                 cfg_.sramSizeExponent);
+    return bits * cfg_.sramPjPerBitRef * scale;
+}
+
+double
+EnergyModel::dramAccessPj() const
+{
+    const double bits = 8.0 * static_cast<double>(kBlockSize);
+    return bits * cfg_.dramPjPerBit;
+}
+
+double
+EnergyModel::cacheDynamicPj(std::uint64_t size_bytes,
+                            std::uint64_t accesses) const
+{
+    return sramAccessPj(size_bytes) * static_cast<double>(accesses);
+}
+
+double
+EnergyModel::leakagePj(std::uint64_t size_bytes, double seconds) const
+{
+    const double mb =
+        static_cast<double>(size_bytes) / static_cast<double>(1_MiB);
+    const double watts = cfg_.sramLeakMwPerMb * mb * 1e-3;
+    return watts * seconds * 1e12; // J -> pJ
+}
+
+double
+EnergyModel::secondsOf(Cycles cycles) const
+{
+    return static_cast<double>(cycles) / (cfg_.cpuFreqGhz * 1e9);
+}
+
+double
+energyDelaySquared(double energy_pj, double seconds)
+{
+    return energy_pj * 1e-12 * seconds * seconds;
+}
+
+} // namespace maps

@@ -1,0 +1,86 @@
+#include "hierarchy/hierarchy.hpp"
+
+#include "util/logging.hpp"
+
+namespace maps {
+
+namespace {
+
+std::unique_ptr<SetAssociativeCache>
+buildLevel(std::uint64_t size, std::uint32_t assoc,
+           const std::string &policy)
+{
+    CacheGeometry geom;
+    geom.sizeBytes = size;
+    geom.assoc = assoc;
+    return std::make_unique<SetAssociativeCache>(
+        geom, makeReplacementPolicy(policy));
+}
+
+} // namespace
+
+CacheHierarchy::CacheHierarchy(HierarchyConfig cfg) : cfg_(cfg)
+{
+    l1_ = buildLevel(cfg_.l1Bytes, cfg_.l1Assoc, cfg_.policy);
+    l2_ = buildLevel(cfg_.l2Bytes, cfg_.l2Assoc, cfg_.policy);
+    llc_ = buildLevel(cfg_.llcBytes, cfg_.llcAssoc, cfg_.policy);
+}
+
+void
+CacheHierarchy::emit(Addr addr, RequestKind kind)
+{
+    if (!sink_)
+        return;
+    MemoryRequest req;
+    req.addr = blockAlign(addr);
+    req.kind = kind;
+    req.icount = stats_.instructions;
+    sink_(req);
+}
+
+void
+CacheHierarchy::accessLlc(Addr addr, bool write)
+{
+    const auto result = llc_->access(addr, write);
+    if (!result.hit) {
+        ++stats_.llcMisses;
+        emit(addr, RequestKind::Read);
+    }
+    if (result.evictedValid && result.evictedDirty) {
+        ++stats_.llcWritebacks;
+        emit(result.evictedAddr, RequestKind::Writeback);
+    }
+}
+
+void
+CacheHierarchy::accessL2(Addr addr, bool write)
+{
+    const auto result = l2_->access(addr, write);
+    if (!result.hit) {
+        ++stats_.l2Misses;
+        accessLlc(addr, false); // fill path reads from below
+        if (write) {
+            // The L2 line is already marked dirty by the access above;
+            // nothing further to do — writeback data stays in L2.
+        }
+    }
+    if (result.evictedValid && result.evictedDirty)
+        accessLlc(result.evictedAddr, true); // spill dirty line downward
+}
+
+void
+CacheHierarchy::access(const MemRef &ref)
+{
+    ++stats_.refs;
+    stats_.instructions += ref.instGap;
+
+    const auto result = l1_->access(ref.addr, ref.isWrite());
+    if (!result.hit) {
+        ++stats_.l1Misses;
+        accessL2(ref.addr, false);
+    }
+    if (result.evictedValid && result.evictedDirty)
+        accessL2(result.evictedAddr, true);
+}
+
+} // namespace maps

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Three-level write-back cache hierarchy (Table I: 32KB L1D, 256KB L2,
+ * 2MB LLC, all 8-way). Trace-driven: CPU references go in, LLC misses
+ * and dirty writebacks come out as the memory-request stream the secure
+ * memory controller services.
+ */
+#ifndef MAPS_HIERARCHY_HIERARCHY_HPP
+#define MAPS_HIERARCHY_HIERARCHY_HPP
+
+#include <functional>
+#include <memory>
+
+#include "cache/cache.hpp"
+#include "trace/record.hpp"
+
+namespace maps {
+
+/** Hierarchy shape; Table I defaults. */
+struct HierarchyConfig
+{
+    std::uint64_t l1Bytes = 32_KiB;
+    std::uint32_t l1Assoc = 8;
+    std::uint64_t l2Bytes = 256_KiB;
+    std::uint32_t l2Assoc = 8;
+    std::uint64_t llcBytes = 2_MiB;
+    std::uint32_t llcAssoc = 8;
+    /** Replacement policy for all levels. */
+    std::string policy = "lru";
+};
+
+/** Per-level and aggregate statistics. */
+struct HierarchyStats
+{
+    InstCount instructions = 0;
+    std::uint64_t refs = 0;
+    std::uint64_t l1Misses = 0;
+    std::uint64_t l2Misses = 0;
+    std::uint64_t llcMisses = 0;
+    std::uint64_t llcWritebacks = 0;
+
+    double llcMpki() const
+    {
+        return instructions ? 1000.0 * static_cast<double>(llcMisses) /
+                                  static_cast<double>(instructions)
+                            : 0.0;
+    }
+};
+
+/**
+ * Non-inclusive write-back, write-allocate hierarchy. Downstream traffic
+ * is delivered to a sink callback so callers can chain the secure memory
+ * controller, a trace file, or an analyzer.
+ */
+class CacheHierarchy
+{
+  public:
+    using RequestSink = std::function<void(const MemoryRequest &)>;
+
+    explicit CacheHierarchy(HierarchyConfig cfg = {});
+
+    /** Process one CPU reference. Requests reach the sink in order. */
+    void access(const MemRef &ref);
+
+    void setRequestSink(RequestSink sink) { sink_ = std::move(sink); }
+
+    const HierarchyStats &stats() const { return stats_; }
+    void clearStats() { stats_ = HierarchyStats{}; }
+
+    const HierarchyConfig &config() const { return cfg_; }
+    const SetAssociativeCache &l1() const { return *l1_; }
+    const SetAssociativeCache &l2() const { return *l2_; }
+    const SetAssociativeCache &llc() const { return *llc_; }
+
+  private:
+    HierarchyConfig cfg_;
+    std::unique_ptr<SetAssociativeCache> l1_;
+    std::unique_ptr<SetAssociativeCache> l2_;
+    std::unique_ptr<SetAssociativeCache> llc_;
+    RequestSink sink_;
+    HierarchyStats stats_;
+
+    void emit(Addr addr, RequestKind kind);
+    /** Access the LLC; emit a Read on miss, Writeback on dirty victim. */
+    void accessLlc(Addr addr, bool write);
+    /** Access L2; spill into the LLC. */
+    void accessL2(Addr addr, bool write);
+};
+
+} // namespace maps
+
+#endif // MAPS_HIERARCHY_HIERARCHY_HPP

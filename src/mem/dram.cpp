@@ -1,0 +1,86 @@
+#include "mem/dram.hpp"
+
+#include <algorithm>
+
+#include "util/bitops.hpp"
+#include "util/logging.hpp"
+
+namespace maps {
+
+void
+DramConfig::validate() const
+{
+    fatalIf(!isPow2(channels), "channels must be a power of two");
+    fatalIf(!isPow2(banksPerChannel), "banks must be a power of two");
+    fatalIf(!isPow2(rowBytes) || rowBytes < kBlockSize,
+            "row size must be a power of two >= one block");
+}
+
+DramModel::DramModel(DramConfig cfg) : cfg_(cfg)
+{
+    cfg_.validate();
+    banks_.assign(static_cast<std::size_t>(cfg_.channels) *
+                      cfg_.banksPerChannel,
+                  Bank{});
+}
+
+void
+DramModel::mapAddress(Addr addr, std::uint32_t &bank,
+                      std::uint64_t &row) const
+{
+    // row : bank : column : channel : block-offset — column bits below the
+    // bank bits so sequential blocks stream within one open row.
+    std::uint64_t x = addr >> kBlockShift;
+    const std::uint32_t channel =
+        static_cast<std::uint32_t>(x & (cfg_.channels - 1));
+    x >>= floorLog2(cfg_.channels);
+    const std::uint64_t row_blocks = cfg_.rowBytes / kBlockSize;
+    x >>= floorLog2(row_blocks); // discard column
+    const std::uint32_t bank_in_channel =
+        static_cast<std::uint32_t>(x & (cfg_.banksPerChannel - 1));
+    x >>= floorLog2(cfg_.banksPerChannel);
+    row = x;
+    bank = channel * cfg_.banksPerChannel + bank_in_channel;
+}
+
+std::uint64_t
+DramModel::openRow(std::uint32_t bank_index) const
+{
+    return banks_[bank_index].openRow;
+}
+
+MemAccessResult
+DramModel::access(Addr addr, bool write, Cycles now)
+{
+    std::uint32_t bank_index = 0;
+    std::uint64_t row = 0;
+    mapAddress(addr, bank_index, row);
+    Bank &bank = banks_[bank_index];
+
+    const Cycles start = std::max(now, bank.busyUntil);
+    const bool row_hit = bank.openRow == row;
+    Cycles service;
+    if (bank.openRow == row) {
+        service = cfg_.tCl + cfg_.tBurst;
+        ++stats_.rowHits;
+    } else if (bank.openRow == ~std::uint64_t{0}) {
+        service = cfg_.tRcd + cfg_.tCl + cfg_.tBurst;
+        ++stats_.rowMisses;
+    } else {
+        service = cfg_.tRp + cfg_.tRcd + cfg_.tCl + cfg_.tBurst;
+        ++stats_.rowConflicts;
+    }
+    bank.openRow = row;
+    bank.busyUntil = start + service + (write ? cfg_.tWr : 0);
+
+    const Cycles latency = (start - now) + service;
+    if (write)
+        ++stats_.writes;
+    else
+        ++stats_.reads;
+    stats_.totalLatency += latency;
+
+    return {latency, row_hit};
+}
+
+} // namespace maps

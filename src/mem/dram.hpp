@@ -1,0 +1,69 @@
+/**
+ * @file
+ * DRAM-lite: a banked, open-page, row-buffer timing model.
+ *
+ * Replaces DRAMSim2 at the fidelity MAPS needs (DESIGN.md §1): per-bank
+ * row-buffer state, row hit/miss/conflict latencies, and bank busy times
+ * for queueing delay. Timing parameters default to DDR3-1600 expressed in
+ * 3GHz CPU cycles (Table I's clock).
+ */
+#ifndef MAPS_MEM_DRAM_HPP
+#define MAPS_MEM_DRAM_HPP
+
+#include <vector>
+
+#include "mem/memory_model.hpp"
+
+namespace maps {
+
+/** Geometry and timing, all latencies in CPU cycles. */
+struct DramConfig
+{
+    std::uint32_t channels = 1;
+    std::uint32_t banksPerChannel = 8;
+    std::uint64_t rowBytes = 8192;
+
+    Cycles tRcd = 41;  ///< activate -> column command (13.75ns @ 3GHz)
+    Cycles tCl = 41;   ///< column command -> first data
+    Cycles tRp = 41;   ///< precharge
+    Cycles tBurst = 12; ///< 64B burst on a x64 DDR3-1600 channel
+    Cycles tWr = 45;   ///< write recovery (adds to bank busy on writes)
+
+    void validate() const;
+};
+
+/** Open-page banked DRAM with FCFS per-bank service. */
+class DramModel : public MemoryModel
+{
+  public:
+    explicit DramModel(DramConfig cfg = {});
+
+    MemAccessResult access(Addr addr, bool write, Cycles now) override;
+    const MemoryStats &stats() const override { return stats_; }
+    void clearStats() override { stats_ = MemoryStats{}; }
+    std::string name() const override { return "dram"; }
+
+    const DramConfig &config() const { return cfg_; }
+
+    /** Row currently open in a bank (kInvalidAddr if closed). */
+    std::uint64_t openRow(std::uint32_t bank_index) const;
+
+  private:
+    struct Bank
+    {
+        std::uint64_t openRow = ~std::uint64_t{0};
+        Cycles busyUntil = 0;
+    };
+
+    DramConfig cfg_;
+    std::vector<Bank> banks_; // channels * banksPerChannel
+    MemoryStats stats_;
+
+    /** Decompose an address into (global bank index, row). */
+    void mapAddress(Addr addr, std::uint32_t &bank,
+                    std::uint64_t &row) const;
+};
+
+} // namespace maps
+
+#endif // MAPS_MEM_DRAM_HPP

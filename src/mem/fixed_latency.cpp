@@ -1,0 +1,20 @@
+#include "mem/fixed_latency.hpp"
+
+namespace maps {
+
+FixedLatencyMemory::FixedLatencyMemory(Cycles latency) : latency_(latency)
+{
+}
+
+MemAccessResult
+FixedLatencyMemory::access(Addr, bool write, Cycles)
+{
+    if (write)
+        ++stats_.writes;
+    else
+        ++stats_.reads;
+    stats_.totalLatency += latency_;
+    return {latency_, false};
+}
+
+} // namespace maps

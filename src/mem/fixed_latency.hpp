@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Constant-latency memory, for tests and analytic experiments.
+ */
+#ifndef MAPS_MEM_FIXED_LATENCY_HPP
+#define MAPS_MEM_FIXED_LATENCY_HPP
+
+#include "mem/memory_model.hpp"
+
+namespace maps {
+
+/** Every access completes in a fixed number of CPU cycles. */
+class FixedLatencyMemory : public MemoryModel
+{
+  public:
+    explicit FixedLatencyMemory(Cycles latency = 200);
+
+    MemAccessResult access(Addr addr, bool write, Cycles now) override;
+    const MemoryStats &stats() const override { return stats_; }
+    void clearStats() override { stats_ = MemoryStats{}; }
+    std::string name() const override { return "fixed"; }
+
+    Cycles latency() const { return latency_; }
+
+  private:
+    Cycles latency_;
+    MemoryStats stats_;
+};
+
+} // namespace maps
+
+#endif // MAPS_MEM_FIXED_LATENCY_HPP

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Abstract main-memory timing model (DRAMSim2 stand-in; DESIGN.md §1).
+ */
+#ifndef MAPS_MEM_MEMORY_MODEL_HPP
+#define MAPS_MEM_MEMORY_MODEL_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "util/types.hpp"
+
+namespace maps {
+
+/** Timing outcome of one block transfer. */
+struct MemAccessResult
+{
+    /** Total latency seen by the requester, in CPU cycles. */
+    Cycles latency = 0;
+    /** The access hit an open row (only meaningful for banked models). */
+    bool rowHit = false;
+};
+
+/** Aggregate memory statistics. */
+struct MemoryStats
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t rowHits = 0;
+    std::uint64_t rowMisses = 0;
+    std::uint64_t rowConflicts = 0;
+    Cycles totalLatency = 0;
+
+    std::uint64_t accesses() const { return reads + writes; }
+    double avgLatency() const
+    {
+        return accesses() ? static_cast<double>(totalLatency) /
+                                static_cast<double>(accesses())
+                          : 0.0;
+    }
+};
+
+/** Interface implemented by FixedLatencyMemory and DramModel. */
+class MemoryModel
+{
+  public:
+    virtual ~MemoryModel() = default;
+
+    /**
+     * Transfer one 64B block.
+     * @param addr  any address within the block.
+     * @param write true for a write (LLC/metadata writeback).
+     * @param now   CPU cycle at which the request arrives.
+     */
+    virtual MemAccessResult access(Addr addr, bool write, Cycles now) = 0;
+
+    virtual const MemoryStats &stats() const = 0;
+    virtual void clearStats() = 0;
+    virtual std::string name() const = 0;
+};
+
+} // namespace maps
+
+#endif // MAPS_MEM_MEMORY_MODEL_HPP

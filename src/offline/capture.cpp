@@ -1,0 +1,22 @@
+#include "offline/capture.hpp"
+
+namespace maps {
+
+void
+TraceCapture::attach(SecureMemoryController &controller)
+{
+    controller.setMetadataTap(
+        [this](const MetadataAccess &acc) { records_.push_back(acc); });
+}
+
+std::vector<Addr>
+TraceCapture::addresses() const
+{
+    std::vector<Addr> addrs;
+    addrs.reserve(records_.size());
+    for (const auto &acc : records_)
+        addrs.push_back(acc.addr);
+    return addrs;
+}
+
+} // namespace maps

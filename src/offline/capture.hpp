@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Metadata-access capture: a controller tap that records the metadata
+ * cache access stream for offline (MIN / CSOPT) analysis.
+ */
+#ifndef MAPS_OFFLINE_CAPTURE_HPP
+#define MAPS_OFFLINE_CAPTURE_HPP
+
+#include <vector>
+
+#include "secmem/controller.hpp"
+#include "trace/record.hpp"
+
+namespace maps {
+
+/**
+ * Records every metadata access seen by the controller (one cache access
+ * per record). Install with attach(); the recorded stream is the paper's
+ * "cache access trace" gathered from the profiling run.
+ */
+class TraceCapture
+{
+  public:
+    void attach(SecureMemoryController &controller);
+
+    const std::vector<MetadataAccess> &records() const { return records_; }
+    std::vector<MetadataAccess> takeRecords() { return std::move(records_); }
+
+    /** Just the block addresses, in order (oracle input). */
+    std::vector<Addr> addresses() const;
+
+    void clear() { records_.clear(); }
+    std::size_t size() const { return records_.size(); }
+    void reserve(std::size_t n) { records_.reserve(n); }
+
+  private:
+    std::vector<MetadataAccess> records_;
+};
+
+} // namespace maps
+
+#endif // MAPS_OFFLINE_CAPTURE_HPP

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * CSOPT (Jeong & Dubois, SPAA 1999), generalized to arbitrary per-access
+ * miss costs (§V-B).
+ *
+ * Optimal replacement with non-uniform miss costs cannot be solved
+ * greedily; CSOPT explores all eviction choices breadth-first over the
+ * trace, pruning states that reach the same cache content at higher
+ * cost. Worst case is exponential — the paper reports 32 minutes (perl)
+ * to >6 days (canneal) — so the solver takes a state budget and falls
+ * back to beam search (keeping the cheapest states) when it is exceeded,
+ * reporting whether the result is exact.
+ *
+ * Traces are per cache set: with a fixed trace, sets are independent, so
+ * callers split a set-associative problem into one solve per set with
+ * the set's associativity as the capacity.
+ */
+#ifndef MAPS_OFFLINE_CSOPT_HPP
+#define MAPS_OFFLINE_CSOPT_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace maps {
+
+/** One access with the cost its miss would incur (>= 1). */
+struct CsOptAccess
+{
+    Addr block = 0;
+    std::uint64_t missCost = 1;
+};
+
+/** Solver knobs. */
+struct CsOptConfig
+{
+    /** Cache capacity in blocks (the set's associativity). */
+    unsigned ways = 4;
+    /** Maximum concurrent states before beam pruning (0 = unlimited). */
+    std::size_t beamWidth = 1u << 16;
+};
+
+/** Solver outcome. */
+struct CsOptResult
+{
+    std::uint64_t minCost = 0;
+    /** Misses along the minimum-cost path. */
+    std::uint64_t misses = 0;
+    std::size_t peakStates = 0;
+    std::uint64_t expansions = 0;
+    /** False when beam pruning may have lost the true optimum. */
+    bool exact = true;
+};
+
+/** Solve one set's trace. Blocks may be arbitrary addresses. */
+CsOptResult solveCsOpt(const std::vector<CsOptAccess> &trace,
+                       const CsOptConfig &cfg);
+
+/**
+ * Convenience: split a trace across the sets of a geometry and sum the
+ * per-set optima (valid because the trace is fixed).
+ */
+CsOptResult solveCsOptSetAssociative(const std::vector<CsOptAccess> &trace,
+                                     std::uint32_t sets, unsigned ways,
+                                     std::size_t beam_width = 1u << 16);
+
+} // namespace maps
+
+#endif // MAPS_OFFLINE_CSOPT_HPP

@@ -1,0 +1,47 @@
+#include "offline/itermin.hpp"
+
+#include "cache/policy_belady.hpp"
+
+namespace maps {
+
+IterMinResult
+IterMinDriver::run(const SimulateFn &simulate,
+                   const std::string &profile_policy,
+                   unsigned max_iterations) const
+{
+    IterMinResult result;
+
+    // Iteration 0: profiling run under the baseline policy.
+    std::vector<Addr> trace;
+    const std::uint64_t profile_misses =
+        simulate(makeReplacementPolicy(profile_policy), trace);
+    result.missesPerIteration.push_back(profile_misses);
+    result.divergencesPerIteration.push_back(0);
+
+    for (unsigned iter = 0; iter < max_iterations; ++iter) {
+        TraceOracle oracle(std::move(trace));
+        trace = {};
+        const std::uint64_t misses = simulate(
+            std::make_unique<BeladyPolicy>(oracle), trace);
+        result.missesPerIteration.push_back(misses);
+        result.divergencesPerIteration.push_back(oracle.divergences());
+
+        // Fixed point: the realized trace equals the oracle's trace
+        // (no divergences) — further iterations cannot change anything.
+        if (oracle.divergences() == 0 &&
+            trace.size() == oracle.traceLength()) {
+            result.converged = true;
+            break;
+        }
+        // Secondary stop: miss count stabilized across two iterations.
+        const auto n = result.missesPerIteration.size();
+        if (n >= 3 && result.missesPerIteration[n - 1] ==
+                          result.missesPerIteration[n - 2]) {
+            result.converged = true;
+            break;
+        }
+    }
+    return result;
+}
+
+} // namespace maps

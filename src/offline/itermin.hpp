@@ -1,0 +1,72 @@
+/**
+ * @file
+ * iterMIN (§V-B): iterate Belady's MIN to a fixed point.
+ *
+ * Because metadata cache contents change the access stream (tree nodes
+ * are only requested when their children miss), a MIN oracle built from
+ * one run's trace is stale for the next. The paper iterates: simulate,
+ * capture the realized trace, rebuild the oracle, re-simulate — until
+ * the trace (or miss count) stops changing.
+ */
+#ifndef MAPS_OFFLINE_ITERMIN_HPP
+#define MAPS_OFFLINE_ITERMIN_HPP
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cache/replacement.hpp"
+#include "offline/oracle.hpp"
+
+namespace maps {
+
+/** Outcome of the fixed-point iteration. */
+struct IterMinResult
+{
+    /** Metadata cache misses per iteration; [0] is the profiling run. */
+    std::vector<std::uint64_t> missesPerIteration;
+    /** Oracle divergence count per MIN iteration (empty slot 0). */
+    std::vector<std::uint64_t> divergencesPerIteration;
+    bool converged = false;
+    std::uint64_t finalMisses() const
+    {
+        return missesPerIteration.empty() ? 0
+                                          : missesPerIteration.back();
+    }
+    unsigned iterations() const
+    {
+        return missesPerIteration.empty()
+                   ? 0
+                   : static_cast<unsigned>(missesPerIteration.size() - 1);
+    }
+};
+
+/**
+ * Drives the iteration. The caller supplies a simulation functor that
+ * runs the whole benchmark with a given metadata-cache policy and
+ * returns (misses, realized metadata access trace).
+ */
+class IterMinDriver
+{
+  public:
+    /**
+     * Simulation callback: run with @c policy, append the realized
+     * metadata cache access trace to @c trace_out, return the metadata
+     * cache miss count.
+     */
+    using SimulateFn = std::function<std::uint64_t(
+        std::unique_ptr<ReplacementPolicy> policy,
+        std::vector<Addr> &trace_out)>;
+
+    /**
+     * @param profile_policy policy for iteration 0 (paper: true LRU).
+     * @param max_iterations bound on MIN re-simulations.
+     */
+    IterMinResult run(const SimulateFn &simulate,
+                      const std::string &profile_policy = "lru",
+                      unsigned max_iterations = 8) const;
+};
+
+} // namespace maps
+
+#endif // MAPS_OFFLINE_ITERMIN_HPP

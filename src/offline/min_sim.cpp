@@ -1,0 +1,101 @@
+#include "offline/min_sim.hpp"
+
+#include <limits>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+namespace maps {
+
+FixedTraceResult
+simulateMinFixedTrace(const std::vector<Addr> &trace,
+                      const CacheGeometry &geometry)
+{
+    geometry.validate();
+    const std::uint64_t never = std::numeric_limits<std::uint64_t>::max();
+
+    // next_use[i]: position of the next access to trace[i]'s block.
+    std::vector<std::uint64_t> next_use(trace.size(), never);
+    {
+        std::unordered_map<Addr, std::uint64_t> upcoming;
+        upcoming.reserve(trace.size() / 4 + 1);
+        for (std::uint64_t i = trace.size(); i-- > 0;) {
+            const Addr block = blockAlign(trace[i]);
+            const auto it = upcoming.find(block);
+            if (it != upcoming.end())
+                next_use[i] = it->second;
+            upcoming[block] = i;
+        }
+    }
+
+    // Per-set resident map: block -> its next use position.
+    std::vector<std::unordered_map<Addr, std::uint64_t>> sets(
+        geometry.numSets());
+
+    FixedTraceResult result;
+    for (std::uint64_t i = 0; i < trace.size(); ++i) {
+        const Addr block = blockAlign(trace[i]);
+        auto &set = sets[geometry.setIndexOf(block)];
+        ++result.accesses;
+
+        const auto it = set.find(block);
+        if (it != set.end()) {
+            ++result.hits;
+            it->second = next_use[i];
+            continue;
+        }
+
+        ++result.misses;
+        if (set.size() >= geometry.assoc) {
+            // Evict the resident block reused furthest in the future.
+            auto victim = set.begin();
+            for (auto cand = set.begin(); cand != set.end(); ++cand) {
+                if (cand->second > victim->second)
+                    victim = cand;
+            }
+            set.erase(victim);
+        }
+        set.emplace(block, next_use[i]);
+    }
+    return result;
+}
+
+FixedTraceResult
+simulateLruFixedTrace(const std::vector<Addr> &trace,
+                      const CacheGeometry &geometry)
+{
+    geometry.validate();
+
+    struct SetState
+    {
+        std::list<Addr> order; // MRU at front
+        std::unordered_map<Addr, std::list<Addr>::iterator> where;
+    };
+    std::vector<SetState> sets(geometry.numSets());
+
+    FixedTraceResult result;
+    for (const Addr addr : trace) {
+        const Addr block = blockAlign(addr);
+        auto &set = sets[geometry.setIndexOf(block)];
+        ++result.accesses;
+
+        const auto it = set.where.find(block);
+        if (it != set.where.end()) {
+            ++result.hits;
+            set.order.splice(set.order.begin(), set.order, it->second);
+            continue;
+        }
+
+        ++result.misses;
+        if (set.where.size() >= geometry.assoc) {
+            const Addr victim = set.order.back();
+            set.order.pop_back();
+            set.where.erase(victim);
+        }
+        set.order.push_front(block);
+        set.where[block] = set.order.begin();
+    }
+    return result;
+}
+
+} // namespace maps

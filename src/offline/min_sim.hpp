@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Offline Belady MIN on a *fixed* trace — the textbook setting in which
+ * MIN is provably optimal (uniform miss cost, trace independent of the
+ * cache). Used as a reference point and for property tests; the paper's
+ * point is that metadata caches violate both assumptions.
+ */
+#ifndef MAPS_OFFLINE_MIN_SIM_HPP
+#define MAPS_OFFLINE_MIN_SIM_HPP
+
+#include <vector>
+
+#include "cache/geometry.hpp"
+#include "util/types.hpp"
+
+namespace maps {
+
+/** Result of an offline simulation over a fixed trace. */
+struct FixedTraceResult
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+
+    double missRate() const
+    {
+        return accesses ? static_cast<double>(misses) /
+                              static_cast<double>(accesses)
+                        : 0.0;
+    }
+};
+
+/** Simulate MIN over the trace with the given set-associative shape. */
+FixedTraceResult simulateMinFixedTrace(const std::vector<Addr> &trace,
+                                       const CacheGeometry &geometry);
+
+/** Simulate true LRU over the same fixed trace (reference baseline). */
+FixedTraceResult simulateLruFixedTrace(const std::vector<Addr> &trace,
+                                       const CacheGeometry &geometry);
+
+} // namespace maps
+
+#endif // MAPS_OFFLINE_MIN_SIM_HPP

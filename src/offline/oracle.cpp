@@ -1,0 +1,35 @@
+#include "offline/oracle.hpp"
+
+#include <algorithm>
+
+namespace maps {
+
+TraceOracle::TraceOracle(std::vector<Addr> trace) : trace_(std::move(trace))
+{
+    positions_.reserve(trace_.size() / 4 + 1);
+    for (std::uint64_t i = 0; i < trace_.size(); ++i)
+        positions_[trace_[i]].push_back(i);
+}
+
+void
+TraceOracle::onAccess(Addr addr)
+{
+    if (cursor_ < trace_.size() && trace_[cursor_] != addr)
+        ++divergences_;
+    ++cursor_;
+}
+
+std::uint64_t
+TraceOracle::nextUse(Addr addr) const
+{
+    const auto it = positions_.find(addr);
+    if (it == positions_.end())
+        return kNeverUsed;
+    const auto &pos = it->second;
+    // First recorded occurrence strictly after the cursor (the cursor
+    // position itself is the access currently being serviced).
+    const auto next = std::upper_bound(pos.begin(), pos.end(), cursor_);
+    return next == pos.end() ? kNeverUsed : *next;
+}
+
+} // namespace maps

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * TraceOracle: future knowledge for Belady's MIN from a recorded trace.
+ *
+ * The oracle's cursor advances once per *live* access regardless of
+ * whether the live access matches the recorded one. When the live run
+ * diverges from the profiling run (tree accesses depend on cache
+ * contents), the oracle keeps answering from the stale trace — exactly
+ * the failure mode of §V-B.
+ */
+#ifndef MAPS_OFFLINE_ORACLE_HPP
+#define MAPS_OFFLINE_ORACLE_HPP
+
+#include <unordered_map>
+#include <vector>
+
+#include "cache/policy_belady.hpp"
+
+namespace maps {
+
+/** FutureOracle over a recorded address trace. */
+class TraceOracle : public FutureOracle
+{
+  public:
+    explicit TraceOracle(std::vector<Addr> trace);
+
+    void onAccess(Addr addr) override;
+    std::uint64_t nextUse(Addr addr) const override;
+
+    /** Live accesses whose address differed from the recorded one. */
+    std::uint64_t divergences() const { return divergences_; }
+    std::uint64_t cursor() const { return cursor_; }
+    std::size_t traceLength() const { return trace_.size(); }
+
+    void reset()
+    {
+        cursor_ = 0;
+        divergences_ = 0;
+    }
+
+  private:
+    std::vector<Addr> trace_;
+    /** Per-address sorted occurrence positions. */
+    std::unordered_map<Addr, std::vector<std::uint64_t>> positions_;
+    std::uint64_t cursor_ = 0;
+    std::uint64_t divergences_ = 0;
+};
+
+} // namespace maps
+
+#endif // MAPS_OFFLINE_ORACLE_HPP

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * SecureMemoryController: the memory encryption engine model.
+ *
+ * For every LLC-level request it generates the metadata traffic of
+ * counter-mode encryption + Bonsai Merkle Tree integrity (§II):
+ *
+ *  read  @A: fetch data(A); fetch counter block (or hit the metadata
+ *            cache); on a counter miss, traverse the tree upward until a
+ *            cached (already-verified) ancestor or the on-chip root;
+ *            fetch the data-hash block (or hit).
+ *  write @A: bump A's counter (possible per-block overflow -> page
+ *            re-encryption); update counter block, hash block and —
+ *            lazily, on dirty counter eviction — the tree path; write
+ *            the data block.
+ *
+ * Timing is transaction-level: decryption overlaps the data fetch
+ * (counter-mode), verification is hidden when speculation [12] is on.
+ * Disabling the metadata cache (or individual types) reproduces the
+ * paper's no-cache and Figure-1 configurations.
+ */
+#ifndef MAPS_SECMEM_CONTROLLER_HPP
+#define MAPS_SECMEM_CONTROLLER_HPP
+
+#include <array>
+#include <functional>
+#include <memory>
+
+#include "mem/memory_model.hpp"
+#include "secmem/counter_store.hpp"
+#include "secmem/metadata_cache.hpp"
+
+namespace maps {
+
+/** Categories of DRAM traffic for the energy/overhead breakdowns. */
+enum class MemCategory : std::uint8_t
+{
+    Data = 0,
+    Counter = 1,
+    Hash = 2,
+    Tree = 3,
+    Reencrypt = 4,
+};
+inline constexpr unsigned kNumMemCategories = 5;
+const char *memCategoryName(MemCategory c);
+
+/** Controller configuration. */
+struct SecureMemoryConfig
+{
+    LayoutConfig layout;
+    MetadataCacheConfig cache;
+    /** False disables the metadata cache entirely (all types bypass). */
+    bool cacheEnabled = true;
+    /** Speculative use of unverified data (PoisonIvy [12]). */
+    bool speculation = true;
+    /** Defer tree updates to dirty-counter eviction (needs the cache). */
+    bool lazyTreeUpdate = true;
+    /**
+     * Spatial metadata prefetching (extension, §VI direction): on a
+     * counter or hash demand miss, fetch the next block of the same
+     * type into the metadata cache. Prefetched counters are verified
+     * in the background like any other fetched counter.
+     */
+    bool prefetchNextMetadata = false;
+    Cycles hashLatency = 40; ///< Table I: 40 cycles per hash
+    Cycles aesLatency = 40;  ///< one-time-pad generation
+};
+
+/** Timing/traffic outcome for one request. */
+struct RequestOutcome
+{
+    /** Critical-path latency for reads (0 for posted writes). */
+    Cycles latency = 0;
+    /** Background verification work (hidden when speculating). */
+    Cycles verifyLatency = 0;
+    /** DRAM block transfers triggered by this request. */
+    std::uint32_t memAccesses = 0;
+    bool counterHit = false;
+    bool hashHit = false;
+    std::uint32_t treeLevelsFetched = 0;
+};
+
+/** Aggregate controller statistics. */
+struct ControllerStats
+{
+    std::uint64_t readRequests = 0;
+    std::uint64_t writeRequests = 0;
+    std::array<std::uint64_t, kNumMemCategories> memReads{};
+    std::array<std::uint64_t, kNumMemCategories> memWrites{};
+    std::uint64_t treeLevelsFetched = 0;
+    std::uint64_t pageOverflows = 0;
+    std::uint64_t rootUpdates = 0;
+    std::uint64_t cascadeTruncations = 0;
+    std::uint64_t prefetchesIssued = 0;
+    Cycles totalReadLatency = 0;
+    Cycles totalVerifyLatency = 0;
+
+    std::uint64_t requests() const { return readRequests + writeRequests; }
+    std::uint64_t totalMemAccesses() const;
+    std::uint64_t metadataMemAccesses() const;
+    double avgReadLatency() const
+    {
+        return readRequests ? static_cast<double>(totalReadLatency) /
+                                  static_cast<double>(readRequests)
+                            : 0.0;
+    }
+};
+
+/** The memory encryption engine. */
+class SecureMemoryController
+{
+  public:
+    /**
+     * @param cfg    configuration (validated).
+     * @param memory DRAM model; must outlive the controller.
+     * @param policy optional replacement-policy override for the
+     *               metadata cache (e.g. an oracle-driven MIN).
+     */
+    SecureMemoryController(SecureMemoryConfig cfg, MemoryModel &memory,
+                           std::unique_ptr<ReplacementPolicy> policy
+                           = nullptr);
+
+    /** Service one LLC-level request. */
+    RequestOutcome handleRequest(const MemoryRequest &req, Cycles now = 0);
+
+    /**
+     * Observe every metadata access *before* the cache (the stream the
+     * paper characterizes). Tree accesses appear as the cache state
+     * makes them occur; with the cache disabled, every counter access
+     * yields a full root-ward traversal.
+     */
+    using MetadataTap = std::function<void(const MetadataAccess &)>;
+    void setMetadataTap(MetadataTap tap) { tap_ = std::move(tap); }
+
+    const ControllerStats &stats() const { return stats_; }
+    void clearStats();
+
+    const MetadataLayout &layout() const { return layout_; }
+    const CounterStore &counters() const { return counters_; }
+    MetadataCache &metadataCache() { return *mdCache_; }
+    const MetadataCache &metadataCache() const { return *mdCache_; }
+    const SecureMemoryConfig &config() const { return cfg_; }
+
+  private:
+    SecureMemoryConfig cfg_;
+    MetadataLayout layout_;
+    MemoryModel &memory_;
+    CounterStore counters_;
+    std::unique_ptr<MetadataCache> mdCache_;
+    MetadataTap tap_;
+    ControllerStats stats_;
+
+    /** Physical DRAM base of each metadata region. */
+    std::array<Addr, kNumMemCategories> regionBase_{};
+
+    RequestOutcome handleRead(const MemoryRequest &req, Cycles now);
+    RequestOutcome handleWrite(const MemoryRequest &req, Cycles now);
+
+    /** One DRAM block transfer; returns its latency. */
+    Cycles memAccess(MemCategory category, Addr addr, bool write,
+                     Cycles now, RequestOutcome &outcome);
+
+    /** Map a (possibly metadata-encoded) address to DRAM space. */
+    Addr physAddrOf(MemCategory category, Addr addr) const;
+
+    /** Root-ward traversal after a counter fetch. Returns verify
+     * cycles; fetched nodes are inserted into the cache. */
+    Cycles traverseTree(Addr counter_block_addr, InstCount icount,
+                        Cycles now, RequestOutcome &outcome);
+
+    /** Immediate (non-lazy) tree path update after a counter write. */
+    void writeTreePath(Addr counter_block_addr, InstCount icount,
+                       Cycles now, RequestOutcome &outcome);
+
+    /** Handle an eviction chain from a metadata cache fill. */
+    void settleEviction(const MetadataCacheOutcome &first, InstCount icount,
+                        Cycles now, RequestOutcome &outcome);
+
+    /** Issue one tree-node *write* access through the cache. */
+    MetadataCacheOutcome treeNodeWrite(Addr node_addr, InstCount icount,
+                                       Cycles now, RequestOutcome &outcome);
+
+    /** Prefetch the next same-type metadata block after a miss. */
+    void prefetchNeighbor(Addr md_addr, MetadataType type,
+                          InstCount icount, Cycles now,
+                          RequestOutcome &outcome);
+
+    void emitTap(Addr addr, MetadataType type, bool write,
+                 std::uint8_t level, InstCount icount);
+
+    static MemCategory categoryOf(MetadataType type);
+};
+
+} // namespace maps
+
+#endif // MAPS_SECMEM_CONTROLLER_HPP

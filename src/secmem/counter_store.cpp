@@ -1,0 +1,63 @@
+#include "secmem/counter_store.hpp"
+
+#include "util/logging.hpp"
+
+namespace maps {
+
+CounterStore::CounterStore(const MetadataLayout &layout)
+    : layout_(layout),
+      minorLimit_((1u << 7) - 1) // 7-bit per-block counters (Table II)
+{
+}
+
+CounterWriteResult
+CounterStore::onBlockWrite(Addr data_addr)
+{
+    CounterWriteResult result;
+
+    if (layout_.config().counterMode == CounterMode::MonolithicSgx) {
+        ++sgxCounters_[blockIndex(data_addr)];
+        return result; // 64-bit counters do not overflow in practice
+    }
+
+    PageCounters &page = pages_[pageIndex(data_addr)];
+    const std::uint64_t block_in_page =
+        blockIndex(data_addr) % kBlocksPerPage;
+    std::uint8_t &minor = page.minors[block_in_page];
+    if (minor >= minorLimit_) {
+        // Per-block counter exhausted: bump the per-page counter and
+        // reset every minor. All blocks in the page must be fetched and
+        // re-encrypted under the new pad (§II-A).
+        ++page.major;
+        page.minors.fill(0);
+        minor = 1;
+        ++pageOverflows_;
+        result.pageOverflow = true;
+        result.blocksToReencrypt =
+            static_cast<std::uint32_t>(kBlocksPerPage);
+    } else {
+        ++minor;
+    }
+    return result;
+}
+
+CounterValue
+CounterStore::read(Addr data_addr) const
+{
+    CounterValue value;
+    if (layout_.config().counterMode == CounterMode::MonolithicSgx) {
+        const auto it = sgxCounters_.find(blockIndex(data_addr));
+        if (it != sgxCounters_.end())
+            value.major = it->second;
+        return value;
+    }
+    const auto it = pages_.find(pageIndex(data_addr));
+    if (it != pages_.end()) {
+        value.major = it->second.major;
+        value.minor =
+            it->second.minors[blockIndex(data_addr) % kBlocksPerPage];
+    }
+    return value;
+}
+
+} // namespace maps

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Functional encryption-counter state.
+ *
+ * Tracks the actual counter values used by counter-mode encryption so the
+ * simulator models per-block counter overflow -> page re-encryption
+ * (split-counter organization, §II-A). Storage is sparse: only touched
+ * pages take space.
+ */
+#ifndef MAPS_SECMEM_COUNTER_STORE_HPP
+#define MAPS_SECMEM_COUNTER_STORE_HPP
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+
+#include "secmem/layout.hpp"
+
+namespace maps {
+
+/** What a counter bump caused. */
+struct CounterWriteResult
+{
+    /** The per-block counter wrapped, bumping the per-page counter. */
+    bool pageOverflow = false;
+    /** Blocks that must be re-encrypted on overflow (page size / 64). */
+    std::uint32_t blocksToReencrypt = 0;
+};
+
+/** A (major, minor) counter pair identifying a block's encryption pad. */
+struct CounterValue
+{
+    std::uint64_t major = 0; ///< per-page (PI) or full (SGX) counter
+    std::uint32_t minor = 0; ///< 7-bit per-block counter (PI only)
+
+    bool operator==(const CounterValue &other) const = default;
+};
+
+/**
+ * Sparse counter storage for either counter mode.
+ *
+ * SplitPi: 7-bit per-block minors with an 8B per-page major; a minor
+ * overflow resets every minor in the page and increments the major
+ * (requiring page re-encryption). MonolithicSgx: 64-bit per-block
+ * counters that never overflow in simulated timescales.
+ */
+class CounterStore
+{
+  public:
+    explicit CounterStore(const MetadataLayout &layout);
+
+    /** Bump the counter for a data block being written back. */
+    CounterWriteResult onBlockWrite(Addr data_addr);
+
+    /** Current counter value for a data block (zero if never written). */
+    CounterValue read(Addr data_addr) const;
+
+    /** Total per-page (major) overflows seen. */
+    std::uint64_t pageOverflows() const { return pageOverflows_; }
+
+    /** Number of pages with any non-zero counter. */
+    std::uint64_t touchedPages() const { return pages_.size(); }
+
+    /** Maximum minor value before wrap (127 for 7-bit PI counters). */
+    std::uint32_t minorLimit() const { return minorLimit_; }
+
+  private:
+    struct PageCounters
+    {
+        std::uint64_t major = 0;
+        std::array<std::uint8_t, kBlocksPerPage> minors{};
+    };
+
+    const MetadataLayout &layout_;
+    std::uint32_t minorLimit_;
+    std::unordered_map<std::uint64_t, PageCounters> pages_;
+    std::unordered_map<std::uint64_t, std::uint64_t> sgxCounters_;
+    std::uint64_t pageOverflows_ = 0;
+};
+
+} // namespace maps
+
+#endif // MAPS_SECMEM_COUNTER_STORE_HPP

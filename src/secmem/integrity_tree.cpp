@@ -1,0 +1,182 @@
+#include "secmem/integrity_tree.hpp"
+
+#include <vector>
+
+#include "util/logging.hpp"
+
+namespace maps {
+
+namespace {
+
+constexpr std::uint64_t kLeafSeed = 0x42D7A965B3C1F00Dull;
+constexpr std::uint64_t kNodeSeed = 0x9D2C5680CA3E7B11ull;
+constexpr std::uint64_t kRootSalt = 0x5851F42D4C957F2Dull;
+constexpr std::uint64_t kZeroDigest =
+    IntegrityTree::kDefaultCounterDigest;
+
+} // namespace
+
+std::uint64_t
+IntegrityTree::mix(std::uint64_t a, std::uint64_t b)
+{
+    // A strong 64-bit mixer (splitmix-style finalizer over the pair).
+    std::uint64_t z = a ^ (b + 0x9E3779B97F4A7C15ull + (a << 6) + (a >> 2));
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+IntegrityTree::IntegrityTree(const MetadataLayout &layout) : layout_(layout)
+{
+    // Root over a pristine (all-default) tree.
+    const std::uint32_t top = layout_.numTreeLevels() - 1;
+    root_ = mix(kRootSalt, computeNode(top, 0));
+}
+
+std::uint64_t
+IntegrityTree::counterDigest(std::uint64_t counter_index) const
+{
+    const auto it = counterDigests_.find(counter_index);
+    return it != counterDigests_.end() ? it->second : kZeroDigest;
+}
+
+std::uint64_t
+IntegrityTree::defaultDigest(std::uint32_t level) const
+{
+    // Digest of an entirely untouched node at a tree level. Uniform per
+    // level, so untouched subtrees verify without materialization.
+    std::uint64_t digest = mix(kLeafSeed, kZeroDigest);
+    const std::uint32_t arity = layout_.config().treeArity;
+    for (std::uint32_t l = 0; l <= level; ++l) {
+        std::uint64_t h = kNodeSeed;
+        for (std::uint32_t c = 0; c < arity; ++c)
+            h = mix(h, digest);
+        digest = h;
+    }
+    return digest;
+}
+
+std::uint64_t
+IntegrityTree::storedOrDefault(std::uint32_t level,
+                               std::uint64_t index) const
+{
+    const Addr addr = layout_.treeNodeAddr(level, index);
+    const auto it = nodes_.find(addr);
+    return it != nodes_.end() ? it->second : defaultDigest(level);
+}
+
+std::uint64_t
+IntegrityTree::computeNode(std::uint32_t level, std::uint64_t index) const
+{
+    const std::uint32_t arity = layout_.config().treeArity;
+    const std::uint64_t first = index * arity;
+    std::uint64_t h = kNodeSeed;
+    if (level == 0) {
+        for (std::uint32_t c = 0; c < arity; ++c) {
+            const std::uint64_t child = first + c;
+            const std::uint64_t child_digest =
+                child < layout_.numCounterBlocks()
+                    ? mix(kLeafSeed, counterDigest(child))
+                    : mix(kLeafSeed, kZeroDigest);
+            h = mix(h, child_digest);
+        }
+        return h;
+    }
+    for (std::uint32_t c = 0; c < arity; ++c) {
+        const std::uint64_t child = first + c;
+        const std::uint64_t child_digest =
+            child < layout_.treeLevelBlockCount(level - 1)
+                ? storedOrDefault(level - 1, child)
+                : defaultDigest(level - 1);
+        h = mix(h, child_digest);
+    }
+    return h;
+}
+
+std::uint64_t
+IntegrityTree::nodeDigest(Addr tree_node_addr) const
+{
+    const auto it = nodes_.find(tree_node_addr);
+    if (it != nodes_.end())
+        return it->second;
+    return storedOrDefault(MetadataLayout::levelOf(tree_node_addr),
+                           MetadataLayout::indexOf(tree_node_addr));
+}
+
+void
+IntegrityTree::tamperNode(Addr tree_node_addr, std::uint64_t new_digest)
+{
+    nodes_[tree_node_addr] = new_digest;
+}
+
+void
+IntegrityTree::updateCounter(Addr counter_block_addr,
+                             std::uint64_t counter_block_digest)
+{
+    panicIf(MetadataLayout::typeOf(counter_block_addr) !=
+                MetadataType::Counter,
+            "expected a counter block address");
+    const std::uint64_t idx = MetadataLayout::indexOf(counter_block_addr);
+    counterDigests_[idx] = counter_block_digest;
+
+    // Recompute the stored path bottom-up.
+    const std::uint32_t arity = layout_.config().treeArity;
+    std::uint64_t node_index = idx / arity;
+    for (std::uint32_t level = 0; level < layout_.numTreeLevels();
+         ++level) {
+        nodes_[layout_.treeNodeAddr(level, node_index)] =
+            computeNode(level, node_index);
+        node_index /= arity;
+    }
+    const std::uint32_t top = layout_.numTreeLevels() - 1;
+    root_ = mix(kRootSalt, nodes_[layout_.treeNodeAddr(top, 0)]);
+}
+
+bool
+IntegrityTree::verifyCounter(Addr counter_block_addr,
+                             std::uint64_t counter_block_digest) const
+{
+    panicIf(MetadataLayout::typeOf(counter_block_addr) !=
+                MetadataType::Counter,
+            "expected a counter block address");
+    const std::uint64_t idx = MetadataLayout::indexOf(counter_block_addr);
+    const std::uint32_t arity = layout_.config().treeArity;
+
+    // Level 0: recompute the leaf from the claimed counter digest plus
+    // the trusted sibling digests, and compare to the stored leaf.
+    {
+        const std::uint64_t leaf_index = idx / arity;
+        const std::uint64_t first = leaf_index * arity;
+        std::uint64_t h = kNodeSeed;
+        for (std::uint32_t c = 0; c < arity; ++c) {
+            const std::uint64_t child = first + c;
+            std::uint64_t digest;
+            if (child == idx) {
+                digest = mix(kLeafSeed, counter_block_digest);
+            } else if (child < layout_.numCounterBlocks()) {
+                digest = mix(kLeafSeed, counterDigest(child));
+            } else {
+                digest = mix(kLeafSeed, kZeroDigest);
+            }
+            h = mix(h, digest);
+        }
+        if (h != storedOrDefault(0, leaf_index))
+            return false;
+    }
+
+    // Upper levels: recompute each stored node from its (stored)
+    // children and compare; finally compare against the on-chip root.
+    std::uint64_t node_index = idx / arity;
+    for (std::uint32_t level = 1; level < layout_.numTreeLevels();
+         ++level) {
+        node_index /= arity;
+        if (computeNode(level, node_index) !=
+            storedOrDefault(level, node_index)) {
+            return false;
+        }
+    }
+    const std::uint32_t top = layout_.numTreeLevels() - 1;
+    return mix(kRootSalt, storedOrDefault(top, 0)) == root_;
+}
+
+} // namespace maps

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Functional Bonsai Merkle Tree.
+ *
+ * Maintains actual (simulated) hash values over the counter blocks so
+ * tamper detection can be demonstrated and tested end to end. Hashes are
+ * geometry-faithful 64-bit mixers, not cryptographic primitives — MAPS
+ * studies access patterns, so only layout and update/verify structure
+ * matter (DESIGN.md §1). Storage is sparse; untouched subtrees hash to a
+ * deterministic "all-zero" value.
+ */
+#ifndef MAPS_SECMEM_INTEGRITY_TREE_HPP
+#define MAPS_SECMEM_INTEGRITY_TREE_HPP
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "secmem/counter_store.hpp"
+#include "secmem/layout.hpp"
+
+namespace maps {
+
+/**
+ * The BMT over counter blocks. The root digest lives "on chip" (a member
+ * of this class, conceptually in secure storage); every other node is in
+ * (simulated, attackable) main memory represented by the node map.
+ */
+class IntegrityTree
+{
+  public:
+    explicit IntegrityTree(const MetadataLayout &layout);
+
+    /**
+     * Recompute the path from a counter block to the root after its
+     * counter block content changed.
+     * @param counter_block_addr encoded counter-block address.
+     * @param counter_block_digest digest of the new counter block value.
+     */
+    void updateCounter(Addr counter_block_addr,
+                       std::uint64_t counter_block_digest);
+
+    /**
+     * Verify a counter block bottom-up against the on-chip root.
+     * @return true if every hash on the path matches.
+     */
+    bool verifyCounter(Addr counter_block_addr,
+                       std::uint64_t counter_block_digest) const;
+
+    /** On-chip root digest. */
+    std::uint64_t root() const { return root_; }
+
+    /** Stored digest of a tree node (for tests / tamper injection). */
+    std::uint64_t nodeDigest(Addr tree_node_addr) const;
+
+    /** Corrupt a stored node, simulating a physical attack. */
+    void tamperNode(Addr tree_node_addr, std::uint64_t new_digest);
+
+    /** Digest helper also used for counter-block contents. */
+    static std::uint64_t mix(std::uint64_t a, std::uint64_t b);
+
+    /** Digest assumed for never-written counter blocks. */
+    static constexpr std::uint64_t kDefaultCounterDigest =
+        0xA0A0A0A0DEADBEEFull;
+
+  private:
+    const MetadataLayout &layout_;
+    /** Digest of each stored tree node, keyed by encoded address. */
+    std::unordered_map<Addr, std::uint64_t> nodes_;
+    /** Leaf-input digests: digest of each counter block's content. */
+    std::unordered_map<std::uint64_t, std::uint64_t> counterDigests_;
+    std::uint64_t root_;
+
+    /** Digest of a tree node computed from its children. */
+    std::uint64_t computeNode(std::uint32_t level,
+                              std::uint64_t index) const;
+    std::uint64_t storedOrDefault(std::uint32_t level,
+                                  std::uint64_t index) const;
+    std::uint64_t defaultDigest(std::uint32_t level) const;
+    std::uint64_t counterDigest(std::uint64_t counter_index) const;
+};
+
+} // namespace maps
+
+#endif // MAPS_SECMEM_INTEGRITY_TREE_HPP

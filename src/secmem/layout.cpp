@@ -1,0 +1,230 @@
+#include "secmem/layout.hpp"
+
+#include "util/bitops.hpp"
+#include "util/logging.hpp"
+
+namespace maps {
+
+namespace {
+
+// Address encoding: [type:4 | level:6 | index:48 | offset:6].
+constexpr unsigned kIndexShift = kBlockShift;
+constexpr unsigned kLevelShift = 54;
+constexpr unsigned kTypeShift = 60;
+constexpr std::uint64_t kIndexMask = (std::uint64_t{1} << 48) - 1;
+
+// Type tags; 0 is reserved for plain data addresses so any address below
+// 2^54 is unambiguously data.
+constexpr std::uint64_t kTagCounter = 1;
+constexpr std::uint64_t kTagTree = 2;
+constexpr std::uint64_t kTagHash = 3;
+
+std::uint64_t
+tagFor(MetadataType type)
+{
+    switch (type) {
+      case MetadataType::Counter:
+        return kTagCounter;
+      case MetadataType::TreeNode:
+        return kTagTree;
+      case MetadataType::Hash:
+        return kTagHash;
+      case MetadataType::Data:
+        return 0;
+    }
+    return 0;
+}
+
+} // namespace
+
+const char *
+counterModeName(CounterMode mode)
+{
+    switch (mode) {
+      case CounterMode::SplitPi:
+        return "PI";
+      case CounterMode::MonolithicSgx:
+        return "SGX";
+    }
+    return "?";
+}
+
+void
+LayoutConfig::validate() const
+{
+    fatalIf(protectedBytes < kPageSize,
+            "protected memory must be at least one page");
+    fatalIf(!isPow2(protectedBytes),
+            "protected memory size must be a power of two");
+    fatalIf(treeArity < 2 || !isPow2(treeArity),
+            "tree arity must be a power of two >= 2");
+}
+
+MetadataLayout::MetadataLayout(LayoutConfig cfg) : cfg_(cfg)
+{
+    cfg_.validate();
+
+    dataBlocks_ = cfg_.protectedBytes / kBlockSize;
+
+    // One 64B counter block covers a 4KB page under the split-counter
+    // organization (64 blocks x 64B), or treeArity blocks (512B) under
+    // SGX's monolithic 8B counters.
+    counterCoverage_ = cfg_.counterMode == CounterMode::SplitPi
+                           ? kPageSize
+                           : cfg_.treeArity * kBlockSize;
+    counterBlocks_ = ceilDiv(cfg_.protectedBytes, counterCoverage_);
+
+    // Eight 8B data HMACs per 64B block.
+    hashBlocks_ = ceilDiv(dataBlocks_, cfg_.treeArity);
+
+    // The BMT reduces counter blocks by the arity per level until one
+    // block remains; that last block's hash is the on-chip root, so the
+    // level holding a single block is still stored in memory, and the
+    // recursion stops there.
+    std::uint64_t blocks = counterBlocks_;
+    while (blocks > 1) {
+        blocks = ceilDiv(blocks, cfg_.treeArity);
+        treeLevelBlocks_.push_back(blocks);
+    }
+    if (treeLevelBlocks_.empty()) {
+        // Degenerate tiny memory: a single counter block, directly
+        // verified by the on-chip root; keep one stored level so the
+        // traversal logic stays uniform.
+        treeLevelBlocks_.push_back(1);
+    }
+}
+
+std::uint64_t
+MetadataLayout::totalMetadataBlocks() const
+{
+    std::uint64_t total = counterBlocks_ + hashBlocks_;
+    for (auto blocks : treeLevelBlocks_)
+        total += blocks;
+    return total;
+}
+
+std::uint64_t
+MetadataLayout::treeBlockCoverage(std::uint32_t level) const
+{
+    panicIf(level >= numTreeLevels(), "tree level out of range");
+    // A leaf (level 0) covers arity counter blocks; each upper level
+    // multiplies by the arity.
+    std::uint64_t coverage = counterCoverage_ * cfg_.treeArity;
+    for (std::uint32_t l = 0; l < level; ++l)
+        coverage *= cfg_.treeArity;
+    return coverage;
+}
+
+std::uint64_t
+MetadataLayout::counterBlockIndex(Addr data_addr) const
+{
+    panicIf(data_addr >= cfg_.protectedBytes,
+            "data address outside the protected region");
+    return data_addr / counterCoverage_;
+}
+
+std::uint64_t
+MetadataLayout::hashBlockIndex(Addr data_addr) const
+{
+    panicIf(data_addr >= cfg_.protectedBytes,
+            "data address outside the protected region");
+    return blockIndex(data_addr) / cfg_.treeArity;
+}
+
+Addr
+MetadataLayout::counterBlockAddr(Addr data_addr) const
+{
+    return encode(MetadataType::Counter, 0, counterBlockIndex(data_addr));
+}
+
+Addr
+MetadataLayout::hashBlockAddr(Addr data_addr) const
+{
+    return encode(MetadataType::Hash, 0, hashBlockIndex(data_addr));
+}
+
+Addr
+MetadataLayout::treeNodeAddr(std::uint32_t level, std::uint64_t index) const
+{
+    panicIf(level >= numTreeLevels(), "tree level out of range");
+    panicIf(index >= treeLevelBlocks_[level], "tree index out of range");
+    return encode(MetadataType::TreeNode, level, index);
+}
+
+Addr
+MetadataLayout::treeLeafForCounter(Addr counter_block_addr) const
+{
+    panicIf(typeOf(counter_block_addr) != MetadataType::Counter,
+            "expected a counter block address");
+    const std::uint64_t leaf = indexOf(counter_block_addr) / cfg_.treeArity;
+    return treeNodeAddr(0, leaf);
+}
+
+Addr
+MetadataLayout::treeParent(Addr tree_node_addr) const
+{
+    panicIf(typeOf(tree_node_addr) != MetadataType::TreeNode,
+            "expected a tree node address");
+    const std::uint32_t level = levelOf(tree_node_addr);
+    if (level + 1 >= numTreeLevels())
+        return kInvalidAddr; // parent is the on-chip root
+    return treeNodeAddr(level + 1, indexOf(tree_node_addr) / cfg_.treeArity);
+}
+
+std::vector<Addr>
+MetadataLayout::treePathForCounter(Addr counter_block_addr) const
+{
+    std::vector<Addr> path;
+    Addr node = treeLeafForCounter(counter_block_addr);
+    while (node != kInvalidAddr) {
+        path.push_back(node);
+        node = treeParent(node);
+    }
+    return path;
+}
+
+MetadataType
+MetadataLayout::typeOf(Addr metadata_addr)
+{
+    switch (metadata_addr >> kTypeShift) {
+      case kTagCounter:
+        return MetadataType::Counter;
+      case kTagTree:
+        return MetadataType::TreeNode;
+      case kTagHash:
+        return MetadataType::Hash;
+      default:
+        return MetadataType::Data;
+    }
+}
+
+std::uint32_t
+MetadataLayout::levelOf(Addr metadata_addr)
+{
+    return static_cast<std::uint32_t>(bits(metadata_addr, kLevelShift, 6));
+}
+
+std::uint64_t
+MetadataLayout::indexOf(Addr metadata_addr)
+{
+    return (metadata_addr >> kIndexShift) & kIndexMask;
+}
+
+bool
+MetadataLayout::isMetadataAddr(Addr addr)
+{
+    return (addr >> kTypeShift) != 0;
+}
+
+Addr
+MetadataLayout::encode(MetadataType type, std::uint32_t level,
+                       std::uint64_t index)
+{
+    panicIf(index > kIndexMask, "metadata index overflows the encoding");
+    panicIf(level >= 64, "metadata level overflows the encoding");
+    return (tagFor(type) << kTypeShift) |
+           (static_cast<std::uint64_t>(level) << kLevelShift) |
+           (index << kIndexShift);
+}
+
+} // namespace maps

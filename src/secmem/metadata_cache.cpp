@@ -1,0 +1,243 @@
+#include "secmem/metadata_cache.hpp"
+
+#include "util/logging.hpp"
+
+namespace maps {
+
+MetadataCacheConfig
+MetadataCacheConfig::countersOnly(std::uint64_t size)
+{
+    MetadataCacheConfig cfg;
+    cfg.sizeBytes = size;
+    cfg.cacheCounters = true;
+    cfg.cacheHashes = false;
+    cfg.cacheTree = false;
+    return cfg;
+}
+
+MetadataCacheConfig
+MetadataCacheConfig::countersAndHashes(std::uint64_t size)
+{
+    MetadataCacheConfig cfg;
+    cfg.sizeBytes = size;
+    cfg.cacheCounters = true;
+    cfg.cacheHashes = true;
+    cfg.cacheTree = false;
+    return cfg;
+}
+
+MetadataCacheConfig
+MetadataCacheConfig::allTypes(std::uint64_t size)
+{
+    MetadataCacheConfig cfg;
+    cfg.sizeBytes = size;
+    return cfg;
+}
+
+MetadataCache::MetadataCache(MetadataCacheConfig cfg,
+                             std::unique_ptr<ReplacementPolicy> policy)
+    : cfg_(cfg)
+{
+    if (!policy)
+        policy = makeReplacementPolicy(cfg_.policy, cfg_.seed);
+
+    std::unique_ptr<WayPartition> partition;
+    switch (cfg_.partition) {
+      case PartitionScheme::None:
+        break;
+      case PartitionScheme::Static:
+        partition = std::make_unique<StaticPartition>(
+            cfg_.staticCounterWays);
+        break;
+      case PartitionScheme::Dueling: {
+        auto dueling = std::make_unique<SetDuelingPartition>(
+            cfg_.duelingSplitA, cfg_.duelingSplitB);
+        dueling_ = dueling.get();
+        partition = std::move(dueling);
+        break;
+      }
+    }
+
+    CacheGeometry geom;
+    geom.sizeBytes = cfg_.sizeBytes;
+    geom.assoc = cfg_.assoc;
+    cache_ = std::make_unique<SetAssociativeCache>(
+        geom, std::move(policy), std::move(partition));
+}
+
+bool
+MetadataCache::typeCacheable(MetadataType type) const
+{
+    switch (type) {
+      case MetadataType::Counter:
+        return cfg_.cacheCounters;
+      case MetadataType::Hash:
+        return cfg_.cacheHashes;
+      case MetadataType::TreeNode:
+        return cfg_.cacheTree;
+      case MetadataType::Data:
+        return false;
+    }
+    return false;
+}
+
+MetadataCacheOutcome
+MetadataCache::access(Addr addr, MetadataType type, bool write,
+                      std::uint32_t sub_index)
+{
+    const auto type_idx = static_cast<std::size_t>(type);
+    panicIf(type_idx >= kNumMetadataTypes,
+            "metadata cache access with a non-metadata type");
+    ++stats_.accesses[type_idx];
+
+    MetadataCacheOutcome outcome;
+    if (!typeCacheable(type)) {
+        outcome.bypassed = true;
+        ++stats_.bypasses[type_idx];
+        return outcome;
+    }
+
+    const bool resident = cache_->probe(addr);
+
+    // Partial-write placeholder path (§IV-E): a *write* miss to a hash
+    // block may insert an empty block holding just the written hash.
+    if (!resident && write && cfg_.partialWrites &&
+        type == MetadataType::Hash) {
+        const auto result = cache_->access(addr, true,
+                                           static_cast<std::uint8_t>(type));
+        panicIf(result.hit, "probe said miss but access hit");
+        partialMasks_[addr] =
+            static_cast<std::uint8_t>(1u << (sub_index & 7));
+        ++stats_.placeholderInserts;
+        ++stats_.misses[type_idx];
+        outcome.placeholderInserted = true;
+        // The placeholder insertion may itself evict a line.
+        if (result.evictedValid) {
+            outcome.evictedValid = true;
+            outcome.evictedAddr = result.evictedAddr;
+            outcome.evictedType =
+                static_cast<MetadataType>(result.evictedType);
+            outcome.evictedDirty = result.evictedDirty;
+            const auto it = partialMasks_.find(result.evictedAddr);
+            if (it != partialMasks_.end()) {
+                outcome.evictedIncomplete = it->second != 0xFF;
+                if (outcome.evictedIncomplete)
+                    ++stats_.incompleteEvictions;
+                partialMasks_.erase(it);
+            }
+        }
+        return outcome;
+    }
+
+    const auto result =
+        cache_->access(addr, write, static_cast<std::uint8_t>(type));
+    outcome.hit = result.hit;
+    if (result.hit)
+        ++stats_.hits[type_idx];
+    else
+        ++stats_.misses[type_idx];
+
+    // Partial-line bookkeeping for resident placeholder blocks.
+    if (result.hit && type == MetadataType::Hash) {
+        const auto it = partialMasks_.find(addr);
+        if (it != partialMasks_.end()) {
+            const std::uint8_t bit =
+                static_cast<std::uint8_t>(1u << (sub_index & 7));
+            if (write) {
+                it->second |= bit;
+                if (it->second == 0xFF) {
+                    partialMasks_.erase(it);
+                    ++stats_.partialCompletions;
+                }
+            } else if (!(it->second & bit)) {
+                // The needed hash is not resident: one memory read
+                // fetches the missing hashes and completes the block.
+                outcome.completionReads = 1;
+                partialMasks_.erase(it);
+                ++stats_.partialCompletions;
+            }
+        }
+    }
+
+    if (result.evictedValid) {
+        outcome.evictedValid = true;
+        outcome.evictedAddr = result.evictedAddr;
+        outcome.evictedType = static_cast<MetadataType>(result.evictedType);
+        outcome.evictedDirty = result.evictedDirty;
+        const auto it = partialMasks_.find(result.evictedAddr);
+        if (it != partialMasks_.end()) {
+            outcome.evictedIncomplete = it->second != 0xFF;
+            if (outcome.evictedIncomplete)
+                ++stats_.incompleteEvictions;
+            partialMasks_.erase(it);
+        }
+    }
+    return outcome;
+}
+
+MetadataCacheOutcome
+MetadataCache::prefetchInsert(Addr addr, MetadataType type)
+{
+    MetadataCacheOutcome outcome;
+    if (!typeCacheable(type)) {
+        outcome.bypassed = true;
+        return outcome;
+    }
+    if (cache_->probe(addr)) {
+        outcome.hit = true;
+        return outcome;
+    }
+    const auto result =
+        cache_->access(addr, false, static_cast<std::uint8_t>(type));
+    panicIf(result.hit, "probe said miss but prefetch insert hit");
+    ++stats_.prefetchInserts;
+    if (result.evictedValid) {
+        outcome.evictedValid = true;
+        outcome.evictedAddr = result.evictedAddr;
+        outcome.evictedType = static_cast<MetadataType>(result.evictedType);
+        outcome.evictedDirty = result.evictedDirty;
+        const auto it = partialMasks_.find(result.evictedAddr);
+        if (it != partialMasks_.end()) {
+            outcome.evictedIncomplete = it->second != 0xFF;
+            if (outcome.evictedIncomplete)
+                ++stats_.incompleteEvictions;
+            partialMasks_.erase(it);
+        }
+    }
+    return outcome;
+}
+
+bool
+MetadataCache::probe(Addr addr, MetadataType type) const
+{
+    return typeCacheable(type) && cache_->probe(addr);
+}
+
+void
+MetadataCache::clearStats()
+{
+    stats_ = MetadataCacheStats{};
+    cache_->clearStats();
+}
+
+double
+MetadataCache::mpki(InstCount instructions) const
+{
+    if (instructions == 0)
+        return 0.0;
+    // Bypassed accesses are misses from the system's point of view: they
+    // always cost a memory access.
+    std::uint64_t misses = stats_.totalMisses();
+    for (auto b : stats_.bypasses)
+        misses += b;
+    return 1000.0 * static_cast<double>(misses) /
+           static_cast<double>(instructions);
+}
+
+std::uint32_t
+MetadataCache::activeDuelingSplit() const
+{
+    return dueling_ ? dueling_->activeSplit() : 0;
+}
+
+} // namespace maps

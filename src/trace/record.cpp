@@ -1,0 +1,49 @@
+#include "trace/record.hpp"
+
+namespace maps {
+
+const char *
+metadataTypeName(MetadataType t)
+{
+    switch (t) {
+      case MetadataType::Counter:
+        return "counter";
+      case MetadataType::TreeNode:
+        return "tree";
+      case MetadataType::Hash:
+        return "hash";
+      case MetadataType::Data:
+        return "data";
+    }
+    return "unknown";
+}
+
+MetadataType
+metadataTypeFromName(const std::string &name)
+{
+    if (name == "counter")
+        return MetadataType::Counter;
+    if (name == "tree")
+        return MetadataType::TreeNode;
+    if (name == "hash")
+        return MetadataType::Hash;
+    return MetadataType::Data;
+}
+
+const char *
+reuseTransitionName(ReuseTransition t)
+{
+    switch (t) {
+      case ReuseTransition::ReadAfterRead:
+        return "RAR";
+      case ReuseTransition::ReadAfterWrite:
+        return "RAW";
+      case ReuseTransition::WriteAfterRead:
+        return "WAR";
+      case ReuseTransition::WriteAfterWrite:
+        return "WAW";
+    }
+    return "???";
+}
+
+} // namespace maps

@@ -1,0 +1,286 @@
+#include "trace/trace_io.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace maps {
+
+namespace {
+
+constexpr char kMagic[8] = {'M', 'A', 'P', 'S', 'T', 'R', 'C', 'E'};
+constexpr std::uint16_t kVersion = 1;
+
+struct FileCloser
+{
+    void operator()(std::FILE *f) const
+    {
+        if (f)
+            std::fclose(f);
+    }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+class Writer
+{
+  public:
+    explicit Writer(std::FILE *f) : f_(f) {}
+
+    bool ok() const { return ok_; }
+
+    void u8(std::uint8_t v) { raw(&v, 1); }
+    void u16(std::uint16_t v)
+    {
+        std::uint8_t b[2] = {std::uint8_t(v), std::uint8_t(v >> 8)};
+        raw(b, 2);
+    }
+    void u32(std::uint32_t v)
+    {
+        std::uint8_t b[4];
+        for (int i = 0; i < 4; ++i)
+            b[i] = std::uint8_t(v >> (8 * i));
+        raw(b, 4);
+    }
+    void u64(std::uint64_t v)
+    {
+        std::uint8_t b[8];
+        for (int i = 0; i < 8; ++i)
+            b[i] = std::uint8_t(v >> (8 * i));
+        raw(b, 8);
+    }
+
+  private:
+    std::FILE *f_;
+    bool ok_ = true;
+
+    void raw(const void *p, std::size_t n)
+    {
+        if (ok_ && std::fwrite(p, 1, n, f_) != n)
+            ok_ = false;
+    }
+};
+
+class Reader
+{
+  public:
+    explicit Reader(std::FILE *f) : f_(f) {}
+
+    bool ok() const { return ok_; }
+
+    std::uint8_t u8()
+    {
+        std::uint8_t v = 0;
+        raw(&v, 1);
+        return v;
+    }
+    std::uint16_t u16()
+    {
+        std::uint8_t b[2] = {};
+        raw(b, 2);
+        return std::uint16_t(b[0] | (b[1] << 8));
+    }
+    std::uint32_t u32()
+    {
+        std::uint8_t b[4] = {};
+        raw(b, 4);
+        std::uint32_t v = 0;
+        for (int i = 3; i >= 0; --i)
+            v = (v << 8) | b[i];
+        return v;
+    }
+    std::uint64_t u64()
+    {
+        std::uint8_t b[8] = {};
+        raw(b, 8);
+        std::uint64_t v = 0;
+        for (int i = 7; i >= 0; --i)
+            v = (v << 8) | b[i];
+        return v;
+    }
+
+  private:
+    std::FILE *f_;
+    bool ok_ = true;
+
+    void raw(void *p, std::size_t n)
+    {
+        if (ok_ && std::fread(p, 1, n, f_) != n)
+            ok_ = false;
+    }
+};
+
+bool
+writeHeader(Writer &w, TraceKind kind, std::uint64_t count)
+{
+    for (char c : kMagic)
+        w.u8(static_cast<std::uint8_t>(c));
+    w.u16(kVersion);
+    w.u16(static_cast<std::uint16_t>(kind));
+    w.u32(0);
+    w.u64(count);
+    return w.ok();
+}
+
+bool
+readHeader(Reader &r, TraceKind expected, std::uint64_t &count)
+{
+    char magic[8];
+    for (char &c : magic)
+        c = static_cast<char>(r.u8());
+    if (!r.ok() || std::memcmp(magic, kMagic, 8) != 0)
+        return false;
+    const std::uint16_t version = r.u16();
+    const std::uint16_t kind = r.u16();
+    r.u32();
+    count = r.u64();
+    return r.ok() && version == kVersion &&
+           kind == static_cast<std::uint16_t>(expected);
+}
+
+} // namespace
+
+bool
+saveTrace(const std::string &path, const std::vector<MemRef> &refs)
+{
+    FilePtr f(std::fopen(path.c_str(), "wb"));
+    if (!f)
+        return false;
+    Writer w(f.get());
+    if (!writeHeader(w, TraceKind::MemRefs, refs.size()))
+        return false;
+    for (const auto &ref : refs) {
+        w.u64(ref.addr);
+        w.u8(static_cast<std::uint8_t>(ref.type));
+        w.u32(ref.instGap);
+    }
+    return w.ok();
+}
+
+bool
+saveTrace(const std::string &path, const std::vector<MemoryRequest> &reqs)
+{
+    FilePtr f(std::fopen(path.c_str(), "wb"));
+    if (!f)
+        return false;
+    Writer w(f.get());
+    if (!writeHeader(w, TraceKind::MemoryRequests, reqs.size()))
+        return false;
+    for (const auto &req : reqs) {
+        w.u64(req.addr);
+        w.u8(static_cast<std::uint8_t>(req.kind));
+        w.u64(req.icount);
+    }
+    return w.ok();
+}
+
+bool
+saveTrace(const std::string &path, const std::vector<MetadataAccess> &accs)
+{
+    FilePtr f(std::fopen(path.c_str(), "wb"));
+    if (!f)
+        return false;
+    Writer w(f.get());
+    if (!writeHeader(w, TraceKind::MetadataAccesses, accs.size()))
+        return false;
+    for (const auto &acc : accs) {
+        w.u64(acc.addr);
+        w.u8(static_cast<std::uint8_t>(acc.type));
+        w.u8(static_cast<std::uint8_t>(acc.access));
+        w.u8(acc.level);
+        w.u64(acc.icount);
+    }
+    return w.ok();
+}
+
+bool
+loadTrace(const std::string &path, std::vector<MemRef> &refs)
+{
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f)
+        return false;
+    Reader r(f.get());
+    std::uint64_t count = 0;
+    if (!readHeader(r, TraceKind::MemRefs, count))
+        return false;
+    refs.clear();
+    refs.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        MemRef ref;
+        ref.addr = r.u64();
+        ref.type = static_cast<AccessType>(r.u8());
+        ref.instGap = r.u32();
+        if (!r.ok())
+            return false;
+        refs.push_back(ref);
+    }
+    return true;
+}
+
+bool
+loadTrace(const std::string &path, std::vector<MemoryRequest> &reqs)
+{
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f)
+        return false;
+    Reader r(f.get());
+    std::uint64_t count = 0;
+    if (!readHeader(r, TraceKind::MemoryRequests, count))
+        return false;
+    reqs.clear();
+    reqs.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        MemoryRequest req;
+        req.addr = r.u64();
+        req.kind = static_cast<RequestKind>(r.u8());
+        req.icount = r.u64();
+        if (!r.ok())
+            return false;
+        reqs.push_back(req);
+    }
+    return true;
+}
+
+bool
+loadTrace(const std::string &path, std::vector<MetadataAccess> &accs)
+{
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f)
+        return false;
+    Reader r(f.get());
+    std::uint64_t count = 0;
+    if (!readHeader(r, TraceKind::MetadataAccesses, count))
+        return false;
+    accs.clear();
+    accs.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        MetadataAccess acc;
+        acc.addr = r.u64();
+        acc.type = static_cast<MetadataType>(r.u8());
+        acc.access = static_cast<AccessType>(r.u8());
+        acc.level = r.u8();
+        acc.icount = r.u64();
+        if (!r.ok())
+            return false;
+        accs.push_back(acc);
+    }
+    return true;
+}
+
+std::uint16_t
+traceFileKind(const std::string &path)
+{
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f)
+        return 0;
+    Reader r(f.get());
+    char magic[8];
+    for (char &c : magic)
+        c = static_cast<char>(r.u8());
+    if (!r.ok() || std::memcmp(magic, kMagic, 8) != 0)
+        return 0;
+    r.u16(); // version
+    const std::uint16_t kind = r.u16();
+    return r.ok() ? kind : 0;
+}
+
+} // namespace maps

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Binary trace file IO.
+ *
+ * Format: 16-byte header (magic "MAPSTRCE", u16 version, u16 record kind,
+ * u32 reserved) followed by u64 record count and packed little-endian
+ * records. Each record type has a fixed on-disk encoding independent of the
+ * in-memory struct layout, so files are portable.
+ */
+#ifndef MAPS_TRACE_TRACE_IO_HPP
+#define MAPS_TRACE_TRACE_IO_HPP
+
+#include <string>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace maps {
+
+/** On-disk record kinds. */
+enum class TraceKind : std::uint16_t
+{
+    MemRefs = 1,
+    MemoryRequests = 2,
+    MetadataAccesses = 3,
+};
+
+/** Save records; returns false on IO failure. */
+bool saveTrace(const std::string &path, const std::vector<MemRef> &refs);
+bool saveTrace(const std::string &path,
+               const std::vector<MemoryRequest> &reqs);
+bool saveTrace(const std::string &path,
+               const std::vector<MetadataAccess> &accs);
+
+/** Load records; returns false on IO failure or kind mismatch. */
+bool loadTrace(const std::string &path, std::vector<MemRef> &refs);
+bool loadTrace(const std::string &path, std::vector<MemoryRequest> &reqs);
+bool loadTrace(const std::string &path, std::vector<MetadataAccess> &accs);
+
+/** Peek at the kind of a trace file; returns 0 on failure. */
+std::uint16_t traceFileKind(const std::string &path);
+
+} // namespace maps
+
+#endif // MAPS_TRACE_TRACE_IO_HPP

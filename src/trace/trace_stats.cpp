@@ -1,0 +1,56 @@
+#include "trace/trace_stats.hpp"
+
+#include <unordered_set>
+
+namespace maps {
+
+MemRefStats
+computeStats(const std::vector<MemRef> &refs)
+{
+    MemRefStats stats;
+    std::unordered_set<std::uint64_t> blocks;
+    std::unordered_set<std::uint64_t> pages;
+    for (const auto &ref : refs) {
+        ++stats.refs;
+        if (ref.isWrite())
+            ++stats.writes;
+        stats.instructions += ref.instGap;
+        blocks.insert(blockIndex(ref.addr));
+        pages.insert(pageIndex(ref.addr));
+    }
+    stats.uniqueBlocks = blocks.size();
+    stats.uniquePages = pages.size();
+    return stats;
+}
+
+MetadataTraceStats
+computeStats(const std::vector<MetadataAccess> &accs)
+{
+    MetadataTraceStats stats;
+    std::array<std::unordered_set<std::uint64_t>, kNumMetadataTypes> blocks;
+    for (const auto &acc : accs) {
+        ++stats.accesses;
+        const auto idx = static_cast<std::size_t>(acc.type);
+        if (idx < kNumMetadataTypes) {
+            ++stats.byType[idx];
+            if (acc.isWrite())
+                ++stats.writesByType[idx];
+            blocks[idx].insert(blockIndex(acc.addr));
+        }
+    }
+    for (std::size_t i = 0; i < kNumMetadataTypes; ++i)
+        stats.uniqueBlocksByType[i] = blocks[i].size();
+    return stats;
+}
+
+void
+RequestStatsCollector::observe(const MemoryRequest &req)
+{
+    if (req.kind == RequestKind::Read)
+        ++reads_;
+    else
+        ++writebacks_;
+    blocks_.insert(blockIndex(req.addr));
+}
+
+} // namespace maps

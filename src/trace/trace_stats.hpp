@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Summary statistics over traces: footprint, write fraction, per-type mix.
+ */
+#ifndef MAPS_TRACE_TRACE_STATS_HPP
+#define MAPS_TRACE_TRACE_STATS_HPP
+
+#include <array>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace maps {
+
+/** Aggregate statistics for a CPU-level reference stream. */
+struct MemRefStats
+{
+    std::uint64_t refs = 0;
+    std::uint64_t writes = 0;
+    InstCount instructions = 0;
+    std::uint64_t uniqueBlocks = 0;
+    std::uint64_t uniquePages = 0;
+
+    double writeFraction() const
+    {
+        return refs ? static_cast<double>(writes) /
+                      static_cast<double>(refs)
+                    : 0.0;
+    }
+    std::uint64_t footprintBytes() const { return uniqueBlocks * kBlockSize; }
+};
+
+MemRefStats computeStats(const std::vector<MemRef> &refs);
+
+/** Aggregate statistics for a metadata access stream. */
+struct MetadataTraceStats
+{
+    std::uint64_t accesses = 0;
+    std::array<std::uint64_t, kNumMetadataTypes> byType{};
+    std::array<std::uint64_t, kNumMetadataTypes> writesByType{};
+    std::array<std::uint64_t, kNumMetadataTypes> uniqueBlocksByType{};
+
+    std::uint64_t totalWrites() const
+    {
+        std::uint64_t acc = 0;
+        for (auto w : writesByType)
+            acc += w;
+        return acc;
+    }
+};
+
+MetadataTraceStats computeStats(const std::vector<MetadataAccess> &accs);
+
+/**
+ * Incremental collector for memory-request streams (used by taps that do
+ * not want to materialize a full trace).
+ */
+class RequestStatsCollector
+{
+  public:
+    void observe(const MemoryRequest &req);
+
+    std::uint64_t reads() const { return reads_; }
+    std::uint64_t writebacks() const { return writebacks_; }
+    std::uint64_t uniqueBlocks() const { return blocks_.size(); }
+
+  private:
+    std::uint64_t reads_ = 0;
+    std::uint64_t writebacks_ = 0;
+    std::unordered_set<std::uint64_t> blocks_;
+};
+
+} // namespace maps
+
+#endif // MAPS_TRACE_TRACE_STATS_HPP

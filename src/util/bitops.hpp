@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used by cache geometry and layouts.
+ */
+#ifndef MAPS_UTIL_BITOPS_HPP
+#define MAPS_UTIL_BITOPS_HPP
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+namespace maps {
+
+/** True if v is a power of two (and non-zero). */
+inline constexpr bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Floor of log2(v); v must be non-zero. */
+inline constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    assert(v != 0);
+    return 63u - static_cast<unsigned>(std::countl_zero(v));
+}
+
+/** Ceil of log2(v); v must be non-zero. */
+inline constexpr unsigned
+ceilLog2(std::uint64_t v)
+{
+    assert(v != 0);
+    return v == 1 ? 0 : floorLog2(v - 1) + 1;
+}
+
+/** Ceiling division. */
+inline constexpr std::uint64_t
+ceilDiv(std::uint64_t a, std::uint64_t b)
+{
+    assert(b != 0);
+    return (a + b - 1) / b;
+}
+
+/** Round v up to the next multiple of m (m power of two). */
+inline constexpr std::uint64_t
+roundUpPow2(std::uint64_t v, std::uint64_t m)
+{
+    assert(isPow2(m));
+    return (v + m - 1) & ~(m - 1);
+}
+
+/** Extract bits [lo, lo+len) of v. */
+inline constexpr std::uint64_t
+bits(std::uint64_t v, unsigned lo, unsigned len)
+{
+    assert(len <= 64 && lo < 64);
+    const std::uint64_t mask = len >= 64 ? ~std::uint64_t{0}
+                                         : ((std::uint64_t{1} << len) - 1);
+    return (v >> lo) & mask;
+}
+
+} // namespace maps
+
+#endif // MAPS_UTIL_BITOPS_HPP

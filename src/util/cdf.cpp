@@ -1,0 +1,52 @@
+#include "util/cdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace maps {
+
+CdfCurve
+CdfCurve::fromHistogram(const std::string &name, const ExactHistogram &hist,
+                        std::uint64_t maxX, unsigned pointsPerDecade)
+{
+    CdfCurve curve(name);
+    if (hist.totalCount() == 0 || maxX == 0)
+        return curve;
+
+    const double steps = std::max<unsigned>(pointsPerDecade, 1);
+    const double top = std::log10(static_cast<double>(maxX));
+    std::uint64_t last_x = 0;
+    for (double e = 0.0; e <= top + 1e-9; e += 1.0 / steps) {
+        const auto x = static_cast<std::uint64_t>(std::pow(10.0, e));
+        if (x == last_x)
+            continue;
+        last_x = x;
+        curve.addPoint(x, hist.cumulativeAtOrBelow(x));
+    }
+    if (last_x < maxX)
+        curve.addPoint(maxX, hist.cumulativeAtOrBelow(maxX));
+    return curve;
+}
+
+double
+CdfCurve::evaluate(std::uint64_t x) const
+{
+    if (points_.empty())
+        return 0.0;
+    if (x <= points_.front().x)
+        return points_.front().y;
+    if (x >= points_.back().x)
+        return points_.back().y;
+    auto it = std::lower_bound(
+        points_.begin(), points_.end(), x,
+        [](const CdfPoint &p, std::uint64_t v) { return p.x < v; });
+    if (it->x == x)
+        return it->y;
+    const auto &hi = *it;
+    const auto &lo = *(it - 1);
+    const double t = static_cast<double>(x - lo.x) /
+                     static_cast<double>(hi.x - lo.x);
+    return lo.y + t * (hi.y - lo.y);
+}
+
+} // namespace maps

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Cumulative-distribution containers for reuse-distance reporting.
+ */
+#ifndef MAPS_UTIL_CDF_HPP
+#define MAPS_UTIL_CDF_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/histogram.hpp"
+
+namespace maps {
+
+/** One evaluated CDF point: P(value <= x) = y. */
+struct CdfPoint
+{
+    std::uint64_t x;
+    double y;
+};
+
+/**
+ * A named, evaluated CDF curve — the unit the figure benches print.
+ * Built from an ExactHistogram at a chosen set of x positions.
+ */
+class CdfCurve
+{
+  public:
+    CdfCurve() = default;
+    explicit CdfCurve(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+    const std::vector<CdfPoint> &points() const { return points_; }
+    bool empty() const { return points_.empty(); }
+
+    void addPoint(std::uint64_t x, double y) { points_.push_back({x, y}); }
+
+    /**
+     * Evaluate hist at logarithmically spaced x positions spanning
+     * [1, maxX], plus the exact maximum sample.
+     */
+    static CdfCurve fromHistogram(const std::string &name,
+                                  const ExactHistogram &hist,
+                                  std::uint64_t maxX,
+                                  unsigned pointsPerDecade = 4);
+
+    /** Linear interpolation of y at x (clamped to curve ends). */
+    double evaluate(std::uint64_t x) const;
+
+  private:
+    std::string name_;
+    std::vector<CdfPoint> points_;
+};
+
+} // namespace maps
+
+#endif // MAPS_UTIL_CDF_HPP

@@ -1,0 +1,157 @@
+#include "util/histogram.hpp"
+
+#include "util/bitops.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace maps {
+
+void
+Log2Histogram::add(std::uint64_t value, std::uint64_t weight)
+{
+    std::size_t bucket;
+    if (value == 0)
+        bucket = 0;
+    else
+        bucket = static_cast<std::size_t>(ceilLog2(value + 1));
+    if (bucket >= counts_.size())
+        counts_.resize(bucket + 1, 0);
+    counts_[bucket] += weight;
+    total_ += weight;
+}
+
+std::uint64_t
+Log2Histogram::bucketLo(std::size_t i)
+{
+    if (i == 0)
+        return 0;
+    return std::uint64_t{1} << (i - 1);
+}
+
+std::uint64_t
+Log2Histogram::bucketHi(std::size_t i)
+{
+    return std::uint64_t{1} << i;
+}
+
+double
+Log2Histogram::cumulativeAtOrBelow(std::uint64_t x) const
+{
+    if (total_ == 0)
+        return 0.0;
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        if (bucketHi(i) - 1 <= x) {
+            acc += counts_[i];
+        } else if (bucketLo(i) <= x) {
+            // Partially covered bucket: assume uniform within the bucket.
+            const double span = static_cast<double>(bucketHi(i) - bucketLo(i));
+            const double covered =
+                static_cast<double>(x - bucketLo(i) + 1) / span;
+            return (static_cast<double>(acc) +
+                    covered * static_cast<double>(counts_[i])) /
+                   static_cast<double>(total_);
+        } else {
+            break;
+        }
+    }
+    return static_cast<double>(acc) / static_cast<double>(total_);
+}
+
+std::uint64_t
+Log2Histogram::quantileUpperBound(double q) const
+{
+    assert(q >= 0.0 && q <= 1.0);
+    if (total_ == 0)
+        return 0;
+    const double target = q * static_cast<double>(total_);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        acc += static_cast<double>(counts_[i]);
+        if (acc >= target)
+            return bucketHi(i);
+    }
+    return counts_.empty() ? 0 : bucketHi(counts_.size() - 1);
+}
+
+void
+Log2Histogram::merge(const Log2Histogram &other)
+{
+    if (other.counts_.size() > counts_.size())
+        counts_.resize(other.counts_.size(), 0);
+    for (std::size_t i = 0; i < other.counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    total_ += other.total_;
+}
+
+void
+Log2Histogram::clear()
+{
+    counts_.clear();
+    total_ = 0;
+}
+
+void
+ExactHistogram::add(std::uint64_t value, std::uint64_t weight)
+{
+    cells_[value] += weight;
+    total_ += weight;
+}
+
+double
+ExactHistogram::cumulativeAtOrBelow(std::uint64_t x) const
+{
+    if (total_ == 0)
+        return 0.0;
+    std::uint64_t acc = 0;
+    for (auto it = cells_.begin();
+         it != cells_.end() && it->first <= x; ++it) {
+        acc += it->second;
+    }
+    return static_cast<double>(acc) / static_cast<double>(total_);
+}
+
+std::uint64_t
+ExactHistogram::quantile(double q) const
+{
+    assert(q >= 0.0 && q <= 1.0);
+    if (total_ == 0)
+        return 0;
+    const double target = q * static_cast<double>(total_);
+    double acc = 0.0;
+    for (const auto &[value, count] : cells_) {
+        acc += static_cast<double>(count);
+        if (acc >= target)
+            return value;
+    }
+    return cells_.rbegin()->first;
+}
+
+double
+ExactHistogram::mean() const
+{
+    if (total_ == 0)
+        return 0.0;
+    double acc = 0.0;
+    for (const auto &[value, count] : cells_)
+        acc += static_cast<double>(value) * static_cast<double>(count);
+    return acc / static_cast<double>(total_);
+}
+
+void
+ExactHistogram::merge(const ExactHistogram &other)
+{
+    for (const auto &[value, count] : other.cells_)
+        cells_[value] += count;
+    total_ += other.total_;
+}
+
+void
+ExactHistogram::clear()
+{
+    cells_.clear();
+    total_ = 0;
+}
+
+} // namespace maps

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Histogram containers used by the reuse-distance analyzers and EVA.
+ */
+#ifndef MAPS_UTIL_HISTOGRAM_HPP
+#define MAPS_UTIL_HISTOGRAM_HPP
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace maps {
+
+/**
+ * Power-of-two bucketed histogram: bucket i counts samples in
+ * [2^(i-1), 2^i) with bucket 0 reserved for the value 0 and bucket 1 for 1.
+ * Compact and fast — the natural container for reuse distances that span
+ * ten orders of magnitude.
+ */
+class Log2Histogram
+{
+  public:
+    void add(std::uint64_t value, std::uint64_t weight = 1);
+
+    std::uint64_t totalCount() const { return total_; }
+
+    /** Count of samples strictly below 2^bucket boundaries; see bucketLo. */
+    const std::vector<std::uint64_t> &buckets() const { return counts_; }
+
+    /** Inclusive lower bound of bucket i. */
+    static std::uint64_t bucketLo(std::size_t i);
+
+    /** Exclusive upper bound of bucket i. */
+    static std::uint64_t bucketHi(std::size_t i);
+
+    /** Fraction of samples with value <= x (piecewise-constant per bucket). */
+    double cumulativeAtOrBelow(std::uint64_t x) const;
+
+    /** Smallest bucket upper bound b with P(value < b) >= q. */
+    std::uint64_t quantileUpperBound(double q) const;
+
+    void merge(const Log2Histogram &other);
+    void clear();
+
+  private:
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * Exact histogram over arbitrary 64-bit values; backed by an ordered map.
+ * Used where exact CDFs are needed (e.g., reuse-distance CDF benches).
+ */
+class ExactHistogram
+{
+  public:
+    void add(std::uint64_t value, std::uint64_t weight = 1);
+
+    std::uint64_t totalCount() const { return total_; }
+    const std::map<std::uint64_t, std::uint64_t> &cells() const
+    {
+        return cells_;
+    }
+
+    /** Fraction of samples with value <= x. */
+    double cumulativeAtOrBelow(std::uint64_t x) const;
+
+    /** Smallest value v with P(<= v) >= q; 0 when empty. */
+    std::uint64_t quantile(double q) const;
+
+    /** Mean of the distribution; 0 when empty. */
+    double mean() const;
+
+    void merge(const ExactHistogram &other);
+    void clear();
+
+  private:
+    std::map<std::uint64_t, std::uint64_t> cells_;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace maps
+
+#endif // MAPS_UTIL_HISTOGRAM_HPP

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * panic/fatal helpers in the spirit of gem5's logging.hh.
+ *
+ * panic(): an internal invariant was violated (simulator bug) — aborts.
+ * fatal(): the user supplied an impossible configuration — exits cleanly.
+ */
+#ifndef MAPS_UTIL_LOGGING_HPP
+#define MAPS_UTIL_LOGGING_HPP
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace maps {
+
+[[noreturn]] inline void
+panic(const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+[[noreturn]] inline void
+fatal(const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+inline void
+warn(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+/** Check a user-facing configuration constraint. */
+inline void
+fatalIf(bool cond, const std::string &msg)
+{
+    if (cond)
+        fatal(msg);
+}
+
+/** Check an internal invariant. */
+inline void
+panicIf(bool cond, const std::string &msg)
+{
+    if (cond)
+        panic(msg);
+}
+
+} // namespace maps
+
+#endif // MAPS_UTIL_LOGGING_HPP

@@ -1,0 +1,163 @@
+#include "util/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace maps {
+
+std::uint64_t
+Rng::splitMix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed)
+{
+    // Seed the four lanes via SplitMix64, as recommended by the authors,
+    // so even seed=0 yields a well-mixed state.
+    std::uint64_t sm = seed;
+    for (auto &lane : s_)
+        lane = splitMix64(sm);
+}
+
+static inline std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::nextBounded(std::uint64_t bound)
+{
+    assert(bound != 0);
+    // Lemire's nearly-divisionless bounded generation; the bias for 64-bit
+    // multiplies is negligible for simulation purposes.
+    const unsigned __int128 m =
+        static_cast<unsigned __int128>(next()) * bound;
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::uint64_t
+Rng::nextRange(std::uint64_t lo, std::uint64_t hi)
+{
+    assert(lo <= hi);
+    return lo + nextBounded(hi - lo + 1);
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+std::uint64_t
+Rng::nextGeometric(double p)
+{
+    assert(p > 0.0 && p <= 1.0);
+    if (p >= 1.0)
+        return 1;
+    double u = nextDouble();
+    if (u <= 0.0)
+        u = 0x1.0p-53;
+    const double v = std::ceil(std::log(u) / std::log(1.0 - p));
+    return v < 1.0 ? 1 : static_cast<std::uint64_t>(v);
+}
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double theta)
+    : n_(n), theta_(theta)
+{
+    assert(n >= 1);
+    assert(theta >= 0.0);
+    hIntegralX1_ = hIntegral(1.5) - 1.0;
+    hIntegralNumItems_ = hIntegral(static_cast<double>(n) + 0.5);
+    s_ = 2.0 - hIntegralInverse(hIntegral(2.5) - h(2.0));
+}
+
+double
+ZipfSampler::helper1(double x)
+{
+    // log1p(x)/x with series fallback near zero.
+    if (std::abs(x) > 1e-8)
+        return std::log1p(x) / x;
+    return 1.0 - x * (0.5 - x * (1.0 / 3.0 - 0.25 * x));
+}
+
+double
+ZipfSampler::helper2(double x)
+{
+    // expm1(x)/x with series fallback near zero.
+    if (std::abs(x) > 1e-8)
+        return std::expm1(x) / x;
+    return 1.0 + x * 0.5 * (1.0 + x / 3.0 * (1.0 + 0.25 * x));
+}
+
+double
+ZipfSampler::hIntegral(double x) const
+{
+    const double logx = std::log(x);
+    return helper2((1.0 - theta_) * logx) * logx;
+}
+
+double
+ZipfSampler::h(double x) const
+{
+    return std::exp(-theta_ * std::log(x));
+}
+
+double
+ZipfSampler::hIntegralInverse(double x) const
+{
+    double t = x * (1.0 - theta_);
+    if (t < -1.0)
+        t = -1.0;
+    return std::exp(helper1(t) * x);
+}
+
+std::uint64_t
+ZipfSampler::sample(Rng &rng) const
+{
+    if (n_ == 1)
+        return 0;
+    if (theta_ == 0.0)
+        return rng.nextBounded(n_);
+    while (true) {
+        const double u = hIntegralNumItems_ +
+            rng.nextDouble() * (hIntegralX1_ - hIntegralNumItems_);
+        const double x = hIntegralInverse(u);
+        std::uint64_t k = static_cast<std::uint64_t>(x + 0.5);
+        if (k < 1)
+            k = 1;
+        else if (k > n_)
+            k = n_;
+        const double kd = static_cast<double>(k);
+        if (kd - x <= s_ || u >= hIntegral(kd + 0.5) - h(kd))
+            return k - 1;
+    }
+}
+
+} // namespace maps

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * All randomness in MAPS flows through Rng (xoshiro256**) seeded explicitly,
+ * so every experiment is bit-reproducible across runs and machines.
+ */
+#ifndef MAPS_UTIL_RNG_HPP
+#define MAPS_UTIL_RNG_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace maps {
+
+/**
+ * xoshiro256** generator (Blackman & Vigna). Small, fast, and good enough
+ * for workload synthesis; never use std::rand in the simulator.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound). bound must be non-zero. */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi]. */
+    std::uint64_t nextRange(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw with probability p of true. */
+    bool nextBool(double p);
+
+    /** Geometrically distributed value >= 1 with success probability p. */
+    std::uint64_t nextGeometric(double p);
+
+  private:
+    std::uint64_t s_[4];
+
+    static std::uint64_t splitMix64(std::uint64_t &state);
+};
+
+/**
+ * Zipf-distributed sampler over [0, n). Uses the rejection-inversion method
+ * of Hörmann & Derflinger so setup is O(1) and sampling is O(1) expected,
+ * independent of n.
+ */
+class ZipfSampler
+{
+  public:
+    /**
+     * @param n     Number of items (ranks 0..n-1).
+     * @param theta Skew; 0 degenerates to uniform, ~0.99 is "YCSB-like".
+     */
+    ZipfSampler(std::uint64_t n, double theta);
+
+    /** Draw a rank in [0, n); rank 0 is the most popular. */
+    std::uint64_t sample(Rng &rng) const;
+
+    std::uint64_t items() const { return n_; }
+    double theta() const { return theta_; }
+
+  private:
+    std::uint64_t n_;
+    double theta_;
+    double hIntegralX1_;
+    double hIntegralNumItems_;
+    double s_;
+
+    double hIntegral(double x) const;
+    double h(double x) const;
+    double hIntegralInverse(double x) const;
+    static double helper1(double x);
+    static double helper2(double x);
+};
+
+} // namespace maps
+
+#endif // MAPS_UTIL_RNG_HPP

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Fundamental types and constants shared across the MAPS simulator.
+ */
+#ifndef MAPS_UTIL_TYPES_HPP
+#define MAPS_UTIL_TYPES_HPP
+
+#include <cstdint>
+#include <cstddef>
+
+namespace maps {
+
+/** Physical (or metadata-space) byte address. */
+using Addr = std::uint64_t;
+
+/** Processor clock cycles. */
+using Cycles = std::uint64_t;
+
+/** Instruction counts. */
+using InstCount = std::uint64_t;
+
+/** Energy in picojoules. */
+using PicoJoules = double;
+
+/** Time in nanoseconds. */
+using Nanoseconds = double;
+
+/** Size of a cache block / memory transfer granule, in bytes. */
+inline constexpr std::uint64_t kBlockSize = 64;
+
+/** log2(kBlockSize). */
+inline constexpr unsigned kBlockShift = 6;
+
+/** Size of an OS page, in bytes. */
+inline constexpr std::uint64_t kPageSize = 4096;
+
+/** log2(kPageSize). */
+inline constexpr unsigned kPageShift = 12;
+
+/** Blocks per page. */
+inline constexpr std::uint64_t kBlocksPerPage = kPageSize / kBlockSize;
+
+/** Sentinel for "no address". */
+inline constexpr Addr kInvalidAddr = ~Addr{0};
+
+/** Convenience byte-size literals. */
+inline constexpr std::uint64_t operator""_KiB(unsigned long long v)
+{
+    return v << 10;
+}
+inline constexpr std::uint64_t operator""_MiB(unsigned long long v)
+{
+    return v << 20;
+}
+inline constexpr std::uint64_t operator""_GiB(unsigned long long v)
+{
+    return v << 30;
+}
+
+/** Align an address down to a block boundary. */
+inline constexpr Addr blockAlign(Addr a) { return a & ~(kBlockSize - 1); }
+
+/** Block index of an address. */
+inline constexpr std::uint64_t blockIndex(Addr a) { return a >> kBlockShift; }
+
+/** Page index of an address. */
+inline constexpr std::uint64_t pageIndex(Addr a) { return a >> kPageShift; }
+
+} // namespace maps
+
+#endif // MAPS_UTIL_TYPES_HPP

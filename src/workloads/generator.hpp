@@ -1,0 +1,82 @@
+/**
+ * @file
+ * AccessGenerator: the interface every synthetic workload implements.
+ *
+ * Generators stand in for the paper's SPEC 2006 / PARSEC / SPLASH-2
+ * binaries (see DESIGN.md §1). Each produces an infinite, deterministic
+ * stream of CPU-level memory references with a configurable
+ * instructions-per-reference gap, so MPKI is well-defined.
+ */
+#ifndef MAPS_WORKLOADS_GENERATOR_HPP
+#define MAPS_WORKLOADS_GENERATOR_HPP
+
+#include <memory>
+#include <string>
+
+#include "trace/record.hpp"
+#include "util/rng.hpp"
+
+namespace maps {
+
+/** Interface for synthetic reference streams. */
+class AccessGenerator
+{
+  public:
+    virtual ~AccessGenerator() = default;
+
+    /** Produce the next reference. Streams are infinite. */
+    virtual MemRef next() = 0;
+
+    /** Restart the stream from its initial state (same seed). */
+    virtual void reset() = 0;
+
+    /** Generator family name (for reports). */
+    virtual std::string name() const = 0;
+};
+
+/**
+ * Common machinery: seeded RNG and the instruction-gap model. The gap
+ * between consecutive references is 1 + Geometric, tuned so the mean
+ * instructions-per-memory-reference matches @c meanGap.
+ */
+class GeneratorBase : public AccessGenerator
+{
+  public:
+    GeneratorBase(std::uint64_t seed, double mean_gap)
+        : seed_(seed), meanGap_(mean_gap), rng_(seed)
+    {
+    }
+
+    void reset() override { rng_ = Rng(seed_); resetImpl(); }
+
+  protected:
+    /** Subclass state reset hook. */
+    virtual void resetImpl() = 0;
+
+    /** Build a reference at addr with a sampled instruction gap. */
+    MemRef
+    makeRef(Addr addr, bool write)
+    {
+        MemRef ref;
+        ref.addr = addr;
+        ref.type = write ? AccessType::Write : AccessType::Read;
+        if (meanGap_ <= 1.0) {
+            ref.instGap = 1;
+        } else {
+            const double p = 1.0 / meanGap_;
+            ref.instGap = static_cast<std::uint32_t>(rng_.nextGeometric(p));
+        }
+        return ref;
+    }
+
+    Rng &rng() { return rng_; }
+
+  private:
+    std::uint64_t seed_;
+    double meanGap_;
+    Rng rng_;
+};
+
+} // namespace maps
+
+#endif // MAPS_WORKLOADS_GENERATOR_HPP

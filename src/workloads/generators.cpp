@@ -1,0 +1,352 @@
+#include "workloads/generators.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "util/bitops.hpp"
+#include "util/logging.hpp"
+
+namespace maps {
+
+StreamGenerator::StreamGenerator(std::uint64_t footprint_bytes,
+                                 double write_frac,
+                                 std::uint64_t stride_bytes,
+                                 std::uint64_t seed, double mean_gap,
+                                 Addr base)
+    : GeneratorBase(seed, mean_gap),
+      footprint_(footprint_bytes),
+      writeFrac_(write_frac),
+      stride_(stride_bytes),
+      base_(base)
+{
+    fatalIf(footprint_ == 0, "stream footprint must be non-zero");
+    fatalIf(stride_ == 0, "stream stride must be non-zero");
+}
+
+MemRef
+StreamGenerator::next()
+{
+    const Addr addr = base_ + pos_;
+    pos_ += stride_;
+    if (pos_ >= footprint_)
+        pos_ = 0;
+    return makeRef(addr, rng().nextBool(writeFrac_));
+}
+
+RandomGenerator::RandomGenerator(std::uint64_t footprint_bytes,
+                                 double write_frac, std::uint64_t seed,
+                                 double mean_gap, Addr base)
+    : GeneratorBase(seed, mean_gap),
+      blocks_(footprint_bytes / kBlockSize),
+      writeFrac_(write_frac),
+      base_(base)
+{
+    fatalIf(blocks_ == 0, "random footprint must be at least one block");
+}
+
+MemRef
+RandomGenerator::next()
+{
+    const Addr addr = base_ + rng().nextBounded(blocks_) * kBlockSize;
+    return makeRef(addr, rng().nextBool(writeFrac_));
+}
+
+ZipfGenerator::ZipfGenerator(std::uint64_t footprint_bytes, double theta,
+                             double write_frac, unsigned run_length,
+                             std::uint64_t seed, double mean_gap, Addr base)
+    : GeneratorBase(seed, mean_gap),
+      blocks_(footprint_bytes / kBlockSize),
+      writeFrac_(write_frac),
+      runLength_(std::max(run_length, 1u)),
+      base_(base),
+      zipf_(std::max<std::uint64_t>(blocks_, 1), theta)
+{
+    fatalIf(blocks_ == 0, "zipf footprint must be at least one block");
+}
+
+std::uint64_t
+ZipfGenerator::scatter(std::uint64_t rank) const
+{
+    // Bijective multiplicative scatter (Fibonacci hashing) so popular
+    // ranks spread across the footprint rather than clustering at the
+    // low addresses (which would fake spatial locality).
+    return (rank * 0x9E3779B97F4A7C15ull) % blocks_;
+}
+
+MemRef
+ZipfGenerator::next()
+{
+    if (runLeft_ == 0) {
+        current_ = scatter(zipf_.sample(rng()));
+        runLeft_ = runLength_;
+    }
+    const std::uint64_t offset = runLength_ - runLeft_;
+    --runLeft_;
+    const std::uint64_t block = (current_ + offset) % blocks_;
+    return makeRef(base_ + block * kBlockSize, rng().nextBool(writeFrac_));
+}
+
+StencilGenerator::StencilGenerator(std::uint64_t nx, std::uint64_t ny,
+                                   std::uint64_t nz,
+                                   std::uint64_t elem_bytes,
+                                   unsigned write_every, std::uint64_t seed,
+                                   double mean_gap, Addr base)
+    : GeneratorBase(seed, mean_gap),
+      nx_(nx), ny_(ny), nz_(nz), elemBytes_(elem_bytes),
+      writeEvery_(std::max(write_every, 1u)),
+      base_(base)
+{
+    fatalIf(nx_ == 0 || ny_ == 0 || nz_ == 0,
+            "stencil grid dimensions must be non-zero");
+    fatalIf(elemBytes_ == 0, "stencil element size must be non-zero");
+}
+
+MemRef
+StencilGenerator::next()
+{
+    const std::uint64_t points = nx_ * ny_ * nz_;
+    const std::uint64_t p = point_;
+
+    // Neighbour offsets in linear index space. Out-of-range neighbours
+    // fold back onto the centre (boundary handling that preserves the
+    // stream structure without branching on grid coordinates).
+    const std::uint64_t plane = nx_ * ny_;
+    std::uint64_t target = p;
+    bool write = false;
+    switch (phase_) {
+      case 0: // centre read
+        target = p;
+        break;
+      case 1: // -x neighbour
+        target = p >= 1 ? p - 1 : p;
+        break;
+      case 2: // +x neighbour
+        target = p + 1 < points ? p + 1 : p;
+        break;
+      case 3: // -y neighbour
+        target = p >= nx_ ? p - nx_ : p;
+        break;
+      case 4: // +y neighbour
+        target = p + nx_ < points ? p + nx_ : p;
+        break;
+      case 5: // -z neighbour
+        target = p >= plane ? p - plane : p;
+        break;
+      case 6: // +z neighbour / centre write
+        target = p + plane < points ? p + plane : p;
+        break;
+      case 7: // centre write (only every writeEvery-th point)
+        target = p;
+        write = true;
+        break;
+    }
+
+    const unsigned last_phase =
+        (point_ % writeEvery_ == 0) ? 7u : 6u;
+    if (phase_ >= last_phase) {
+        phase_ = 0;
+        point_ = (point_ + 1) % points;
+    } else {
+        ++phase_;
+    }
+    // Collapse 2D grids (nz==1) to the 4-neighbour stencil by skipping
+    // the z phases.
+    if (nz_ == 1 && (phase_ == 5 || phase_ == 6))
+        phase_ = last_phase;
+
+    return makeRef(elemAddr(target), write);
+}
+
+PointerChaseGenerator::PointerChaseGenerator(std::uint64_t footprint_bytes,
+                                             double write_frac,
+                                             std::uint64_t seed,
+                                             double mean_gap, Addr base)
+    : GeneratorBase(seed, mean_gap),
+      writeFrac_(write_frac),
+      base_(base)
+{
+    const std::uint64_t blocks = footprint_bytes / kBlockSize;
+    fatalIf(blocks == 0, "pointer-chase footprint must be >= one block");
+    fatalIf(blocks > (std::uint64_t{1} << 32),
+            "pointer-chase footprint too large for 32-bit links");
+
+    // Sattolo's algorithm: a single random cycle over all blocks, so the
+    // chase visits the entire footprint before repeating.
+    nextBlock_.resize(blocks);
+    std::iota(nextBlock_.begin(), nextBlock_.end(), 0u);
+    Rng perm_rng(seed ^ 0xC0FFEEull);
+    for (std::uint64_t i = blocks - 1; i >= 1; --i) {
+        const std::uint64_t j = perm_rng.nextBounded(i);
+        std::swap(nextBlock_[i], nextBlock_[j]);
+    }
+}
+
+MemRef
+PointerChaseGenerator::next()
+{
+    const Addr addr = base_ + current_ * kBlockSize;
+    current_ = nextBlock_[current_];
+    return makeRef(addr, rng().nextBool(writeFrac_));
+}
+
+TransposeGenerator::TransposeGenerator(std::uint64_t rows,
+                                       std::uint64_t cols,
+                                       std::uint64_t elem_bytes,
+                                       double write_frac,
+                                       std::uint64_t seed, double mean_gap,
+                                       Addr base)
+    : GeneratorBase(seed, mean_gap),
+      rows_(rows), cols_(cols), elemBytes_(elem_bytes),
+      writeFrac_(write_frac),
+      base_(base)
+{
+    fatalIf(rows_ == 0 || cols_ == 0 || elemBytes_ == 0,
+            "transpose dimensions must be non-zero");
+}
+
+MemRef
+TransposeGenerator::next()
+{
+    const std::uint64_t elems = rows_ * cols_;
+    std::uint64_t linear;
+    if (!columnPhase_) {
+        linear = idx_;
+    } else {
+        // Column-major traversal: element (r, c) visited in order
+        // c*rows + r -> linear r*cols + c.
+        const std::uint64_t r = idx_ % rows_;
+        const std::uint64_t c = idx_ / rows_;
+        linear = r * cols_ + c;
+    }
+
+    ++idx_;
+    if (idx_ >= elems) {
+        idx_ = 0;
+        columnPhase_ = !columnPhase_;
+    }
+
+    const Addr addr = base_ + linear * elemBytes_;
+    return makeRef(addr, rng().nextBool(writeFrac_));
+}
+
+InterleavedStreamGenerator::InterleavedStreamGenerator(
+    std::uint32_t streams, std::uint64_t stream_bytes,
+    std::uint64_t elem_bytes, double write_frac, std::uint64_t seed,
+    double mean_gap, Addr base)
+    : GeneratorBase(seed, mean_gap),
+      streams_(streams),
+      streamBytes_(stream_bytes),
+      elemBytes_(elem_bytes),
+      writeFrac_(write_frac),
+      base_(base)
+{
+    fatalIf(streams_ == 0, "need at least one stream");
+    fatalIf(streamBytes_ == 0 || elemBytes_ == 0,
+            "stream and element sizes must be non-zero");
+    fatalIf(elemBytes_ > streamBytes_, "element larger than the stream");
+}
+
+MemRef
+InterleavedStreamGenerator::next()
+{
+    // Stagger stream origins by one block so block-boundary crossings
+    // do not all happen on the same round.
+    const Addr stream_base =
+        base_ + static_cast<Addr>(turn_) * streamBytes_;
+    const Addr offset =
+        (pos_ + static_cast<Addr>(turn_) * kBlockSize) % streamBytes_;
+    const Addr addr = stream_base + offset;
+
+    ++turn_;
+    if (turn_ >= streams_) {
+        turn_ = 0;
+        pos_ += elemBytes_;
+        if (pos_ >= streamBytes_)
+            pos_ = 0;
+    }
+    return makeRef(addr, rng().nextBool(writeFrac_));
+}
+
+MultiProgrammedGenerator::MultiProgrammedGenerator(
+    std::vector<std::unique_ptr<AccessGenerator>> programs,
+    std::uint64_t region_bytes, unsigned burst_length)
+    : programs_(std::move(programs)),
+      regionBytes_(region_bytes),
+      burstLength_(std::max(burst_length, 1u))
+{
+    fatalIf(programs_.empty(), "need at least one program");
+    fatalIf(!isPow2(regionBytes_) || regionBytes_ < kPageSize,
+            "region size must be a power of two >= one page");
+}
+
+MemRef
+MultiProgrammedGenerator::next()
+{
+    if (burstLeft_ == 0) {
+        current_ = (current_ + 1) % programs_.size();
+        burstLeft_ = burstLength_;
+    }
+    --burstLeft_;
+    MemRef ref = programs_[current_]->next();
+    ref.addr = static_cast<Addr>(current_) * regionBytes_ +
+               (ref.addr & (regionBytes_ - 1));
+    return ref;
+}
+
+void
+MultiProgrammedGenerator::reset()
+{
+    current_ = 0;
+    burstLeft_ = 0;
+    for (auto &program : programs_)
+        program->reset();
+}
+
+MixtureGenerator::MixtureGenerator(
+    std::vector<std::unique_ptr<AccessGenerator>> parts,
+    std::vector<double> weights, unsigned burst_length, std::uint64_t seed)
+    : GeneratorBase(seed, 1.0), // gaps come from the components
+      parts_(std::move(parts)),
+      burstLength_(std::max(burst_length, 1u))
+{
+    fatalIf(parts_.empty(), "mixture needs at least one component");
+    fatalIf(weights.size() != parts_.size(),
+            "mixture weights/components size mismatch");
+    double acc = 0.0;
+    for (double w : weights) {
+        fatalIf(w < 0.0, "mixture weights must be non-negative");
+        acc += w;
+        cumWeights_.push_back(acc);
+    }
+    fatalIf(acc <= 0.0, "mixture weights must not all be zero");
+    for (double &w : cumWeights_)
+        w /= acc;
+}
+
+void
+MixtureGenerator::resetImpl()
+{
+    current_ = 0;
+    burstLeft_ = 0;
+    for (auto &part : parts_)
+        part->reset();
+}
+
+MemRef
+MixtureGenerator::next()
+{
+    if (burstLeft_ == 0) {
+        const double u = rng().nextDouble();
+        current_ = 0;
+        while (current_ + 1 < cumWeights_.size() &&
+               u > cumWeights_[current_]) {
+            ++current_;
+        }
+        burstLeft_ = burstLength_;
+    }
+    --burstLeft_;
+    return parts_[current_]->next();
+}
+
+} // namespace maps

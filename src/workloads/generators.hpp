@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Concrete synthetic access-pattern generators.
+ *
+ * Each family reproduces the property of a real benchmark that drives the
+ * paper's results: streaming (libquantum), transpose phases (fft), 3D
+ * stencils (leslie3d/ocean), pointer chasing (mcf), skewed working sets
+ * (barnes/perl/gcc), uniform sprays (canneal), and large-stride sweeps
+ * (cactusADM).
+ */
+#ifndef MAPS_WORKLOADS_GENERATORS_HPP
+#define MAPS_WORKLOADS_GENERATORS_HPP
+
+#include <memory>
+#include <vector>
+
+#include "workloads/generator.hpp"
+
+namespace maps {
+
+/**
+ * Sequential sweep over a contiguous array, wrapping at the end.
+ * With probability writeFrac an access is a store to the current position
+ * (read-modify-write streams set this high; pure scans set it near zero).
+ */
+class StreamGenerator : public GeneratorBase
+{
+  public:
+    StreamGenerator(std::uint64_t footprint_bytes, double write_frac,
+                    std::uint64_t stride_bytes = kBlockSize,
+                    std::uint64_t seed = 1, double mean_gap = 4.0,
+                    Addr base = 0);
+
+    MemRef next() override;
+    std::string name() const override { return "stream"; }
+
+  protected:
+    void resetImpl() override { pos_ = 0; }
+
+  private:
+    std::uint64_t footprint_;
+    double writeFrac_;
+    std::uint64_t stride_;
+    Addr base_;
+    std::uint64_t pos_ = 0;
+};
+
+/** Uniform random block accesses over the footprint (no locality). */
+class RandomGenerator : public GeneratorBase
+{
+  public:
+    RandomGenerator(std::uint64_t footprint_bytes, double write_frac,
+                    std::uint64_t seed = 1, double mean_gap = 4.0,
+                    Addr base = 0);
+
+    MemRef next() override;
+    std::string name() const override { return "random"; }
+
+  protected:
+    void resetImpl() override {}
+
+  private:
+    std::uint64_t blocks_;
+    double writeFrac_;
+    Addr base_;
+};
+
+/**
+ * Zipf-skewed block popularity with short sequential runs. theta controls
+ * hotness; runLength adds spatial locality (a picked block is followed by
+ * its neighbours). Ranks are scattered over the footprint with a bijective
+ * multiplicative hash so hot blocks are not physically adjacent.
+ */
+class ZipfGenerator : public GeneratorBase
+{
+  public:
+    ZipfGenerator(std::uint64_t footprint_bytes, double theta,
+                  double write_frac, unsigned run_length = 1,
+                  std::uint64_t seed = 1, double mean_gap = 4.0,
+                  Addr base = 0);
+
+    MemRef next() override;
+    std::string name() const override { return "zipf"; }
+
+  protected:
+    void resetImpl() override { runLeft_ = 0; }
+
+  private:
+    std::uint64_t blocks_;
+    double writeFrac_;
+    unsigned runLength_;
+    Addr base_;
+    ZipfSampler zipf_;
+    std::uint64_t current_ = 0;
+    unsigned runLeft_ = 0;
+
+    std::uint64_t scatter(std::uint64_t rank) const;
+};
+
+/**
+ * 3D Jacobi-style stencil sweep: for each grid point, read the 6 (or 4 in
+ * 2D) neighbours and the centre, then write the centre every writeEvery-th
+ * point. Produces one sequential stream plus plane/row-strided streams —
+ * the access signature of leslie3d and ocean.
+ */
+class StencilGenerator : public GeneratorBase
+{
+  public:
+    StencilGenerator(std::uint64_t nx, std::uint64_t ny, std::uint64_t nz,
+                     std::uint64_t elem_bytes, unsigned write_every,
+                     std::uint64_t seed = 1, double mean_gap = 4.0,
+                     Addr base = 0);
+
+    MemRef next() override;
+    std::string name() const override { return "stencil"; }
+
+    std::uint64_t footprintBytes() const
+    {
+        return nx_ * ny_ * nz_ * elemBytes_;
+    }
+
+  protected:
+    void resetImpl() override { point_ = 0; phase_ = 0; }
+
+  private:
+    std::uint64_t nx_, ny_, nz_, elemBytes_;
+    unsigned writeEvery_;
+    Addr base_;
+    std::uint64_t point_ = 0; ///< linear index of the current grid point
+    unsigned phase_ = 0;      ///< which neighbour of the point is next
+
+    Addr elemAddr(std::uint64_t linear) const
+    {
+        return base_ + linear * elemBytes_;
+    }
+};
+
+/**
+ * Pointer chase over a pre-built random permutation cycle of the blocks
+ * (mcf-style): consecutive accesses land on unrelated blocks, destroying
+ * spatial locality while touching the whole footprint.
+ */
+class PointerChaseGenerator : public GeneratorBase
+{
+  public:
+    PointerChaseGenerator(std::uint64_t footprint_bytes, double write_frac,
+                          std::uint64_t seed = 1, double mean_gap = 4.0,
+                          Addr base = 0);
+
+    MemRef next() override;
+    std::string name() const override { return "ptrchase"; }
+
+  protected:
+    void resetImpl() override { current_ = 0; }
+
+  private:
+    double writeFrac_;
+    Addr base_;
+    std::vector<std::uint32_t> nextBlock_;
+    std::uint64_t current_ = 0;
+};
+
+/**
+ * FFT-style phase alternation: a row-major pass (unit stride) followed by
+ * a column-major pass (large stride), both read-modify-write with the
+ * configured write fraction. Reproduces fft's 20%-write transpose phases.
+ */
+class TransposeGenerator : public GeneratorBase
+{
+  public:
+    TransposeGenerator(std::uint64_t rows, std::uint64_t cols,
+                       std::uint64_t elem_bytes, double write_frac,
+                       std::uint64_t seed = 1, double mean_gap = 4.0,
+                       Addr base = 0);
+
+    MemRef next() override;
+    std::string name() const override { return "transpose"; }
+
+    std::uint64_t footprintBytes() const
+    {
+        return rows_ * cols_ * elemBytes_;
+    }
+
+  protected:
+    void resetImpl() override { idx_ = 0; columnPhase_ = false; }
+
+  private:
+    std::uint64_t rows_, cols_, elemBytes_;
+    double writeFrac_;
+    Addr base_;
+    std::uint64_t idx_ = 0;
+    bool columnPhase_ = false;
+};
+
+/**
+ * Round-robin interleaving of N independent sequential streams, each in
+ * its own region: stream i advances by elemBytes once per round. Models
+ * codes that sweep many grid functions in lockstep (cactusADM's ~dozen
+ * 4D arrays): every block is touched once per sweep, so LLC misses are
+ * spread N streams apart — exactly the *moderate* metadata reuse
+ * distances that make cactusADM a bimodality exception (Fig. 4).
+ */
+class InterleavedStreamGenerator : public GeneratorBase
+{
+  public:
+    InterleavedStreamGenerator(std::uint32_t streams,
+                               std::uint64_t stream_bytes,
+                               std::uint64_t elem_bytes, double write_frac,
+                               std::uint64_t seed = 1,
+                               double mean_gap = 4.0, Addr base = 0);
+
+    MemRef next() override;
+    std::string name() const override { return "interleaved"; }
+
+    std::uint64_t footprintBytes() const
+    {
+        return static_cast<std::uint64_t>(streams_) * streamBytes_;
+    }
+
+  protected:
+    void resetImpl() override { turn_ = 0; pos_ = 0; }
+
+  private:
+    std::uint32_t streams_;
+    std::uint64_t streamBytes_;
+    std::uint64_t elemBytes_;
+    double writeFrac_;
+    Addr base_;
+    std::uint32_t turn_ = 0; ///< which stream goes next
+    std::uint64_t pos_ = 0;  ///< byte offset within each stream
+};
+
+/**
+ * Multiprogrammed interleaving: N complete benchmarks time-share the
+ * machine round-robin in bursts, each confined to its own address
+ * region (sub-generator addresses are folded into region-sized slots).
+ * Models consolidated/cloud execution — the threat setting that
+ * motivates secure memory in the first place (§I).
+ */
+class MultiProgrammedGenerator : public AccessGenerator
+{
+  public:
+    MultiProgrammedGenerator(
+        std::vector<std::unique_ptr<AccessGenerator>> programs,
+        std::uint64_t region_bytes = 64_MiB, unsigned burst_length = 64);
+
+    MemRef next() override;
+    void reset() override;
+    std::string name() const override { return "multiprogrammed"; }
+
+    std::uint64_t regionBytes() const { return regionBytes_; }
+
+  private:
+    std::vector<std::unique_ptr<AccessGenerator>> programs_;
+    std::uint64_t regionBytes_;
+    unsigned burstLength_;
+    std::size_t current_ = 0;
+    unsigned burstLeft_ = 0;
+};
+
+/**
+ * Burst-level mixture of sub-generators: every burstLength references,
+ * re-draw which component produces the stream, weighted by @c weights.
+ * Models benchmarks with several concurrent access engines (milc, radix).
+ */
+class MixtureGenerator : public GeneratorBase
+{
+  public:
+    MixtureGenerator(std::vector<std::unique_ptr<AccessGenerator>> parts,
+                     std::vector<double> weights, unsigned burst_length,
+                     std::uint64_t seed = 1);
+
+    MemRef next() override;
+    std::string name() const override { return "mixture"; }
+
+  protected:
+    void resetImpl() override;
+
+  private:
+    std::vector<std::unique_ptr<AccessGenerator>> parts_;
+    std::vector<double> cumWeights_;
+    unsigned burstLength_;
+    std::size_t current_ = 0;
+    unsigned burstLeft_ = 0;
+};
+
+} // namespace maps
+
+#endif // MAPS_WORKLOADS_GENERATORS_HPP

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The named benchmark registry: synthetic stand-ins for the paper's
+ * SPEC 2006, PARSEC and SPLASH-2 workloads (see DESIGN.md §1 for why the
+ * substitution preserves the studied behaviours).
+ */
+#ifndef MAPS_WORKLOADS_SUITE_HPP
+#define MAPS_WORKLOADS_SUITE_HPP
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/generator.hpp"
+
+namespace maps {
+
+/** Origin suite of the benchmark being modelled. */
+enum class BenchmarkSuite : std::uint8_t { Spec2006, Parsec, Splash2 };
+
+const char *suiteName(BenchmarkSuite s);
+
+/** A registry entry: how to build one benchmark's generator. */
+struct BenchmarkSpec
+{
+    std::string name;
+    BenchmarkSuite suite;
+    /** What property of the real workload the generator reproduces. */
+    std::string character;
+    /** Paper's focus set: LLC MPKI > 10 under a 2MB LLC. */
+    bool memoryIntensive = false;
+    /** Data footprint in bytes (for reports). */
+    std::uint64_t footprintBytes = 0;
+    std::function<std::unique_ptr<AccessGenerator>(std::uint64_t seed)>
+        factory;
+};
+
+/** All registered benchmarks, in canonical order. */
+const std::vector<BenchmarkSpec> &benchmarkSuite();
+
+/** Names of all benchmarks (canonical order). */
+std::vector<std::string> benchmarkNames(bool memory_intensive_only = false);
+
+/** Find a benchmark spec by name; nullptr if absent. */
+const BenchmarkSpec *findBenchmark(const std::string &name);
+
+/** Build a generator for a named benchmark; fatal if unknown. */
+std::unique_ptr<AccessGenerator> makeBenchmark(const std::string &name,
+                                               std::uint64_t seed = 1);
+
+/** The six representative benchmarks used by the paper's Figure 3. */
+std::vector<std::string> figure3Benchmarks();
+
+} // namespace maps
+
+#endif // MAPS_WORKLOADS_SUITE_HPP

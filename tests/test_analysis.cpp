@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Tests for reuse-distance analysis: Fenwick tree, analyzer vs a naive
+ * O(N^2) reference, transition tagging, and the bimodal classifier.
+ */
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/bimodal.hpp"
+#include "analysis/fenwick.hpp"
+#include "analysis/reuse.hpp"
+#include "util/rng.hpp"
+
+namespace maps {
+namespace {
+
+TEST(Fenwick, PrefixSums)
+{
+    FenwickTree tree(16);
+    tree.add(3, 5);
+    tree.add(7, 2);
+    tree.add(16, 1);
+    EXPECT_EQ(tree.prefixSum(2), 0);
+    EXPECT_EQ(tree.prefixSum(3), 5);
+    EXPECT_EQ(tree.prefixSum(7), 7);
+    EXPECT_EQ(tree.prefixSum(16), 8);
+    EXPECT_EQ(tree.rangeSum(4, 16), 3);
+    EXPECT_EQ(tree.rangeSum(8, 6), 0) << "inverted range";
+}
+
+TEST(Fenwick, GrowsOnDemand)
+{
+    FenwickTree tree;
+    tree.add(1000, 7);
+    EXPECT_EQ(tree.prefixSum(999), 0);
+    EXPECT_EQ(tree.prefixSum(1000), 7);
+    EXPECT_GE(tree.size(), 1000u);
+}
+
+TEST(Fenwick, NegativeDeltas)
+{
+    FenwickTree tree(8);
+    tree.add(4, 1);
+    tree.add(4, -1);
+    EXPECT_EQ(tree.prefixSum(8), 0);
+}
+
+/** Naive reference: distinct blocks strictly between two accesses. */
+class NaiveReuse
+{
+  public:
+    /** Returns distance or UINT64_MAX for cold accesses. */
+    std::uint64_t
+    observe(Addr block)
+    {
+        std::uint64_t result = ~std::uint64_t{0};
+        const auto it = last_.find(block);
+        if (it != last_.end()) {
+            std::unordered_set<Addr> distinct;
+            for (std::size_t i = it->second + 1; i < history_.size(); ++i)
+                distinct.insert(history_[i]);
+            result = distinct.size();
+        }
+        history_.push_back(block);
+        last_[block] = history_.size() - 1;
+        return result;
+    }
+
+  private:
+    std::vector<Addr> history_;
+    std::unordered_map<Addr, std::size_t> last_;
+};
+
+TEST(ReuseDistance, MatchesNaiveReferenceOnRandomStreams)
+{
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        ReuseDistanceAnalyzer analyzer;
+        NaiveReuse naive;
+        Rng rng(seed);
+
+        std::unordered_map<std::uint64_t, std::uint64_t> fast_hist;
+        std::unordered_map<std::uint64_t, std::uint64_t> slow_hist;
+        for (int i = 0; i < 3000; ++i) {
+            const Addr block = rng.nextBounded(64) * kBlockSize;
+            analyzer.observe(block, MetadataType::Counter,
+                             AccessType::Read);
+            const auto d = naive.observe(block);
+            if (d != ~std::uint64_t{0})
+                ++slow_hist[d];
+        }
+        for (const auto &[dist, count] :
+             analyzer.typeHistogram(MetadataType::Counter).cells()) {
+            fast_hist[dist] = count;
+        }
+        EXPECT_EQ(fast_hist, slow_hist) << "seed " << seed;
+    }
+}
+
+TEST(ReuseDistance, SimpleHandComputedCase)
+{
+    // Stream: A B C A  -> A's reuse distance is 2 (B and C).
+    //         B        -> distance 2 (C and A).
+    ReuseDistanceAnalyzer analyzer;
+    const Addr A = 0, B = 64, C = 128;
+    for (Addr a : {A, B, C, A, B})
+        analyzer.observe(a, MetadataType::Hash, AccessType::Read);
+
+    const auto &hist = analyzer.typeHistogram(MetadataType::Hash);
+    EXPECT_EQ(hist.totalCount(), 2u);
+    EXPECT_EQ(hist.cells().at(2), 2u);
+    EXPECT_EQ(analyzer.coldMisses(MetadataType::Hash), 3u);
+}
+
+TEST(ReuseDistance, ImmediateReuseIsZero)
+{
+    ReuseDistanceAnalyzer analyzer;
+    analyzer.observe(0, MetadataType::Counter, AccessType::Read);
+    analyzer.observe(0, MetadataType::Counter, AccessType::Read);
+    EXPECT_EQ(
+        analyzer.typeHistogram(MetadataType::Counter).cells().at(0), 1u);
+}
+
+TEST(ReuseDistance, TypesShareTheDistanceSpace)
+{
+    // Distance counts *any* intervening distinct block, regardless of
+    // type: C H C -> counter distance 1.
+    ReuseDistanceAnalyzer analyzer;
+    analyzer.observe(0, MetadataType::Counter, AccessType::Read);
+    analyzer.observe(1 << 20, MetadataType::Hash, AccessType::Read);
+    analyzer.observe(0, MetadataType::Counter, AccessType::Read);
+    EXPECT_EQ(
+        analyzer.typeHistogram(MetadataType::Counter).cells().at(1), 1u);
+}
+
+TEST(ReuseDistance, TransitionsTagged)
+{
+    ReuseDistanceAnalyzer analyzer;
+    const Addr A = 0;
+    analyzer.observe(A, MetadataType::Hash, AccessType::Read);
+    analyzer.observe(A, MetadataType::Hash, AccessType::Write); // WAR
+    analyzer.observe(A, MetadataType::Hash, AccessType::Write); // WAW
+    analyzer.observe(A, MetadataType::Hash, AccessType::Read);  // RAW
+    analyzer.observe(A, MetadataType::Hash, AccessType::Read);  // RAR
+
+    using RT = ReuseTransition;
+    EXPECT_EQ(analyzer
+                  .transitionHistogram(MetadataType::Hash,
+                                       RT::WriteAfterRead)
+                  .totalCount(),
+              1u);
+    EXPECT_EQ(analyzer
+                  .transitionHistogram(MetadataType::Hash,
+                                       RT::WriteAfterWrite)
+                  .totalCount(),
+              1u);
+    EXPECT_EQ(analyzer
+                  .transitionHistogram(MetadataType::Hash,
+                                       RT::ReadAfterWrite)
+                  .totalCount(),
+              1u);
+    EXPECT_EQ(analyzer
+                  .transitionHistogram(MetadataType::Hash,
+                                       RT::ReadAfterRead)
+                  .totalCount(),
+              1u);
+}
+
+TEST(ReuseDistance, CombinedHistogramMergesTypes)
+{
+    ReuseDistanceAnalyzer analyzer;
+    analyzer.observe(0, MetadataType::Counter, AccessType::Read);
+    analyzer.observe(0, MetadataType::Counter, AccessType::Read);
+    analyzer.observe(64, MetadataType::Hash, AccessType::Read);
+    analyzer.observe(64, MetadataType::Hash, AccessType::Read);
+    EXPECT_EQ(analyzer.combinedHistogram().totalCount(), 2u);
+}
+
+TEST(ReuseDistance, AccessorCounts)
+{
+    ReuseDistanceAnalyzer analyzer;
+    for (int i = 0; i < 5; ++i)
+        analyzer.observe(static_cast<Addr>(i) * 64, MetadataType::TreeNode,
+                         AccessType::Read);
+    EXPECT_EQ(analyzer.accesses(MetadataType::TreeNode), 5u);
+    EXPECT_EQ(analyzer.totalAccesses(), 5u);
+    EXPECT_EQ(analyzer.uniqueBlocks(), 5u);
+    EXPECT_EQ(analyzer.coldMisses(MetadataType::TreeNode), 5u);
+}
+
+TEST(Bimodal, ClassBoundaries)
+{
+    EXPECT_EQ(reuseClassOf(0), 0u);
+    EXPECT_EQ(reuseClassOf(128), 0u);
+    EXPECT_EQ(reuseClassOf(129), 1u);
+    EXPECT_EQ(reuseClassOf(256), 1u);
+    EXPECT_EQ(reuseClassOf(257), 2u);
+    EXPECT_EQ(reuseClassOf(512), 2u);
+    EXPECT_EQ(reuseClassOf(513), 3u);
+    EXPECT_EQ(reuseClassOf(1u << 20), 3u);
+}
+
+TEST(Bimodal, FractionsSumToOne)
+{
+    ExactHistogram hist;
+    hist.add(10, 50);
+    hist.add(200, 25);
+    hist.add(400, 15);
+    hist.add(10000, 10);
+    const auto fractions = classifyReuse(hist);
+    EXPECT_DOUBLE_EQ(fractions[0], 0.50);
+    EXPECT_DOUBLE_EQ(fractions[1], 0.25);
+    EXPECT_DOUBLE_EQ(fractions[2], 0.15);
+    EXPECT_DOUBLE_EQ(fractions[3], 0.10);
+    EXPECT_DOUBLE_EQ(bimodalityScore(hist), 0.60);
+}
+
+TEST(Bimodal, EmptyHistogram)
+{
+    ExactHistogram hist;
+    const auto fractions = classifyReuse(hist);
+    for (const double f : fractions)
+        EXPECT_DOUBLE_EQ(f, 0.0);
+}
+
+TEST(Bimodal, ClassNames)
+{
+    for (unsigned c = 0; c < kNumReuseClasses; ++c)
+        EXPECT_STRNE(reuseClassName(c), "?");
+}
+
+} // namespace
+} // namespace maps

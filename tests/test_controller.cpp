@@ -1,0 +1,329 @@
+/**
+ * @file
+ * Tests for the secure memory controller: read/write metadata traffic,
+ * tree traversal termination, lazy tree updates, speculation timing,
+ * page re-encryption, and the metadata tap.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/fixed_latency.hpp"
+#include "secmem/controller.hpp"
+
+namespace maps {
+namespace {
+
+constexpr Cycles kMemLat = 100;
+constexpr Cycles kHashLat = 40;
+constexpr Cycles kAesLat = 40;
+
+SecureMemoryConfig
+baseConfig()
+{
+    SecureMemoryConfig cfg;
+    cfg.layout.protectedBytes = 16_MiB; // 4096 counter blocks, 4 levels
+    cfg.cache = MetadataCacheConfig::allTypes(16_KiB);
+    cfg.hashLatency = kHashLat;
+    cfg.aesLatency = kAesLat;
+    return cfg;
+}
+
+MemoryRequest
+read(Addr addr, InstCount icount = 0)
+{
+    return {addr, RequestKind::Read, icount};
+}
+
+MemoryRequest
+writeback(Addr addr, InstCount icount = 0)
+{
+    return {addr, RequestKind::Writeback, icount};
+}
+
+std::uint32_t
+treeLevels(const SecureMemoryController &c)
+{
+    return c.layout().numTreeLevels();
+}
+
+TEST(Controller, ColdReadFetchesEverything)
+{
+    FixedLatencyMemory mem(kMemLat);
+    SecureMemoryController ctrl(baseConfig(), mem);
+    const auto out = ctrl.handleRequest(read(0));
+
+    const auto levels = treeLevels(ctrl);
+    EXPECT_EQ(levels, 4u);
+    // data + counter + full tree path + hash
+    EXPECT_EQ(out.memAccesses, 2u + levels + 1u);
+    EXPECT_FALSE(out.counterHit);
+    EXPECT_FALSE(out.hashHit);
+    EXPECT_EQ(out.treeLevelsFetched, levels);
+
+    const auto &s = ctrl.stats();
+    EXPECT_EQ(s.memReads[static_cast<int>(MemCategory::Data)], 1u);
+    EXPECT_EQ(s.memReads[static_cast<int>(MemCategory::Counter)], 1u);
+    EXPECT_EQ(s.memReads[static_cast<int>(MemCategory::Tree)], levels);
+    EXPECT_EQ(s.memReads[static_cast<int>(MemCategory::Hash)], 1u);
+}
+
+TEST(Controller, WarmReadHitsMetadataCache)
+{
+    FixedLatencyMemory mem(kMemLat);
+    SecureMemoryController ctrl(baseConfig(), mem);
+    ctrl.handleRequest(read(0));
+    // Same page and same 512B hash group: counter and hash both hit.
+    const auto out = ctrl.handleRequest(read(64));
+    EXPECT_TRUE(out.counterHit);
+    EXPECT_TRUE(out.hashHit);
+    EXPECT_EQ(out.memAccesses, 1u) << "only the data block";
+    EXPECT_EQ(out.treeLevelsFetched, 0u);
+}
+
+TEST(Controller, CachedTreeAncestorStopsTraversal)
+{
+    FixedLatencyMemory mem(kMemLat);
+    SecureMemoryController ctrl(baseConfig(), mem);
+    ctrl.handleRequest(read(0)); // fills tree path of page 0
+    // Page 1's counter block shares page 0's tree leaf (arity 8): its
+    // miss traversal must stop at the cached leaf without memory traffic.
+    const auto out = ctrl.handleRequest(read(kPageSize));
+    EXPECT_FALSE(out.counterHit);
+    EXPECT_EQ(out.treeLevelsFetched, 0u);
+    EXPECT_EQ(out.memAccesses, 3u)
+        << "data + counter + (new 512B group's) hash; no tree traffic";
+}
+
+TEST(Controller, NoCacheModePaysFullPathEveryTime)
+{
+    FixedLatencyMemory mem(kMemLat);
+    auto cfg = baseConfig();
+    cfg.cacheEnabled = false;
+    SecureMemoryController ctrl(cfg, mem);
+    const auto levels = treeLevels(ctrl);
+
+    for (int i = 0; i < 3; ++i) {
+        const auto out = ctrl.handleRequest(read(0));
+        EXPECT_EQ(out.memAccesses, 2u + levels + 1u) << "iteration " << i;
+        EXPECT_FALSE(out.counterHit);
+    }
+    EXPECT_EQ(ctrl.stats().memReads[static_cast<int>(MemCategory::Tree)],
+              3u * levels);
+}
+
+TEST(Controller, ColdWriteFillsMetadataAndPostsData)
+{
+    FixedLatencyMemory mem(kMemLat);
+    SecureMemoryController ctrl(baseConfig(), mem);
+    const auto out = ctrl.handleRequest(writeback(0));
+
+    const auto levels = treeLevels(ctrl);
+    EXPECT_EQ(out.latency, 0u) << "writebacks are posted";
+    const auto &s = ctrl.stats();
+    // counter fill + its verification traversal + hash fill + data write
+    EXPECT_EQ(s.memReads[static_cast<int>(MemCategory::Counter)], 1u);
+    EXPECT_EQ(s.memReads[static_cast<int>(MemCategory::Tree)], levels);
+    EXPECT_EQ(s.memReads[static_cast<int>(MemCategory::Hash)], 1u);
+    EXPECT_EQ(s.memWrites[static_cast<int>(MemCategory::Data)], 1u);
+    // Lazy tree updates: nothing written to the tree yet.
+    EXPECT_EQ(s.memWrites[static_cast<int>(MemCategory::Tree)], 0u);
+}
+
+TEST(Controller, ImmediateTreeUpdateWhenLazyDisabled)
+{
+    FixedLatencyMemory mem(kMemLat);
+    auto cfg = baseConfig();
+    cfg.lazyTreeUpdate = false;
+    SecureMemoryController ctrl(cfg, mem);
+
+    std::vector<MetadataAccess> taps;
+    ctrl.setMetadataTap(
+        [&taps](const MetadataAccess &acc) { taps.push_back(acc); });
+
+    ctrl.handleRequest(writeback(0));
+    const auto levels = treeLevels(ctrl);
+    unsigned tree_writes = 0;
+    for (const auto &acc : taps) {
+        if (acc.type == MetadataType::TreeNode && acc.isWrite())
+            ++tree_writes;
+    }
+    EXPECT_EQ(tree_writes, levels)
+        << "non-lazy mode writes the whole path";
+    EXPECT_EQ(ctrl.stats().rootUpdates, 1u);
+}
+
+TEST(Controller, LazyTreeWriteHappensOnCounterEviction)
+{
+    FixedLatencyMemory mem(kMemLat);
+    auto cfg = baseConfig();
+    cfg.cache.sizeBytes = 4 * kBlockSize; // tiny: force evictions
+    cfg.cache.assoc = 4;
+    SecureMemoryController ctrl(cfg, mem);
+
+    std::vector<MetadataAccess> taps;
+    ctrl.setMetadataTap(
+        [&taps](const MetadataAccess &acc) { taps.push_back(acc); });
+
+    // Dirty counters for many distinct pages churn the tiny cache.
+    for (std::uint64_t page = 0; page < 64; ++page)
+        ctrl.handleRequest(writeback(page * kPageSize));
+
+    const auto &s = ctrl.stats();
+    EXPECT_GT(s.memWrites[static_cast<int>(MemCategory::Counter)], 0u)
+        << "dirty counters must be written back";
+    unsigned tree_writes = 0;
+    for (const auto &acc : taps)
+        tree_writes += acc.type == MetadataType::TreeNode && acc.isWrite();
+    EXPECT_GT(tree_writes, 0u)
+        << "dirty counter eviction must update the tree";
+}
+
+TEST(Controller, SpeculationHidesVerificationLatency)
+{
+    FixedLatencyMemory mem_spec(kMemLat);
+    auto cfg = baseConfig();
+    cfg.speculation = true;
+    SecureMemoryController spec(cfg, mem_spec);
+    const auto fast = spec.handleRequest(read(0));
+    // max(data, counter + AES) + 1 XOR cycle.
+    EXPECT_EQ(fast.latency, kMemLat + kAesLat + 1);
+
+    FixedLatencyMemory mem_nospec(kMemLat);
+    cfg.speculation = false;
+    SecureMemoryController nospec(cfg, mem_nospec);
+    const auto slow = nospec.handleRequest(read(0));
+    EXPECT_GT(slow.latency, fast.latency);
+    // Verification latency itself is identical; only its visibility
+    // changes.
+    EXPECT_EQ(slow.verifyLatency, fast.verifyLatency);
+}
+
+TEST(Controller, VerifyLatencyCountsTreeDepth)
+{
+    FixedLatencyMemory mem(kMemLat);
+    SecureMemoryController ctrl(baseConfig(), mem);
+    const auto out = ctrl.handleRequest(read(0));
+    const auto levels = treeLevels(ctrl);
+    // Each fetched level: memory + hash; plus the root compare and the
+    // data-hash check.
+    EXPECT_EQ(out.verifyLatency,
+              levels * (kMemLat + kHashLat) + kHashLat + kHashLat);
+}
+
+TEST(Controller, PageOverflowReencryptsWholePage)
+{
+    FixedLatencyMemory mem(kMemLat);
+    SecureMemoryController ctrl(baseConfig(), mem);
+    for (int i = 0; i < 127; ++i)
+        ctrl.handleRequest(writeback(0));
+    EXPECT_EQ(ctrl.stats().pageOverflows, 0u);
+    ctrl.handleRequest(writeback(0)); // 128th write overflows
+    const auto &s = ctrl.stats();
+    EXPECT_EQ(s.pageOverflows, 1u);
+    EXPECT_EQ(s.memReads[static_cast<int>(MemCategory::Reencrypt)],
+              kBlocksPerPage);
+    EXPECT_EQ(s.memWrites[static_cast<int>(MemCategory::Reencrypt)],
+              kBlocksPerPage);
+}
+
+TEST(Controller, SgxModeHasNoOverflow)
+{
+    FixedLatencyMemory mem(kMemLat);
+    auto cfg = baseConfig();
+    cfg.layout.counterMode = CounterMode::MonolithicSgx;
+    SecureMemoryController ctrl(cfg, mem);
+    for (int i = 0; i < 300; ++i)
+        ctrl.handleRequest(writeback(0));
+    EXPECT_EQ(ctrl.stats().pageOverflows, 0u);
+}
+
+TEST(Controller, TapSeesWorkloadDrivenStream)
+{
+    FixedLatencyMemory mem(kMemLat);
+    SecureMemoryController ctrl(baseConfig(), mem);
+    std::vector<MetadataAccess> taps;
+    ctrl.setMetadataTap(
+        [&taps](const MetadataAccess &acc) { taps.push_back(acc); });
+
+    ctrl.handleRequest(read(0, 12345));
+    const auto levels = treeLevels(ctrl);
+    ASSERT_EQ(taps.size(), 2u + levels);
+    EXPECT_EQ(taps.front().type, MetadataType::Counter);
+    EXPECT_FALSE(taps.front().isWrite());
+    EXPECT_EQ(taps.front().icount, 12345u);
+    for (std::uint32_t l = 0; l < levels; ++l) {
+        EXPECT_EQ(taps[1 + l].type, MetadataType::TreeNode);
+        EXPECT_EQ(taps[1 + l].level, l);
+    }
+    EXPECT_EQ(taps.back().type, MetadataType::Hash);
+}
+
+TEST(Controller, CountersOnlyConfigBypassesHashes)
+{
+    FixedLatencyMemory mem(kMemLat);
+    auto cfg = baseConfig();
+    cfg.cache = MetadataCacheConfig::countersOnly(16_KiB);
+    SecureMemoryController ctrl(cfg, mem);
+
+    ctrl.handleRequest(read(0));
+    ctrl.handleRequest(read(64)); // same counter block, same hash block
+    const auto &s = ctrl.stats();
+    EXPECT_EQ(s.memReads[static_cast<int>(MemCategory::Hash)], 2u)
+        << "uncached hashes refetch every time";
+    EXPECT_EQ(s.memReads[static_cast<int>(MemCategory::Counter)], 1u)
+        << "cached counter hits on the second read";
+}
+
+TEST(Controller, CounterHitSkipsTreeEntirely)
+{
+    FixedLatencyMemory mem(kMemLat);
+    SecureMemoryController ctrl(baseConfig(), mem);
+    std::vector<MetadataAccess> taps;
+    ctrl.handleRequest(read(0));
+    ctrl.setMetadataTap(
+        [&taps](const MetadataAccess &acc) { taps.push_back(acc); });
+    ctrl.handleRequest(read(0));
+    for (const auto &acc : taps)
+        EXPECT_NE(acc.type, MetadataType::TreeNode)
+            << "cached counters were verified on fill (§II)";
+}
+
+TEST(Controller, StatsAggregateAndClear)
+{
+    FixedLatencyMemory mem(kMemLat);
+    SecureMemoryController ctrl(baseConfig(), mem);
+    ctrl.handleRequest(read(0));
+    ctrl.handleRequest(writeback(kPageSize));
+    const auto &s = ctrl.stats();
+    EXPECT_EQ(s.readRequests, 1u);
+    EXPECT_EQ(s.writeRequests, 1u);
+    EXPECT_GT(s.totalMemAccesses(), 0u);
+    EXPECT_GT(s.metadataMemAccesses(), 0u);
+    EXPECT_GT(s.avgReadLatency(), 0.0);
+    ctrl.clearStats();
+    EXPECT_EQ(ctrl.stats().requests(), 0u);
+}
+
+TEST(Controller, RejectsOutOfRangeAddress)
+{
+    FixedLatencyMemory mem(kMemLat);
+    SecureMemoryController ctrl(baseConfig(), mem);
+    EXPECT_DEATH({ ctrl.handleRequest(read(32_MiB)); }, "");
+}
+
+TEST(Controller, MetadataRegionsDoNotOverlapDram)
+{
+    // Distinct metadata blocks must map to distinct DRAM addresses:
+    // exercise via row-hit behaviour — not directly observable, so
+    // check the weaker invariant that traffic counts per category add
+    // up and memory sees every access.
+    FixedLatencyMemory mem(kMemLat);
+    SecureMemoryController ctrl(baseConfig(), mem);
+    ctrl.handleRequest(read(0));
+    ctrl.handleRequest(writeback(8 * kPageSize));
+    EXPECT_EQ(mem.stats().accesses(), ctrl.stats().totalMemAccesses());
+}
+
+} // namespace
+} // namespace maps

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Additional CSOPT properties: brute-force cross-check on tiny traces,
+ * monotonicity in capacity, and cost-model edge cases.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+
+#include "offline/csopt.hpp"
+#include "util/rng.hpp"
+
+namespace maps {
+namespace {
+
+/** Exhaustive optimal cost by trying every eviction choice. */
+std::uint64_t
+bruteForce(const std::vector<CsOptAccess> &trace, unsigned ways)
+{
+    std::uint64_t best = ~std::uint64_t{0};
+    std::function<void(std::size_t, std::vector<Addr>, std::uint64_t)>
+        go = [&](std::size_t i, std::vector<Addr> content,
+                 std::uint64_t cost) {
+            if (cost >= best)
+                return; // prune
+            if (i == trace.size()) {
+                best = std::min(best, cost);
+                return;
+            }
+            const Addr block = blockAlign(trace[i].block);
+            if (std::find(content.begin(), content.end(), block) !=
+                content.end()) {
+                go(i + 1, content, cost);
+                return;
+            }
+            const std::uint64_t new_cost = cost + trace[i].missCost;
+            if (content.size() < ways) {
+                content.push_back(block);
+                go(i + 1, content, new_cost);
+                return;
+            }
+            for (std::size_t v = 0; v < content.size(); ++v) {
+                auto child = content;
+                child[v] = block;
+                go(i + 1, child, new_cost);
+            }
+        };
+    go(0, {}, 0);
+    return best;
+}
+
+TEST(CsOptExtra, MatchesBruteForceOnTinyTraces)
+{
+    Rng rng(61);
+    for (int round = 0; round < 20; ++round) {
+        std::vector<CsOptAccess> trace;
+        const unsigned ways = 2 + rng.nextBounded(2); // 2 or 3
+        for (int i = 0; i < 12; ++i) {
+            trace.push_back({rng.nextBounded(5) * kBlockSize,
+                             1 + rng.nextBounded(9)});
+        }
+        CsOptConfig cfg;
+        cfg.ways = ways;
+        cfg.beamWidth = 0; // exact
+        const auto solved = solveCsOpt(trace, cfg);
+        EXPECT_TRUE(solved.exact);
+        EXPECT_EQ(solved.minCost, bruteForce(trace, ways))
+            << "round " << round;
+    }
+}
+
+TEST(CsOptExtra, MoreWaysNeverCostMore)
+{
+    Rng rng(67);
+    std::vector<CsOptAccess> trace;
+    for (int i = 0; i < 200; ++i)
+        trace.push_back({rng.nextBounded(10) * kBlockSize,
+                         1 + rng.nextBounded(4)});
+    std::uint64_t prev = ~std::uint64_t{0};
+    for (unsigned ways = 1; ways <= 6; ++ways) {
+        CsOptConfig cfg;
+        cfg.ways = ways;
+        const auto r = solveCsOpt(trace, cfg);
+        EXPECT_LE(r.minCost, prev) << ways << " ways";
+        prev = r.minCost;
+    }
+}
+
+TEST(CsOptExtra, ScalingCostsScalesOptimum)
+{
+    Rng rng(71);
+    std::vector<CsOptAccess> base;
+    for (int i = 0; i < 150; ++i)
+        base.push_back({rng.nextBounded(8) * kBlockSize,
+                        1 + rng.nextBounded(3)});
+    std::vector<CsOptAccess> doubled = base;
+    for (auto &acc : doubled)
+        acc.missCost *= 2;
+
+    CsOptConfig cfg;
+    cfg.ways = 3;
+    EXPECT_EQ(2 * solveCsOpt(base, cfg).minCost,
+              solveCsOpt(doubled, cfg).minCost);
+}
+
+TEST(CsOptExtra, SingleWayDegeneratesToMissCount)
+{
+    // With one way, every distinct consecutive access misses.
+    std::vector<CsOptAccess> trace{{0, 1}, {64, 1}, {0, 1}, {64, 1}};
+    CsOptConfig cfg;
+    cfg.ways = 1;
+    const auto r = solveCsOpt(trace, cfg);
+    EXPECT_EQ(r.misses, 4u);
+}
+
+TEST(CsOptExtra, HitsAreFree)
+{
+    std::vector<CsOptAccess> trace{{0, 5}, {0, 5}, {0, 5}};
+    CsOptConfig cfg;
+    cfg.ways = 2;
+    const auto r = solveCsOpt(trace, cfg);
+    EXPECT_EQ(r.minCost, 5u);
+    EXPECT_EQ(r.misses, 1u);
+}
+
+TEST(CsOptExtra, ExpansionCountsReported)
+{
+    Rng rng(73);
+    std::vector<CsOptAccess> trace;
+    for (int i = 0; i < 100; ++i)
+        trace.push_back({rng.nextBounded(12) * kBlockSize, 1});
+    CsOptConfig cfg;
+    cfg.ways = 4;
+    const auto r = solveCsOpt(trace, cfg);
+    EXPECT_GT(r.expansions, 0u);
+    EXPECT_GT(r.peakStates, 1u);
+}
+
+} // namespace
+} // namespace maps

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Tests for the energy/delay model.
+ */
+#include <gtest/gtest.h>
+
+#include "energy/energy.hpp"
+
+namespace maps {
+namespace {
+
+TEST(Energy, DramTransferUsesPaperConstant)
+{
+    EnergyModel model;
+    // 64B = 512 bits at 150 pJ/bit [14].
+    EXPECT_DOUBLE_EQ(model.dramAccessPj(), 512 * 150.0);
+}
+
+TEST(Energy, SramReferencePoint)
+{
+    EnergyModel model;
+    // At the reference capacity, 0.3 pJ/bit [26].
+    EXPECT_DOUBLE_EQ(model.sramAccessPj(1_MiB), 512 * 0.3);
+}
+
+TEST(Energy, SramScalesWithSqrtCapacity)
+{
+    EnergyModel model;
+    EXPECT_DOUBLE_EQ(model.sramAccessPj(4_MiB),
+                     2.0 * model.sramAccessPj(1_MiB));
+    EXPECT_DOUBLE_EQ(model.sramAccessPj(256_KiB),
+                     0.5 * model.sramAccessPj(1_MiB));
+}
+
+TEST(Energy, DramFarExceedsSram)
+{
+    // The §II-B motivation: DRAM access energy dwarfs SRAM.
+    EnergyModel model;
+    EXPECT_GT(model.dramAccessPj(), 100 * model.sramAccessPj(2_MiB));
+}
+
+TEST(Energy, CacheDynamicLinearInAccesses)
+{
+    EnergyModel model;
+    EXPECT_DOUBLE_EQ(model.cacheDynamicPj(1_MiB, 1000),
+                     1000 * model.sramAccessPj(1_MiB));
+}
+
+TEST(Energy, LeakageProportionalToSizeAndTime)
+{
+    EnergyModel model;
+    const double e1 = model.leakagePj(1_MiB, 1.0);
+    EXPECT_DOUBLE_EQ(model.leakagePj(2_MiB, 1.0), 2 * e1);
+    EXPECT_DOUBLE_EQ(model.leakagePj(1_MiB, 3.0), 3 * e1);
+    // 20 mW/MB for one second = 20 mJ = 2e10 pJ.
+    EXPECT_DOUBLE_EQ(e1, 20e-3 * 1e12);
+}
+
+TEST(Energy, SecondsAtThreeGigahertz)
+{
+    EnergyModel model;
+    EXPECT_DOUBLE_EQ(model.secondsOf(3'000'000'000ull), 1.0);
+}
+
+TEST(Energy, Ed2Definition)
+{
+    // 1 J for 2 s -> 1 * 2^2 = 4.
+    EXPECT_DOUBLE_EQ(energyDelaySquared(1e12, 2.0), 4.0);
+}
+
+TEST(Energy, BreakdownTotals)
+{
+    EnergyBreakdown b;
+    b.l1Pj = 1;
+    b.l2Pj = 2;
+    b.llcPj = 3;
+    b.mdCachePj = 4;
+    b.dramPj = 5;
+    b.leakagePj = 6;
+    EXPECT_DOUBLE_EQ(b.totalPj(), 21.0);
+}
+
+} // namespace
+} // namespace maps

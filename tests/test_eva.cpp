@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for the EVA replacement policy (Beckmann & Sanchez).
+ */
+#include <gtest/gtest.h>
+
+#include "cache/cache.hpp"
+#include "cache/policy_eva.hpp"
+#include "util/rng.hpp"
+
+namespace maps {
+namespace {
+
+SetAssociativeCache
+makeEvaCache(std::uint64_t size, std::uint32_t assoc, EvaConfig cfg = {})
+{
+    CacheGeometry geom;
+    geom.sizeBytes = size;
+    geom.assoc = assoc;
+    return SetAssociativeCache(geom, std::make_unique<EvaPolicy>(cfg));
+}
+
+TEST(Eva, Name)
+{
+    EvaPolicy plain;
+    EXPECT_EQ(plain.name(), "eva");
+    EvaConfig cfg;
+    cfg.classifyByType = true;
+    EvaPolicy typed(cfg);
+    EXPECT_EQ(typed.name(), "eva-typed");
+}
+
+TEST(Eva, InitialRanksFavourOldLines)
+{
+    EvaPolicy policy;
+    policy.init(4, 4);
+    const auto &ranks = policy.ranks();
+    for (std::size_t a = 1; a < ranks.size(); ++a)
+        EXPECT_LT(ranks[a], ranks[a - 1]);
+}
+
+TEST(Eva, RetainsHotBlocksUnderChurn)
+{
+    // 1 set, 8 ways; 4 hot blocks re-referenced constantly plus a cold
+    // scan. After warmup, EVA should keep the hot blocks resident.
+    auto cache = makeEvaCache(8 * kBlockSize, 8);
+    Rng rng(3);
+    const std::vector<Addr> hot{0, 64, 128, 192};
+
+    std::uint64_t hot_misses_late = 0;
+    for (int i = 0; i < 60000; ++i) {
+        for (const Addr h : hot) {
+            const bool hit = cache.access(h, false).hit;
+            if (i > 40000 && !hit)
+                ++hot_misses_late;
+        }
+        // One cold, never-reused block per round.
+        cache.access((1000 + i) * kBlockSize, false);
+    }
+    // Hot blocks are re-referenced 4x as often as cold ones arrive; a
+    // reuse-aware policy keeps them nearly always.
+    EXPECT_LT(hot_misses_late, 2000u);
+}
+
+TEST(Eva, BeatsChurnBetterThanLruOnMixedReuse)
+{
+    // Classic LRU-adversarial mix: a loop slightly larger than the
+    // cache plus scanning traffic. EVA should not do dramatically worse
+    // than LRU (smoke-level ranking check on a seeded stream).
+    const std::uint64_t size = 64 * kBlockSize;
+    auto eva = makeEvaCache(size, 8);
+
+    CacheGeometry geom;
+    geom.sizeBytes = size;
+    geom.assoc = 8;
+    SetAssociativeCache lru(geom, makeReplacementPolicy("lru"));
+
+    Rng rng(7);
+    for (int i = 0; i < 200000; ++i) {
+        Addr addr;
+        if (rng.nextBool(0.7)) {
+            addr = rng.nextBounded(48) * kBlockSize; // fits: reused
+        } else {
+            addr = (100 + rng.nextBounded(4096)) * kBlockSize; // scan
+        }
+        eva.access(addr, false);
+        lru.access(addr, false);
+    }
+    EXPECT_LT(static_cast<double>(eva.stats().misses),
+              1.25 * static_cast<double>(lru.stats().misses));
+}
+
+TEST(Eva, TypedVariantKeepsSeparateHistograms)
+{
+    EvaConfig cfg;
+    cfg.classifyByType = true;
+    cfg.numClasses = 2;
+    cfg.updatePeriod = 256;
+    EvaPolicy policy(cfg);
+    policy.init(1, 4);
+
+    ReplContext cls0;
+    cls0.typeClass = 0;
+    ReplContext cls1;
+    cls1.typeClass = 1;
+
+    // Insert and hit class 0 at young ages, class 1 never hits; after
+    // an update the rank tables must differ.
+    for (int i = 0; i < 2000; ++i) {
+        policy.insert(0, 0, cls0);
+        policy.touch(0, 0, cls0);
+        policy.insert(0, 1, cls1);
+    }
+    EXPECT_NE(policy.ranks(0), policy.ranks(1));
+}
+
+TEST(Eva, RejectsDegenerateConfig)
+{
+    EvaConfig cfg;
+    cfg.maxAge = 1;
+    EXPECT_DEATH({ EvaPolicy policy(cfg); }, "");
+}
+
+} // namespace
+} // namespace maps

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Tests for the system-level extensions: metadata prefetching and
+ * multiprogrammed workload mixes.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/simulator.hpp"
+#include "mem/fixed_latency.hpp"
+#include "secmem/controller.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/suite.hpp"
+
+namespace maps {
+namespace {
+
+SecureMemoryConfig
+prefetchConfig(bool enable)
+{
+    SecureMemoryConfig cfg;
+    cfg.layout.protectedBytes = 16_MiB;
+    cfg.cache = MetadataCacheConfig::allTypes(16_KiB);
+    cfg.prefetchNextMetadata = enable;
+    return cfg;
+}
+
+TEST(Prefetch, IssuesNeighborFetchOnCounterMiss)
+{
+    FixedLatencyMemory mem(100);
+    SecureMemoryController ctrl(prefetchConfig(true), mem);
+    ctrl.handleRequest({0, RequestKind::Read, 0});
+    EXPECT_GE(ctrl.stats().prefetchesIssued, 1u);
+    EXPECT_GE(ctrl.metadataCache().stats().prefetchInserts, 1u);
+
+    // The next page's counter block is now resident: reading it hits.
+    const auto out = ctrl.handleRequest({kPageSize, RequestKind::Read, 0});
+    EXPECT_TRUE(out.counterHit) << "prefetched counter block hit";
+}
+
+TEST(Prefetch, HashNeighborPrefetched)
+{
+    FixedLatencyMemory mem(100);
+    SecureMemoryController ctrl(prefetchConfig(true), mem);
+    ctrl.handleRequest({0, RequestKind::Read, 0});
+    // Blocks 8..15 share the *next* hash block: it was prefetched.
+    const auto out =
+        ctrl.handleRequest({8 * kBlockSize, RequestKind::Read, 0});
+    EXPECT_TRUE(out.hashHit) << "prefetched hash block hit";
+}
+
+TEST(Prefetch, DisabledByDefault)
+{
+    FixedLatencyMemory mem(100);
+    SecureMemoryController ctrl(prefetchConfig(false), mem);
+    ctrl.handleRequest({0, RequestKind::Read, 0});
+    EXPECT_EQ(ctrl.stats().prefetchesIssued, 0u);
+    EXPECT_EQ(ctrl.metadataCache().stats().prefetchInserts, 0u);
+}
+
+TEST(Prefetch, PrefetchedCountersAreVerified)
+{
+    FixedLatencyMemory mem(100);
+    SecureMemoryController ctrl(prefetchConfig(true), mem);
+
+    std::vector<MetadataAccess> taps;
+    ctrl.setMetadataTap(
+        [&taps](const MetadataAccess &a) { taps.push_back(a); });
+    ctrl.handleRequest({0, RequestKind::Read, 0});
+    // Beyond the demand counter's traversal, the prefetched counter's
+    // (possibly cached) tree path is also consulted.
+    unsigned tree_reads = 0;
+    for (const auto &acc : taps)
+        tree_reads += acc.type == MetadataType::TreeNode && !acc.isWrite();
+    EXPECT_GE(tree_reads, ctrl.layout().numTreeLevels())
+        << "prefetch must not bypass verification";
+}
+
+TEST(Prefetch, HelpsSequentialStreams)
+{
+    auto make_cfg = [](bool prefetch) {
+        SimConfig cfg;
+        cfg.benchmark = "libquantum";
+        cfg.warmupRefs = 100'000;
+        cfg.measureRefs = 600'000;
+        cfg.useDram = false;
+        cfg.secure.layout.protectedBytes = 256_MiB;
+        cfg.secure.prefetchNextMetadata = prefetch;
+        return cfg;
+    };
+    const auto off = runBenchmark(make_cfg(false));
+    const auto on = runBenchmark(make_cfg(true));
+    // Streaming metadata is perfectly next-block predictable: demand
+    // misses must drop.
+    EXPECT_LT(on.mdCache.totalMisses(), off.mdCache.totalMisses());
+    EXPECT_GT(on.controller.prefetchesIssued, 0u);
+}
+
+TEST(MultiProgrammed, RegionsIsolatePrograms)
+{
+    std::vector<std::unique_ptr<AccessGenerator>> programs;
+    programs.push_back(std::make_unique<StreamGenerator>(
+        1_MiB, 0.0, kBlockSize, 1));
+    programs.push_back(std::make_unique<StreamGenerator>(
+        1_MiB, 0.0, kBlockSize, 2));
+    MultiProgrammedGenerator gen(std::move(programs), 64_MiB, 4);
+
+    bool saw_low = false, saw_high = false;
+    for (int i = 0; i < 1000; ++i) {
+        const auto ref = gen.next();
+        const auto region = ref.addr / 64_MiB;
+        ASSERT_LT(region, 2u);
+        saw_low |= region == 0;
+        saw_high |= region == 1;
+    }
+    EXPECT_TRUE(saw_low);
+    EXPECT_TRUE(saw_high);
+}
+
+TEST(MultiProgrammed, BurstsAlternate)
+{
+    std::vector<std::unique_ptr<AccessGenerator>> programs;
+    for (int p = 0; p < 3; ++p) {
+        programs.push_back(std::make_unique<StreamGenerator>(
+            1_MiB, 0.0, kBlockSize, p + 1));
+    }
+    MultiProgrammedGenerator gen(std::move(programs), 64_MiB, 8);
+    // Within a burst, the region must not change.
+    Addr prev_region = gen.next().addr / 64_MiB;
+    int switches = 0;
+    for (int i = 1; i < 240; ++i) {
+        const Addr region = gen.next().addr / 64_MiB;
+        switches += region != prev_region;
+        prev_region = region;
+    }
+    EXPECT_EQ(switches, 240 / 8 - 1 + (240 % 8 ? 1 : 0) - 0)
+        << "one switch per burst boundary";
+}
+
+TEST(MultiProgrammed, MixSyntaxParses)
+{
+    auto gen = makeBenchmark("mix:libquantum+perl", 7);
+    ASSERT_NE(gen, nullptr);
+    std::set<Addr> regions;
+    for (int i = 0; i < 10000; ++i)
+        regions.insert(gen->next().addr / 64_MiB);
+    EXPECT_EQ(regions.size(), 2u);
+}
+
+TEST(MultiProgrammed, MixRunsEndToEnd)
+{
+    SimConfig cfg;
+    cfg.benchmark = "mix:libquantum+fft";
+    cfg.warmupRefs = 20'000;
+    cfg.measureRefs = 100'000;
+    cfg.useDram = false;
+    cfg.secure.layout.protectedBytes = 256_MiB;
+    const auto report = runBenchmark(cfg);
+    EXPECT_EQ(report.refs, 100'000u);
+    EXPECT_GT(report.metadataMpki, 0.0);
+}
+
+TEST(MultiProgrammed, MixIsDeterministic)
+{
+    auto a = makeBenchmark("mix:canneal+libquantum", 5);
+    auto b = makeBenchmark("mix:canneal+libquantum", 5);
+    for (int i = 0; i < 2000; ++i)
+        EXPECT_EQ(a->next().addr, b->next().addr);
+}
+
+TEST(MultiProgrammed, ResetRestoresStream)
+{
+    auto gen = makeBenchmark("mix:fft+perl", 3);
+    std::vector<Addr> first;
+    for (int i = 0; i < 500; ++i)
+        first.push_back(gen->next().addr);
+    gen->reset();
+    for (int i = 0; i < 500; ++i)
+        EXPECT_EQ(gen->next().addr, first[i]);
+}
+
+} // namespace
+} // namespace maps

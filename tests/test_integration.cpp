@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Cross-cutting integration tests: whole-system invariants that tie
+ * the workload, hierarchy, controller, and analysis layers together.
+ */
+#include <gtest/gtest.h>
+
+#include "analysis/reuse.hpp"
+#include "core/simulator.hpp"
+#include "util/table.hpp"
+
+namespace maps {
+namespace {
+
+SimConfig
+smallConfig(const std::string &bench)
+{
+    SimConfig cfg;
+    cfg.benchmark = bench;
+    cfg.warmupRefs = 50'000;
+    cfg.measureRefs = 250'000;
+    cfg.useDram = false;
+    cfg.secure.layout.protectedBytes = 128_MiB;
+    return cfg;
+}
+
+TEST(Integration, SpeculationChangesLatencyNotTraffic)
+{
+    auto cfg = smallConfig("fft");
+    cfg.secure.speculation = true;
+    const auto spec = runBenchmark(cfg);
+    cfg.secure.speculation = false;
+    const auto nospec = runBenchmark(cfg);
+
+    // Speculation hides latency; it must not alter a single access.
+    EXPECT_EQ(spec.memory.accesses(), nospec.memory.accesses());
+    EXPECT_EQ(spec.mdCache.totalMisses(), nospec.mdCache.totalMisses());
+    EXPECT_LT(spec.cycles, nospec.cycles);
+}
+
+TEST(Integration, LazyTreeUpdatesCoalesceWrites)
+{
+    auto cfg = smallConfig("lbm"); // write-heavy
+    cfg.secure.lazyTreeUpdate = true;
+    const auto lazy = runBenchmark(cfg);
+    cfg.secure.lazyTreeUpdate = false;
+    const auto eager = runBenchmark(cfg);
+
+    const auto tree_writes = [](const RunReport &r) {
+        return r.controller
+            .memWrites[static_cast<int>(MemCategory::Tree)];
+    };
+    const auto tree_touches = [](const RunReport &r) {
+        return r.mdCache.accesses[static_cast<int>(
+            MetadataType::TreeNode)];
+    };
+    // Deferring to dirty-counter eviction coalesces repeated updates
+    // of the same path (§IV-E note).
+    EXPECT_LE(tree_writes(lazy), tree_writes(eager));
+    EXPECT_LT(tree_touches(lazy), tree_touches(eager));
+}
+
+TEST(Integration, SgxCountersBehaveLikeHashes)
+{
+    // Table II consequence: with 512B coverage, counter blocks see the
+    // same reuse distribution as hash blocks.
+    auto cfg = smallConfig("libquantum");
+    cfg.measureRefs = 700'000;
+    cfg.secure.layout.counterMode = CounterMode::MonolithicSgx;
+    cfg.secure.cacheEnabled = false;
+    SecureMemorySim sim(cfg);
+    ReuseDistanceAnalyzer analyzer;
+    sim.setMetadataTap(
+        [&analyzer](const MetadataAccess &a) { analyzer.observe(a); });
+    sim.run();
+
+    const auto &ctr = analyzer.typeHistogram(MetadataType::Counter);
+    const auto &hash = analyzer.typeHistogram(MetadataType::Hash);
+    ASSERT_GT(ctr.totalCount(), 0u);
+    for (const std::uint64_t x : {8u, 64u, 512u, 4096u}) {
+        EXPECT_NEAR(ctr.cumulativeAtOrBelow(x),
+                    hash.cumulativeAtOrBelow(x), 0.05)
+            << "at distance " << x;
+    }
+}
+
+TEST(Integration, BiggerMetadataCacheMonotoneForLru)
+{
+    std::uint64_t prev = ~std::uint64_t{0};
+    for (const std::uint64_t size : {16_KiB, 64_KiB, 256_KiB}) {
+        auto cfg = smallConfig("fft");
+        cfg.secure.cache.sizeBytes = size;
+        cfg.secure.cache.policy = "lru";
+        const auto report = runBenchmark(cfg);
+        EXPECT_LE(report.mdCache.totalMisses(), prev)
+            << TextTable::fmtSize(size);
+        prev = report.mdCache.totalMisses();
+    }
+}
+
+TEST(Integration, SeedsChangeOutcomes)
+{
+    auto cfg = smallConfig("canneal");
+    const auto a = runBenchmark(cfg);
+    cfg.seed = 42;
+    const auto b = runBenchmark(cfg);
+    EXPECT_NE(a.cycles, b.cycles)
+        << "different seeds must yield different streams";
+    // But the rough magnitude is stable.
+    EXPECT_NEAR(static_cast<double>(a.llcMpki), b.llcMpki,
+                0.3 * a.llcMpki);
+}
+
+TEST(Integration, NoMetadataCacheIsStrictlyWorse)
+{
+    auto cfg = smallConfig("leslie3d");
+    const auto with = runBenchmark(cfg);
+    cfg.secure.cacheEnabled = false;
+    const auto without = runBenchmark(cfg);
+    EXPECT_LT(with.controller.metadataMemAccesses(),
+              without.controller.metadataMemAccesses());
+    EXPECT_LT(with.memAccessesPerRequest,
+              without.memAccessesPerRequest);
+    // The no-cache factor: each request needs counter + hash + full
+    // tree walk (reads); with a 256MB layout that is substantial.
+    EXPECT_GT(without.memAccessesPerRequest, 3.0);
+}
+
+TEST(Integration, WarmupDoesNotLeakIntoStats)
+{
+    auto cfg = smallConfig("libquantum");
+    cfg.warmupRefs = 300'000;
+    cfg.measureRefs = 100'000;
+    const auto report = runBenchmark(cfg);
+    EXPECT_EQ(report.refs, 100'000u);
+    // Measured instruction count reflects only the measured phase.
+    EXPECT_LT(report.instructions, 100'000u * 10);
+}
+
+TEST(Integration, EnergyBreakdownConsistent)
+{
+    const auto report = runBenchmark(smallConfig("mcf"));
+    const auto &e = report.energy;
+    EXPECT_GT(e.l1Pj, 0.0);
+    EXPECT_GT(e.l2Pj, 0.0);
+    EXPECT_GT(e.llcPj, 0.0);
+    EXPECT_GT(e.mdCachePj, 0.0);
+    EXPECT_GT(e.dramPj, 0.0);
+    EXPECT_GT(e.leakagePj, 0.0);
+    EXPECT_NEAR(e.totalPj(),
+                e.l1Pj + e.l2Pj + e.llcPj + e.mdCachePj + e.dramPj +
+                    e.leakagePj,
+                1e-6);
+    // L1 is touched far more often than DRAM, but DRAM dominates
+    // energy — the paper's §II-B motivation.
+    EXPECT_GT(e.dramPj, e.l1Pj);
+}
+
+} // namespace
+} // namespace maps

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests for the functional Bonsai Merkle Tree: update/verify cycles and
+ * tamper detection end to end.
+ */
+#include <gtest/gtest.h>
+
+#include "secmem/integrity_tree.hpp"
+
+namespace maps {
+namespace {
+
+MetadataLayout
+smallLayout()
+{
+    LayoutConfig cfg;
+    cfg.protectedBytes = 16_MiB; // 4096 counter blocks, 4 tree levels
+    return MetadataLayout(cfg);
+}
+
+Addr
+counterAddr(std::uint64_t index)
+{
+    return MetadataLayout::encode(MetadataType::Counter, 0, index);
+}
+
+TEST(IntegrityTree, PristineStateVerifies)
+{
+    const auto layout = smallLayout();
+    IntegrityTree tree(layout);
+    // Untouched counters have the default digest; the tree must accept
+    // a verification against that default.
+    EXPECT_TRUE(tree.verifyCounter(counterAddr(5),
+                                   IntegrityTree::kDefaultCounterDigest));
+}
+
+TEST(IntegrityTree, UpdateThenVerify)
+{
+    const auto layout = smallLayout();
+    IntegrityTree tree(layout);
+    const Addr ctr = counterAddr(123);
+    tree.updateCounter(ctr, 0x1111);
+    EXPECT_TRUE(tree.verifyCounter(ctr, 0x1111));
+}
+
+TEST(IntegrityTree, RootChangesOnUpdate)
+{
+    const auto layout = smallLayout();
+    IntegrityTree tree(layout);
+    const auto root0 = tree.root();
+    tree.updateCounter(counterAddr(7), 0x2222);
+    EXPECT_NE(tree.root(), root0);
+}
+
+TEST(IntegrityTree, DetectsCounterTampering)
+{
+    const auto layout = smallLayout();
+    IntegrityTree tree(layout);
+    const Addr ctr = counterAddr(99);
+    tree.updateCounter(ctr, 0x3333);
+    // An attacker replays an old counter value.
+    EXPECT_FALSE(tree.verifyCounter(ctr, 0x3334));
+    EXPECT_FALSE(tree.verifyCounter(ctr, 0));
+    EXPECT_TRUE(tree.verifyCounter(ctr, 0x3333));
+}
+
+TEST(IntegrityTree, DetectsTreeNodeTampering)
+{
+    const auto layout = smallLayout();
+    IntegrityTree tree(layout);
+    const Addr ctr = counterAddr(200);
+    tree.updateCounter(ctr, 0x4444);
+
+    // Corrupt the leaf protecting this counter.
+    const Addr leaf = layout.treeLeafForCounter(ctr);
+    const auto good = tree.nodeDigest(leaf);
+    tree.tamperNode(leaf, good ^ 1);
+    EXPECT_FALSE(tree.verifyCounter(ctr, 0x4444));
+    tree.tamperNode(leaf, good);
+    EXPECT_TRUE(tree.verifyCounter(ctr, 0x4444));
+}
+
+TEST(IntegrityTree, DetectsUpperLevelTampering)
+{
+    const auto layout = smallLayout();
+    IntegrityTree tree(layout);
+    const Addr ctr = counterAddr(300);
+    tree.updateCounter(ctr, 0x5555);
+
+    const Addr leaf = layout.treeLeafForCounter(ctr);
+    const Addr parent = layout.treeParent(leaf);
+    ASSERT_NE(parent, kInvalidAddr);
+    const auto good = tree.nodeDigest(parent);
+    tree.tamperNode(parent, good ^ 0xFF);
+    EXPECT_FALSE(tree.verifyCounter(ctr, 0x5555));
+}
+
+TEST(IntegrityTree, ConsistentTamperingStillCaughtByRoot)
+{
+    // An attacker who rewrites a whole path *consistently* is defeated
+    // by the on-chip root: fabricate a consistent subtree by replaying
+    // updateCounter into a second tree and copying its nodes.
+    const auto layout = smallLayout();
+    IntegrityTree victim(layout);
+    const Addr ctr = counterAddr(400);
+    victim.updateCounter(ctr, 0x6666);
+
+    IntegrityTree attacker(layout);
+    attacker.updateCounter(ctr, 0x9999); // forged value
+
+    // Copy the attacker's (internally consistent) path into the victim's
+    // memory-resident nodes; the victim's on-chip root is untouched.
+    for (const Addr node : layout.treePathForCounter(ctr))
+        victim.tamperNode(node, attacker.nodeDigest(node));
+    EXPECT_FALSE(victim.verifyCounter(ctr, 0x9999));
+}
+
+TEST(IntegrityTree, ManyCountersIndependent)
+{
+    const auto layout = smallLayout();
+    IntegrityTree tree(layout);
+    for (std::uint64_t i = 0; i < 64; ++i)
+        tree.updateCounter(counterAddr(i * 61 % 4096), 0x1000 + i);
+    for (std::uint64_t i = 0; i < 64; ++i) {
+        EXPECT_TRUE(
+            tree.verifyCounter(counterAddr(i * 61 % 4096), 0x1000 + i))
+            << i;
+    }
+    // Untouched counters still verify with the default digest.
+    EXPECT_TRUE(tree.verifyCounter(counterAddr(4000),
+                                   IntegrityTree::kDefaultCounterDigest));
+}
+
+TEST(IntegrityTree, MixIsOrderSensitive)
+{
+    EXPECT_NE(IntegrityTree::mix(1, 2), IntegrityTree::mix(2, 1));
+    EXPECT_NE(IntegrityTree::mix(0, 0), 0u);
+}
+
+} // namespace
+} // namespace maps

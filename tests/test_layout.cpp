@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Tests for the metadata layout: Table II coverage values, address
+ * encoding, tree geometry, and both counter organizations.
+ */
+#include <gtest/gtest.h>
+
+#include "secmem/layout.hpp"
+#include "util/bitops.hpp"
+
+namespace maps {
+namespace {
+
+LayoutConfig
+piConfig(std::uint64_t bytes)
+{
+    LayoutConfig cfg;
+    cfg.protectedBytes = bytes;
+    cfg.counterMode = CounterMode::SplitPi;
+    return cfg;
+}
+
+LayoutConfig
+sgxConfig(std::uint64_t bytes)
+{
+    LayoutConfig cfg;
+    cfg.protectedBytes = bytes;
+    cfg.counterMode = CounterMode::MonolithicSgx;
+    return cfg;
+}
+
+TEST(Layout, TableTwoCoveragePi)
+{
+    // Table II (PI): counter block covers 4KB, hash block covers 512B,
+    // tree leaf covers 4KB * 8 = 32KB, each level x8.
+    MetadataLayout layout(piConfig(4_GiB));
+    EXPECT_EQ(layout.counterBlockCoverage(), 4_KiB);
+    EXPECT_EQ(layout.hashBlockCoverage(), 512u);
+    EXPECT_EQ(layout.treeBlockCoverage(0), 32_KiB);
+    EXPECT_EQ(layout.treeBlockCoverage(1), 256_KiB);
+    EXPECT_EQ(layout.treeBlockCoverage(2), 2_MiB);
+}
+
+TEST(Layout, TableTwoCoverageSgx)
+{
+    // Table II (SGX): counter block covers 512B, tree leaf covers
+    // 512B * 8 = 4KB.
+    MetadataLayout layout(sgxConfig(4_GiB));
+    EXPECT_EQ(layout.counterBlockCoverage(), 512u);
+    EXPECT_EQ(layout.hashBlockCoverage(), 512u);
+    EXPECT_EQ(layout.treeBlockCoverage(0), 4_KiB);
+    EXPECT_EQ(layout.treeBlockCoverage(1), 32_KiB);
+}
+
+TEST(Layout, BlockCountsPi4GB)
+{
+    MetadataLayout layout(piConfig(4_GiB));
+    EXPECT_EQ(layout.numDataBlocks(), 4_GiB / 64);
+    EXPECT_EQ(layout.numCounterBlocks(), 4_GiB / 4_KiB); // 1M blocks
+    EXPECT_EQ(layout.numHashBlocks(), 4_GiB / 512);
+    // 2^20 counter blocks, arity 8: levels of 2^17, 2^14, 2^11, 2^8,
+    // 2^5, 2^2, 1.
+    EXPECT_EQ(layout.numTreeLevels(), 7u);
+    EXPECT_EQ(layout.treeLevelBlockCount(0), 1u << 17);
+    EXPECT_EQ(layout.treeLevelBlockCount(6), 1u);
+}
+
+TEST(Layout, CounterSpaceReductionClaim)
+{
+    // §II-A: per-page + per-block counters shrink counter storage from
+    // 512MB (8B per 64B block) to 64MB for 4GB protected memory.
+    MetadataLayout pi(piConfig(4_GiB));
+    EXPECT_EQ(pi.numCounterBlocks() * kBlockSize, 64_MiB);
+    MetadataLayout sgx(sgxConfig(4_GiB));
+    EXPECT_EQ(sgx.numCounterBlocks() * kBlockSize, 512_MiB);
+}
+
+TEST(Layout, AddressEncodingRoundTrip)
+{
+    for (const auto type : {MetadataType::Counter, MetadataType::TreeNode,
+                            MetadataType::Hash}) {
+        for (const std::uint32_t level : {0u, 3u, 10u}) {
+            for (const std::uint64_t index :
+                 {std::uint64_t{0}, std::uint64_t{12345},
+                  (std::uint64_t{1} << 40)}) {
+                const Addr addr =
+                    MetadataLayout::encode(type, level, index);
+                EXPECT_EQ(MetadataLayout::typeOf(addr), type);
+                EXPECT_EQ(MetadataLayout::levelOf(addr), level);
+                EXPECT_EQ(MetadataLayout::indexOf(addr), index);
+                EXPECT_TRUE(MetadataLayout::isMetadataAddr(addr));
+            }
+        }
+    }
+}
+
+TEST(Layout, DataAddressesAreNotMetadata)
+{
+    EXPECT_FALSE(MetadataLayout::isMetadataAddr(0));
+    EXPECT_FALSE(MetadataLayout::isMetadataAddr(4_GiB - 64));
+    EXPECT_EQ(MetadataLayout::typeOf(0x1234), MetadataType::Data);
+}
+
+TEST(Layout, CounterMappingPi)
+{
+    MetadataLayout layout(piConfig(1_GiB));
+    // Every block of a 4KB page maps to the same counter block.
+    const Addr page = 37 * kPageSize;
+    const Addr first = layout.counterBlockAddr(page);
+    for (Addr off = 0; off < kPageSize; off += kBlockSize)
+        EXPECT_EQ(layout.counterBlockAddr(page + off), first);
+    // Next page: next counter block.
+    EXPECT_EQ(MetadataLayout::indexOf(
+                  layout.counterBlockAddr(page + kPageSize)),
+              MetadataLayout::indexOf(first) + 1);
+}
+
+TEST(Layout, CounterMappingSgx)
+{
+    MetadataLayout layout(sgxConfig(1_GiB));
+    // Eight 64B blocks share a counter block (512B coverage).
+    const Addr base = 0;
+    const Addr first = layout.counterBlockAddr(base);
+    for (Addr off = 0; off < 512; off += kBlockSize)
+        EXPECT_EQ(layout.counterBlockAddr(base + off), first);
+    EXPECT_NE(layout.counterBlockAddr(512), first);
+}
+
+TEST(Layout, HashMapping)
+{
+    MetadataLayout layout(piConfig(1_GiB));
+    // Eight data blocks share a hash block.
+    const Addr first = layout.hashBlockAddr(0);
+    for (Addr off = 0; off < 512; off += kBlockSize)
+        EXPECT_EQ(layout.hashBlockAddr(off), first);
+    EXPECT_NE(layout.hashBlockAddr(512), first);
+}
+
+TEST(Layout, TreeParentChain)
+{
+    MetadataLayout layout(piConfig(1_GiB));
+    const Addr ctr = layout.counterBlockAddr(123 * kPageSize);
+    const auto path = layout.treePathForCounter(ctr);
+    ASSERT_EQ(path.size(), layout.numTreeLevels());
+    for (std::size_t i = 0; i < path.size(); ++i) {
+        EXPECT_EQ(MetadataLayout::levelOf(path[i]), i);
+        if (i + 1 < path.size())
+            EXPECT_EQ(layout.treeParent(path[i]), path[i + 1]);
+    }
+    EXPECT_EQ(layout.treeParent(path.back()), kInvalidAddr)
+        << "top stored level's parent is the on-chip root";
+}
+
+TEST(Layout, TreeLeafGroupsArityCounters)
+{
+    MetadataLayout layout(piConfig(1_GiB));
+    const Addr leaf0 = layout.treeLeafForCounter(
+        MetadataLayout::encode(MetadataType::Counter, 0, 0));
+    for (std::uint64_t i = 0; i < 8; ++i) {
+        EXPECT_EQ(layout.treeLeafForCounter(MetadataLayout::encode(
+                      MetadataType::Counter, 0, i)),
+                  leaf0);
+    }
+    EXPECT_NE(layout.treeLeafForCounter(MetadataLayout::encode(
+                  MetadataType::Counter, 0, 8)),
+              leaf0);
+}
+
+TEST(Layout, TreeLevelCountsShrinkByArity)
+{
+    MetadataLayout layout(piConfig(4_GiB));
+    for (std::uint32_t l = 1; l < layout.numTreeLevels(); ++l) {
+        EXPECT_EQ(layout.treeLevelBlockCount(l),
+                  ceilDiv(layout.treeLevelBlockCount(l - 1), 8));
+    }
+}
+
+TEST(Layout, TotalMetadataBlocks)
+{
+    MetadataLayout layout(piConfig(128_MiB));
+    std::uint64_t expected =
+        layout.numCounterBlocks() + layout.numHashBlocks();
+    for (std::uint32_t l = 0; l < layout.numTreeLevels(); ++l)
+        expected += layout.treeLevelBlockCount(l);
+    EXPECT_EQ(layout.totalMetadataBlocks(), expected);
+}
+
+TEST(Layout, NinePerPageRule)
+{
+    // §IV-C: nine metadata blocks per 4KB page (1 counter + 8 hash),
+    // excluding tree nodes. Check it falls out of the geometry.
+    MetadataLayout layout(piConfig(1_GiB));
+    const std::uint64_t pages = 1_GiB / kPageSize;
+    EXPECT_EQ(layout.numCounterBlocks() + layout.numHashBlocks(),
+              9 * pages);
+    // And the paper's 288KB-to-cover-2MB-LLC figure.
+    const std::uint64_t llc_pages = 2_MiB / kPageSize;
+    EXPECT_EQ(9 * kBlockSize * llc_pages, 288_KiB);
+}
+
+TEST(Layout, TinyMemoryDegenerates)
+{
+    MetadataLayout layout(piConfig(kPageSize));
+    EXPECT_EQ(layout.numCounterBlocks(), 1u);
+    EXPECT_EQ(layout.numTreeLevels(), 1u);
+    const auto path = layout.treePathForCounter(
+        layout.counterBlockAddr(0));
+    EXPECT_EQ(path.size(), 1u);
+}
+
+TEST(Layout, RejectsBadConfigs)
+{
+    LayoutConfig bad;
+    bad.protectedBytes = 1000; // not a power of two
+    EXPECT_DEATH({ MetadataLayout layout(bad); }, "");
+    LayoutConfig bad2;
+    bad2.treeArity = 3;
+    EXPECT_DEATH({ MetadataLayout layout(bad2); }, "");
+}
+
+TEST(Layout, CounterModeNames)
+{
+    EXPECT_STREQ(counterModeName(CounterMode::SplitPi), "PI");
+    EXPECT_STREQ(counterModeName(CounterMode::MonolithicSgx), "SGX");
+}
+
+} // namespace
+} // namespace maps

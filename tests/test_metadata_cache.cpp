@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Tests for the unified metadata cache: contents masks (Figure 1's
+ * configurations), partial writes (§IV-E), and partitioning plumbing.
+ */
+#include <gtest/gtest.h>
+
+#include "secmem/metadata_cache.hpp"
+
+namespace maps {
+namespace {
+
+Addr
+mdAddr(MetadataType type, std::uint64_t index, std::uint32_t level = 0)
+{
+    return MetadataLayout::encode(type, level, index);
+}
+
+TEST(MetadataCacheConfig, ContentsPresets)
+{
+    const auto counters = MetadataCacheConfig::countersOnly(64_KiB);
+    EXPECT_TRUE(counters.cacheCounters);
+    EXPECT_FALSE(counters.cacheHashes);
+    EXPECT_FALSE(counters.cacheTree);
+
+    const auto ch = MetadataCacheConfig::countersAndHashes(64_KiB);
+    EXPECT_TRUE(ch.cacheCounters);
+    EXPECT_TRUE(ch.cacheHashes);
+    EXPECT_FALSE(ch.cacheTree);
+
+    const auto all = MetadataCacheConfig::allTypes(64_KiB);
+    EXPECT_TRUE(all.cacheCounters && all.cacheHashes && all.cacheTree);
+}
+
+TEST(MetadataCache, BypassedTypesNeverHit)
+{
+    MetadataCache cache(MetadataCacheConfig::countersOnly(16_KiB));
+    const Addr hash = mdAddr(MetadataType::Hash, 1);
+    for (int i = 0; i < 5; ++i) {
+        const auto out = cache.access(hash, MetadataType::Hash, false);
+        EXPECT_TRUE(out.bypassed);
+        EXPECT_FALSE(out.hit);
+    }
+    EXPECT_EQ(
+        cache.stats().bypasses[static_cast<int>(MetadataType::Hash)], 5u);
+    EXPECT_FALSE(cache.probe(hash, MetadataType::Hash));
+}
+
+TEST(MetadataCache, CacheableTypesHitAfterFill)
+{
+    MetadataCache cache(MetadataCacheConfig::allTypes(16_KiB));
+    const Addr ctr = mdAddr(MetadataType::Counter, 7);
+    EXPECT_FALSE(cache.access(ctr, MetadataType::Counter, false).hit);
+    EXPECT_TRUE(cache.access(ctr, MetadataType::Counter, false).hit);
+    EXPECT_TRUE(cache.probe(ctr, MetadataType::Counter));
+
+    const Addr tree = mdAddr(MetadataType::TreeNode, 3, 2);
+    EXPECT_FALSE(cache.access(tree, MetadataType::TreeNode, true).hit);
+    EXPECT_TRUE(cache.access(tree, MetadataType::TreeNode, false).hit);
+}
+
+TEST(MetadataCache, TypesDoNotAlias)
+{
+    // Same index, different type tags: distinct blocks.
+    MetadataCache cache(MetadataCacheConfig::allTypes(16_KiB));
+    cache.access(mdAddr(MetadataType::Counter, 5), MetadataType::Counter,
+                 false);
+    EXPECT_FALSE(
+        cache.access(mdAddr(MetadataType::Hash, 5), MetadataType::Hash,
+                     false)
+            .hit);
+}
+
+TEST(MetadataCache, EvictionReportsTypeAndDirty)
+{
+    MetadataCacheConfig cfg = MetadataCacheConfig::allTypes(
+        2 * kBlockSize);
+    cfg.assoc = 2; // one set, two ways
+    MetadataCache cache(cfg);
+    cache.access(mdAddr(MetadataType::Counter, 0), MetadataType::Counter,
+                 true);
+    cache.access(mdAddr(MetadataType::Hash, 0), MetadataType::Hash, false);
+    const auto out = cache.access(mdAddr(MetadataType::TreeNode, 0),
+                                  MetadataType::TreeNode, false);
+    ASSERT_TRUE(out.evictedValid);
+    EXPECT_EQ(out.evictedType, MetadataType::Counter);
+    EXPECT_TRUE(out.evictedDirty);
+}
+
+TEST(MetadataCache, PartialWriteInsertsPlaceholder)
+{
+    MetadataCacheConfig cfg = MetadataCacheConfig::allTypes(16_KiB);
+    cfg.partialWrites = true;
+    MetadataCache cache(cfg);
+
+    const Addr hash = mdAddr(MetadataType::Hash, 9);
+    const auto out = cache.access(hash, MetadataType::Hash, true, 3);
+    EXPECT_TRUE(out.placeholderInserted);
+    EXPECT_FALSE(out.hit);
+    EXPECT_EQ(cache.stats().placeholderInserts, 1u);
+
+    // Reading the written hash hits without completion traffic.
+    const auto rd = cache.access(hash, MetadataType::Hash, false, 3);
+    EXPECT_TRUE(rd.hit);
+    EXPECT_EQ(rd.completionReads, 0u);
+}
+
+TEST(MetadataCache, PartialReadOfMissingHashCostsOneRead)
+{
+    MetadataCacheConfig cfg = MetadataCacheConfig::allTypes(16_KiB);
+    cfg.partialWrites = true;
+    MetadataCache cache(cfg);
+
+    const Addr hash = mdAddr(MetadataType::Hash, 10);
+    cache.access(hash, MetadataType::Hash, true, 0);
+    const auto rd = cache.access(hash, MetadataType::Hash, false, 5);
+    EXPECT_TRUE(rd.hit);
+    EXPECT_EQ(rd.completionReads, 1u) << "missing hash must be fetched";
+    EXPECT_EQ(cache.stats().partialCompletions, 1u);
+
+    // After completion, all hashes are valid.
+    const auto rd2 = cache.access(hash, MetadataType::Hash, false, 6);
+    EXPECT_EQ(rd2.completionReads, 0u);
+}
+
+TEST(MetadataCache, PartialBlockCompletesAfterAllWrites)
+{
+    MetadataCacheConfig cfg = MetadataCacheConfig::allTypes(16_KiB);
+    cfg.partialWrites = true;
+    MetadataCache cache(cfg);
+
+    const Addr hash = mdAddr(MetadataType::Hash, 11);
+    for (std::uint32_t sub = 0; sub < 8; ++sub)
+        cache.access(hash, MetadataType::Hash, true, sub);
+    EXPECT_EQ(cache.stats().partialCompletions, 1u);
+    const auto rd = cache.access(hash, MetadataType::Hash, false, 7);
+    EXPECT_EQ(rd.completionReads, 0u);
+}
+
+TEST(MetadataCache, IncompletePlaceholderEvictionFlagged)
+{
+    MetadataCacheConfig cfg = MetadataCacheConfig::allTypes(
+        2 * kBlockSize);
+    cfg.assoc = 2;
+    cfg.partialWrites = true;
+    MetadataCache cache(cfg);
+
+    cache.access(mdAddr(MetadataType::Hash, 0), MetadataType::Hash, true,
+                 0); // partial
+    cache.access(mdAddr(MetadataType::Hash, 1), MetadataType::Hash, true,
+                 1); // partial
+    // Third fill evicts the LRU placeholder, still incomplete.
+    const auto out = cache.access(mdAddr(MetadataType::Counter, 0),
+                                  MetadataType::Counter, false);
+    ASSERT_TRUE(out.evictedValid);
+    EXPECT_TRUE(out.evictedIncomplete);
+    EXPECT_EQ(cache.stats().incompleteEvictions, 1u);
+}
+
+TEST(MetadataCache, NoPlaceholderWithoutFeature)
+{
+    MetadataCache cache(MetadataCacheConfig::allTypes(16_KiB));
+    const auto out = cache.access(mdAddr(MetadataType::Hash, 9),
+                                  MetadataType::Hash, true, 3);
+    EXPECT_FALSE(out.placeholderInserted);
+    EXPECT_EQ(cache.stats().placeholderInserts, 0u);
+}
+
+TEST(MetadataCache, MpkiCountsBypassesAsMisses)
+{
+    MetadataCache cache(MetadataCacheConfig::countersOnly(16_KiB));
+    // 10 counter accesses to one block: 1 miss + 9 hits. 5 hash
+    // accesses: all bypassed.
+    const Addr ctr = mdAddr(MetadataType::Counter, 0);
+    for (int i = 0; i < 10; ++i)
+        cache.access(ctr, MetadataType::Counter, false);
+    const Addr hash = mdAddr(MetadataType::Hash, 0);
+    for (int i = 0; i < 5; ++i)
+        cache.access(hash, MetadataType::Hash, false);
+    // (1 miss + 5 bypasses) per 1000 instructions at 1000 instructions.
+    EXPECT_DOUBLE_EQ(cache.mpki(1000), 6.0);
+    EXPECT_DOUBLE_EQ(cache.mpki(0), 0.0);
+}
+
+TEST(MetadataCache, StaticPartitionRestrictsWays)
+{
+    MetadataCacheConfig cfg = MetadataCacheConfig::allTypes(
+        8 * kBlockSize);
+    cfg.assoc = 8; // one set
+    cfg.partition = PartitionScheme::Static;
+    cfg.staticCounterWays = 2;
+    MetadataCache cache(cfg);
+
+    // Fill 4 counter blocks into a 2-way counter partition: at most 2
+    // survive.
+    for (std::uint64_t i = 0; i < 4; ++i)
+        cache.access(mdAddr(MetadataType::Counter, i),
+                     MetadataType::Counter, false);
+    int resident = 0;
+    for (std::uint64_t i = 0; i < 4; ++i)
+        resident += cache.probe(mdAddr(MetadataType::Counter, i),
+                                MetadataType::Counter);
+    EXPECT_EQ(resident, 2);
+}
+
+TEST(MetadataCache, DuelingPartitionReportsSplit)
+{
+    MetadataCacheConfig cfg = MetadataCacheConfig::allTypes(64_KiB);
+    cfg.partition = PartitionScheme::Dueling;
+    cfg.duelingSplitA = 2;
+    cfg.duelingSplitB = 6;
+    MetadataCache cache(cfg);
+    const auto split = cache.activeDuelingSplit();
+    EXPECT_TRUE(split == 2 || split == 6);
+
+    MetadataCache plain(MetadataCacheConfig::allTypes(64_KiB));
+    EXPECT_EQ(plain.activeDuelingSplit(), 0u);
+}
+
+TEST(MetadataCache, ClearStatsResets)
+{
+    MetadataCache cache(MetadataCacheConfig::allTypes(16_KiB));
+    cache.access(mdAddr(MetadataType::Counter, 0), MetadataType::Counter,
+                 false);
+    EXPECT_GT(cache.stats().totalAccesses(), 0u);
+    cache.clearStats();
+    EXPECT_EQ(cache.stats().totalAccesses(), 0u);
+    EXPECT_EQ(cache.array().stats().accesses(), 0u);
+}
+
+} // namespace
+} // namespace maps

@@ -1,0 +1,374 @@
+/**
+ * @file
+ * Tests for the offline toolkit: the trace oracle, Belady's MIN (policy
+ * and fixed-trace simulator), iterMIN, and CSOPT.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cache/cache.hpp"
+#include "cache/policy_belady.hpp"
+#include "offline/csopt.hpp"
+#include "offline/itermin.hpp"
+#include "offline/min_sim.hpp"
+#include "offline/oracle.hpp"
+#include "util/rng.hpp"
+
+namespace maps {
+namespace {
+
+std::vector<Addr>
+randomTrace(std::uint64_t blocks, std::size_t length, std::uint64_t seed,
+            double locality = 0.0)
+{
+    Rng rng(seed);
+    std::vector<Addr> trace;
+    trace.reserve(length);
+    Addr prev = 0;
+    for (std::size_t i = 0; i < length; ++i) {
+        Addr a;
+        if (locality > 0.0 && i > 0 && rng.nextBool(locality))
+            a = prev; // re-reference
+        else
+            a = rng.nextBounded(blocks) * kBlockSize;
+        trace.push_back(a);
+        prev = a;
+    }
+    return trace;
+}
+
+TEST(TraceOracle, NextUsePositions)
+{
+    // trace positions: a=0, b=1, a=2, c=3, b=4
+    TraceOracle oracle({0, 64, 0, 128, 64});
+    EXPECT_EQ(oracle.nextUse(0), 2u) << "cursor 0: next a strictly after 0";
+    EXPECT_EQ(oracle.nextUse(64), 1u);
+    EXPECT_EQ(oracle.nextUse(128), 3u);
+    EXPECT_EQ(oracle.nextUse(999), FutureOracle::kNeverUsed);
+
+    oracle.onAccess(0);
+    EXPECT_EQ(oracle.cursor(), 1u);
+    EXPECT_EQ(oracle.nextUse(0), 2u);
+    oracle.onAccess(64);
+    oracle.onAccess(0);
+    EXPECT_EQ(oracle.nextUse(0), FutureOracle::kNeverUsed);
+    EXPECT_EQ(oracle.nextUse(64), 4u);
+}
+
+TEST(TraceOracle, CountsDivergences)
+{
+    TraceOracle oracle({0, 64, 128});
+    oracle.onAccess(0);   // matches
+    oracle.onAccess(999); // diverges
+    oracle.onAccess(128); // matches
+    oracle.onAccess(7);   // past the end: not counted as divergence
+    EXPECT_EQ(oracle.divergences(), 1u);
+    EXPECT_EQ(oracle.cursor(), 4u);
+}
+
+TEST(MinSim, NeverWorseThanLruOnFixedTraces)
+{
+    CacheGeometry geom;
+    geom.sizeBytes = 2_KiB;
+    geom.assoc = 4;
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        const auto trace = randomTrace(256, 20000, seed, 0.3);
+        const auto min = simulateMinFixedTrace(trace, geom);
+        const auto lru = simulateLruFixedTrace(trace, geom);
+        EXPECT_LE(min.misses, lru.misses) << "seed " << seed;
+        EXPECT_EQ(min.accesses, trace.size());
+        EXPECT_EQ(min.hits + min.misses, min.accesses);
+    }
+}
+
+TEST(MinSim, PerfectOnCacheFittingWorkingSet)
+{
+    CacheGeometry geom;
+    geom.sizeBytes = 4_KiB; // 64 blocks
+    geom.assoc = 64;        // fully associative
+    std::vector<Addr> trace;
+    for (int round = 0; round < 10; ++round) {
+        for (Addr a = 0; a < 32 * kBlockSize; a += kBlockSize)
+            trace.push_back(a);
+    }
+    const auto result = simulateMinFixedTrace(trace, geom);
+    EXPECT_EQ(result.misses, 32u);
+}
+
+TEST(MinSim, BeladyAnomalyExample)
+{
+    // The classic sequence where LRU thrashes but MIN does not: cyclic
+    // scan of W+1 blocks through a W-way set.
+    CacheGeometry geom;
+    geom.sizeBytes = 4 * kBlockSize;
+    geom.assoc = 4;
+    std::vector<Addr> trace;
+    for (int round = 0; round < 100; ++round) {
+        for (Addr a = 0; a < 5 * kBlockSize; a += kBlockSize)
+            trace.push_back(a);
+    }
+    const auto min = simulateMinFixedTrace(trace, geom);
+    const auto lru = simulateLruFixedTrace(trace, geom);
+    EXPECT_EQ(lru.misses, trace.size()) << "LRU thrashes completely";
+    // MIN keeps 3 of 5 blocks resident: roughly 2 misses per round.
+    EXPECT_LT(min.misses, trace.size() / 2);
+}
+
+TEST(BeladyPolicy, MatchesOfflineMinWithPerfectOracle)
+{
+    // When the oracle's trace is exactly the live access stream, the
+    // BeladyPolicy-driven cache must reproduce offline MIN's misses.
+    CacheGeometry geom;
+    geom.sizeBytes = 1_KiB;
+    geom.assoc = 4;
+    for (std::uint64_t seed = 11; seed <= 14; ++seed) {
+        const auto trace = randomTrace(64, 8000, seed, 0.2);
+
+        TraceOracle oracle(trace);
+        SetAssociativeCache cache(
+            geom, std::make_unique<BeladyPolicy>(oracle));
+        for (const Addr a : trace)
+            cache.access(a, false);
+
+        const auto offline = simulateMinFixedTrace(trace, geom);
+        EXPECT_EQ(cache.stats().misses, offline.misses)
+            << "seed " << seed;
+        EXPECT_EQ(oracle.divergences(), 0u);
+    }
+}
+
+TEST(BeladyPolicy, StaleOracleDegrades)
+{
+    // Feed the policy an oracle built from a *different* stream: MIN
+    // with wrong future knowledge should miss more than with the right
+    // one (the paper's §V-B effect, distilled).
+    CacheGeometry geom;
+    geom.sizeBytes = 1_KiB;
+    geom.assoc = 4;
+    const auto live = randomTrace(64, 8000, 21, 0.3);
+    const auto stale = randomTrace(64, 8000, 99, 0.3);
+
+    TraceOracle right(live);
+    SetAssociativeCache good(geom, std::make_unique<BeladyPolicy>(right));
+    for (const Addr a : live)
+        good.access(a, false);
+
+    TraceOracle wrong(stale);
+    SetAssociativeCache bad(geom, std::make_unique<BeladyPolicy>(wrong));
+    for (const Addr a : live)
+        bad.access(a, false);
+
+    EXPECT_GT(wrong.divergences(), 0u);
+    EXPECT_GT(bad.stats().misses, good.stats().misses);
+}
+
+TEST(CsOpt, UniformCostsMatchMin)
+{
+    // With all miss costs equal, CSOPT degenerates to Belady's MIN.
+    CacheGeometry geom;
+    geom.sizeBytes = 4 * kBlockSize;
+    geom.assoc = 4;
+    for (std::uint64_t seed = 31; seed <= 34; ++seed) {
+        const auto addrs = randomTrace(12, 300, seed, 0.2);
+        std::vector<CsOptAccess> trace;
+        for (const Addr a : addrs)
+            trace.push_back({a, 1});
+
+        CsOptConfig cfg;
+        cfg.ways = 4;
+        const auto csopt = solveCsOpt(trace, cfg);
+        const auto min = simulateMinFixedTrace(addrs, geom);
+        EXPECT_TRUE(csopt.exact);
+        EXPECT_EQ(csopt.minCost, min.misses) << "seed " << seed;
+        EXPECT_EQ(csopt.misses, min.misses);
+    }
+}
+
+TEST(CsOpt, NonUniformCostsBeatMinsChoice)
+{
+    // Two-way cache. Block E(xpensive) has miss cost 10, blocks A/B
+    // cost 1. Stream: E A B E — evicting E at the third access (MIN's
+    // choice: E is reused furthest) pays 10+1+1+10 = 22; evicting A
+    // instead pays 10+1+1 = 12 because the final E access hits.
+    const Addr E = 0, A = 64, B = 128;
+    std::vector<CsOptAccess> trace{{E, 10}, {A, 1}, {B, 1}, {E, 10}};
+    CsOptConfig cfg;
+    cfg.ways = 2;
+    const auto result = solveCsOpt(trace, cfg);
+    EXPECT_TRUE(result.exact);
+    EXPECT_EQ(result.minCost, 12u);
+    EXPECT_EQ(result.misses, 3u);
+
+    // Belady on the same trace misses only 3 times too, but pays the
+    // expensive re-miss; with uniform costing its decision is "optimal"
+    // while cost-wise it is not — quantify both policies by cost.
+    CacheGeometry geom;
+    geom.sizeBytes = 2 * kBlockSize;
+    geom.assoc = 2;
+    std::vector<Addr> addrs{E, A, B, E};
+    const auto min = simulateMinFixedTrace(addrs, geom);
+    EXPECT_EQ(min.misses, 3u);
+}
+
+TEST(CsOpt, CostSavingsGrowWithCostSpread)
+{
+    // Random trace where one hot block is very expensive: CSOPT's cost
+    // should be no higher than MIN's realized cost.
+    Rng rng(41);
+    std::vector<CsOptAccess> trace;
+    std::vector<Addr> addrs;
+    for (int i = 0; i < 400; ++i) {
+        const Addr a = rng.nextBounded(10) * kBlockSize;
+        const std::uint64_t cost = (a == 0) ? 8 : 1;
+        trace.push_back({a, cost});
+        addrs.push_back(a);
+    }
+    CsOptConfig cfg;
+    cfg.ways = 3;
+
+    const auto csopt = solveCsOpt(trace, cfg);
+
+    // Realized cost of MIN: simulate MIN and charge each miss its cost.
+    CacheGeometry geom;
+    geom.sizeBytes = 3 * 64;
+    geom.assoc = 3;
+    // simulateMinFixedTrace does not expose per-access misses; recompute
+    // with a tiny local MIN (fully associative, 3 ways).
+    std::vector<std::uint64_t> next_use(addrs.size());
+    {
+        std::unordered_map<Addr, std::uint64_t> upcoming;
+        for (std::size_t i = addrs.size(); i-- > 0;) {
+            const auto it = upcoming.find(addrs[i]);
+            next_use[i] = it == upcoming.end()
+                              ? ~std::uint64_t{0}
+                              : it->second;
+            upcoming[addrs[i]] = i;
+        }
+    }
+    std::unordered_map<Addr, std::uint64_t> resident;
+    std::uint64_t min_cost = 0;
+    for (std::size_t i = 0; i < addrs.size(); ++i) {
+        const auto it = resident.find(addrs[i]);
+        if (it != resident.end()) {
+            it->second = next_use[i];
+            continue;
+        }
+        min_cost += trace[i].missCost;
+        if (resident.size() >= 3) {
+            auto victim = resident.begin();
+            for (auto c = resident.begin(); c != resident.end(); ++c)
+                if (c->second > victim->second)
+                    victim = c;
+            resident.erase(victim);
+        }
+        resident.emplace(addrs[i], next_use[i]);
+    }
+    EXPECT_LE(csopt.minCost, min_cost);
+}
+
+TEST(CsOpt, BeamPruningReported)
+{
+    Rng rng(43);
+    std::vector<CsOptAccess> trace;
+    for (int i = 0; i < 2000; ++i)
+        trace.push_back({rng.nextBounded(64) * kBlockSize,
+                         1 + rng.nextBounded(5)});
+    CsOptConfig cfg;
+    cfg.ways = 6;
+    cfg.beamWidth = 64; // deliberately tiny
+    const auto result = solveCsOpt(trace, cfg);
+    EXPECT_FALSE(result.exact);
+    EXPECT_LE(result.peakStates, 64u * 6 + 64); // frontier bounded-ish
+    EXPECT_GT(result.minCost, 0u);
+}
+
+TEST(CsOpt, SetAssociativeDecomposition)
+{
+    Rng rng(47);
+    std::vector<CsOptAccess> trace;
+    for (int i = 0; i < 500; ++i)
+        trace.push_back({rng.nextBounded(32) * kBlockSize, 1});
+    const auto split = solveCsOptSetAssociative(trace, 4, 2);
+    // Compare with per-set MIN.
+    CacheGeometry geom;
+    geom.sizeBytes = 4 * 2 * kBlockSize;
+    geom.assoc = 2;
+    std::vector<Addr> addrs;
+    for (const auto &acc : trace)
+        addrs.push_back(acc.block);
+    const auto min = simulateMinFixedTrace(addrs, geom);
+    EXPECT_EQ(split.minCost, min.misses);
+}
+
+TEST(CsOpt, EmptyTrace)
+{
+    CsOptConfig cfg;
+    const auto result = solveCsOpt({}, cfg);
+    EXPECT_EQ(result.minCost, 0u);
+    EXPECT_EQ(result.misses, 0u);
+}
+
+TEST(IterMin, ConvergesOnStableStream)
+{
+    // A synthetic "simulation" whose access stream does not depend on
+    // the policy: iterMIN must converge after one MIN iteration.
+    const auto fixed = randomTrace(32, 4000, 51, 0.2);
+    CacheGeometry geom;
+    geom.sizeBytes = 1_KiB;
+    geom.assoc = 4;
+
+    IterMinDriver driver;
+    const auto simulate =
+        [&](std::unique_ptr<ReplacementPolicy> policy,
+            std::vector<Addr> &trace_out) -> std::uint64_t {
+        SetAssociativeCache cache(geom, std::move(policy));
+        for (const Addr a : fixed) {
+            cache.access(a, false);
+            trace_out.push_back(blockAlign(a));
+        }
+        return cache.stats().misses;
+    };
+    const auto result = driver.run(simulate, "lru", 6);
+    EXPECT_TRUE(result.converged);
+    ASSERT_GE(result.missesPerIteration.size(), 2u);
+    // MIN with a faithful oracle cannot be worse than the LRU profile.
+    EXPECT_LE(result.finalMisses(), result.missesPerIteration.front());
+    EXPECT_EQ(result.divergencesPerIteration.back(), 0u);
+}
+
+TEST(IterMin, PolicyDependentStreamIterates)
+{
+    // A stream that *depends* on the policy's evictions (a crude stand-
+    // in for tree-node traffic): append an extra access after each miss
+    // beyond the first N. iterMIN should still terminate.
+    CacheGeometry geom;
+    geom.sizeBytes = 512;
+    geom.assoc = 2;
+    const auto base = randomTrace(24, 2000, 57, 0.1);
+
+    IterMinDriver driver;
+    const auto simulate =
+        [&](std::unique_ptr<ReplacementPolicy> policy,
+            std::vector<Addr> &trace_out) -> std::uint64_t {
+        SetAssociativeCache cache(geom, std::move(policy));
+        for (const Addr a : base) {
+            const auto out = cache.access(a, false);
+            trace_out.push_back(blockAlign(a));
+            if (!out.hit && out.evictedValid) {
+                // Policy-dependent side access.
+                const Addr side =
+                    blockAlign(out.evictedAddr) ^ (1ull << 20);
+                cache.access(side, false);
+                trace_out.push_back(side);
+            }
+        }
+        return cache.stats().misses;
+    };
+    const auto result = driver.run(simulate, "lru", 5);
+    EXPECT_GE(result.iterations(), 1u);
+    EXPECT_LE(result.iterations(), 5u);
+}
+
+} // namespace
+} // namespace maps

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Tests for the extension policies: cost-aware LRU and DRRIP (plain and
+ * per-metadata-type), plus their factory registration.
+ */
+#include <gtest/gtest.h>
+
+#include "cache/cache.hpp"
+#include "cache/policy_cost.hpp"
+#include "cache/policy_drrip.hpp"
+#include "util/rng.hpp"
+
+namespace maps {
+namespace {
+
+constexpr std::uint8_t kCtr = 0;  // MetadataType::Counter
+constexpr std::uint8_t kHash = 2; // MetadataType::Hash
+
+TEST(CostAwareLru, FactoryProvidesIt)
+{
+    const auto policy = makeReplacementPolicy("cost-lru");
+    EXPECT_EQ(policy->name(), "cost-lru");
+}
+
+TEST(CostAwareLru, DefaultsChargeCountersMost)
+{
+    const CostTable t = CostTable::metadataDefaults(6);
+    EXPECT_DOUBLE_EQ(t.cost[0], 7.0);
+    EXPECT_GT(t.cost[0], t.cost[1]);
+    EXPECT_GT(t.cost[1], t.cost[2]);
+}
+
+TEST(CostAwareLru, EqualCostsBehaveLikeLru)
+{
+    CostTable uniform;
+    CacheGeometry geom;
+    geom.sizeBytes = 4 * kBlockSize;
+    geom.assoc = 4;
+    SetAssociativeCache cost_cache(
+        geom, std::make_unique<CostAwareLruPolicy>(uniform));
+    SetAssociativeCache lru_cache(geom, makeReplacementPolicy("lru"));
+
+    Rng rng(3);
+    for (int i = 0; i < 5000; ++i) {
+        const Addr a = rng.nextBounded(16) * kBlockSize;
+        EXPECT_EQ(cost_cache.access(a, false).hit,
+                  lru_cache.access(a, false).hit)
+            << "access " << i;
+    }
+}
+
+TEST(CostAwareLru, PrefersEvictingCheapTypes)
+{
+    // One set, 4 ways: 2 counters (expensive) + 2 hashes (cheap), all
+    // touched equally recently; the next fill must evict a hash.
+    CacheGeometry geom;
+    geom.sizeBytes = 4 * kBlockSize;
+    geom.assoc = 4;
+    SetAssociativeCache cache(
+        geom, std::make_unique<CostAwareLruPolicy>(
+                  CostTable::metadataDefaults(6)));
+
+    cache.access(0 * kBlockSize, false, kCtr);
+    cache.access(1 * kBlockSize, false, kHash);
+    cache.access(2 * kBlockSize, false, kCtr);
+    cache.access(3 * kBlockSize, false, kHash);
+
+    const auto out = cache.access(4 * kBlockSize, false, kHash);
+    ASSERT_TRUE(out.evictedValid);
+    EXPECT_EQ(out.evictedType, kHash)
+        << "a cheap hash must go before the expensive counters";
+    // Both counters still resident.
+    EXPECT_TRUE(cache.probe(0));
+    EXPECT_TRUE(cache.probe(2 * kBlockSize));
+}
+
+TEST(CostAwareLru, StaleExpensiveLinesStillEvicted)
+{
+    // Cost protection is proportional, not absolute: a counter ~10x
+    // staler than every hash must still be evicted.
+    CacheGeometry geom;
+    geom.sizeBytes = 4 * kBlockSize;
+    geom.assoc = 4;
+    SetAssociativeCache cache(
+        geom, std::make_unique<CostAwareLruPolicy>(
+                  CostTable::metadataDefaults(6)));
+
+    cache.access(0, false, kCtr); // will become very stale
+    for (int round = 0; round < 50; ++round) {
+        for (Addr a = 1; a <= 3; ++a)
+            cache.access(a * kBlockSize, false, kHash);
+    }
+    const auto out = cache.access(4 * kBlockSize, false, kHash);
+    ASSERT_TRUE(out.evictedValid);
+    EXPECT_EQ(out.evictedAddr, 0u);
+}
+
+TEST(CostAwareLru, RejectsNonPositiveCosts)
+{
+    CostTable bad;
+    bad.cost[1] = 0.0;
+    EXPECT_DEATH({ CostAwareLruPolicy policy(bad); }, "");
+}
+
+TEST(Drrip, FactoryNames)
+{
+    EXPECT_EQ(makeReplacementPolicy("drrip")->name(), "drrip");
+    EXPECT_EQ(makeReplacementPolicy("drrip-typed")->name(),
+              "drrip-typed");
+}
+
+TEST(Drrip, HitsPromoteAndRetain)
+{
+    CacheGeometry geom;
+    geom.sizeBytes = 8 * kBlockSize;
+    geom.assoc = 8;
+    SetAssociativeCache cache(geom, std::make_unique<DrripPolicy>());
+
+    // 4 hot blocks hit forever after the cold pass, despite churn.
+    std::uint64_t hot_misses = 0;
+    Rng rng(9);
+    for (int i = 0; i < 20000; ++i) {
+        for (Addr h = 0; h < 4; ++h)
+            hot_misses += !cache.access(h * kBlockSize, false).hit;
+        cache.access((100 + rng.nextBounded(100000)) * kBlockSize,
+                     false);
+    }
+    EXPECT_LT(hot_misses, 400u);
+}
+
+TEST(Drrip, OutperformsSrripOnThrashingScan)
+{
+    // Cyclic scan over 2x the cache: SRRIP thrashes; DRRIP's BRRIP
+    // mode retains a fraction of the loop.
+    CacheGeometry geom;
+    geom.sizeBytes = 64 * kBlockSize;
+    geom.assoc = 8;
+    SetAssociativeCache drrip(geom, std::make_unique<DrripPolicy>());
+    SetAssociativeCache srrip(geom, makeReplacementPolicy("srrip"));
+
+    for (int round = 0; round < 300; ++round) {
+        for (Addr a = 0; a < 128; ++a) {
+            drrip.access(a * kBlockSize, false);
+            srrip.access(a * kBlockSize, false);
+        }
+    }
+    EXPECT_LT(drrip.stats().misses, srrip.stats().misses);
+}
+
+TEST(Drrip, TypedDuelsPerClass)
+{
+    DrripConfig cfg;
+    cfg.typedInsertion = true;
+    cfg.leaderStride = 4;
+    DrripPolicy policy(cfg);
+    policy.init(64, 4);
+
+    ReplContext ctr_ctx;
+    ctr_ctx.typeClass = kCtr;
+    ReplContext hash_ctx;
+    hash_ctx.typeClass = kHash;
+
+    // Hash misses hammer the SRRIP leaders only: hashes flip to BRRIP
+    // while counters keep SRRIP.
+    for (int i = 0; i < 2000; ++i)
+        policy.insert(0, 0, hash_ctx); // set 0 is an SRRIP leader
+    EXPECT_TRUE(policy.brripActive(kHash));
+    EXPECT_FALSE(policy.brripActive(kCtr));
+}
+
+TEST(Drrip, UntypedSharesOneDuel)
+{
+    DrripConfig cfg;
+    cfg.leaderStride = 4;
+    DrripPolicy policy(cfg);
+    policy.init(64, 4);
+    ReplContext hash_ctx;
+    hash_ctx.typeClass = kHash;
+    for (int i = 0; i < 2000; ++i)
+        policy.insert(0, 0, hash_ctx);
+    EXPECT_TRUE(policy.brripActive(kHash));
+    EXPECT_TRUE(policy.brripActive(kCtr)) << "single global duel";
+}
+
+TEST(Drrip, RejectsBadConfig)
+{
+    DrripConfig cfg;
+    cfg.rrpvBits = 0;
+    EXPECT_DEATH({ DrripPolicy policy(cfg); }, "");
+    DrripConfig cfg2;
+    cfg2.brripEpsilon = 1;
+    EXPECT_DEATH({ DrripPolicy policy(cfg2); }, "");
+}
+
+} // namespace
+} // namespace maps
