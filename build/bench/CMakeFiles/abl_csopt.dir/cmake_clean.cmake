@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_csopt.dir/abl_csopt.cpp.o"
+  "CMakeFiles/abl_csopt.dir/abl_csopt.cpp.o.d"
+  "abl_csopt"
+  "abl_csopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_csopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

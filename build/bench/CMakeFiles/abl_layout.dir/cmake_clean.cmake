@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_layout.dir/abl_layout.cpp.o"
+  "CMakeFiles/abl_layout.dir/abl_layout.cpp.o.d"
+  "abl_layout"
+  "abl_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

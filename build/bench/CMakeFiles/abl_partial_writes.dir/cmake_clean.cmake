@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_partial_writes.dir/abl_partial_writes.cpp.o"
+  "CMakeFiles/abl_partial_writes.dir/abl_partial_writes.cpp.o.d"
+  "abl_partial_writes"
+  "abl_partial_writes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_partial_writes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

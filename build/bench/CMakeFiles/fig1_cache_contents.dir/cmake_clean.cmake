@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_cache_contents.dir/fig1_cache_contents.cpp.o"
+  "CMakeFiles/fig1_cache_contents.dir/fig1_cache_contents.cpp.o.d"
+  "fig1_cache_contents"
+  "fig1_cache_contents.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_cache_contents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

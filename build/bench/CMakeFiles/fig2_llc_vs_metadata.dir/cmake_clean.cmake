@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_llc_vs_metadata.dir/fig2_llc_vs_metadata.cpp.o"
+  "CMakeFiles/fig2_llc_vs_metadata.dir/fig2_llc_vs_metadata.cpp.o.d"
+  "fig2_llc_vs_metadata"
+  "fig2_llc_vs_metadata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_llc_vs_metadata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_request_types.dir/fig5_request_types.cpp.o"
+  "CMakeFiles/fig5_request_types.dir/fig5_request_types.cpp.o.d"
+  "fig5_request_types"
+  "fig5_request_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_request_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_eviction_policies.dir/fig6_eviction_policies.cpp.o"
+  "CMakeFiles/fig6_eviction_policies.dir/fig6_eviction_policies.cpp.o.d"
+  "fig6_eviction_policies"
+  "fig6_eviction_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_eviction_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab1_configuration.dir/tab1_configuration.cpp.o"
+  "CMakeFiles/tab1_configuration.dir/tab1_configuration.cpp.o.d"
+  "tab1_configuration"
+  "tab1_configuration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_configuration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab2_data_protected.dir/tab2_data_protected.cpp.o"
+  "CMakeFiles/tab2_data_protected.dir/tab2_data_protected.cpp.o.d"
+  "tab2_data_protected"
+  "tab2_data_protected.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab2_data_protected.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

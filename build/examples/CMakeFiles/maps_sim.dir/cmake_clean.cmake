@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maps_sim.dir/maps_sim.cpp.o"
+  "CMakeFiles/maps_sim.dir/maps_sim.cpp.o.d"
+  "maps_sim"
+  "maps_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maps_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

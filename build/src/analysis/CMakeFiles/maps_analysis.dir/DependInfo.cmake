@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/bimodal.cpp" "src/analysis/CMakeFiles/maps_analysis.dir/bimodal.cpp.o" "gcc" "src/analysis/CMakeFiles/maps_analysis.dir/bimodal.cpp.o.d"
+  "/root/repo/src/analysis/reuse.cpp" "src/analysis/CMakeFiles/maps_analysis.dir/reuse.cpp.o" "gcc" "src/analysis/CMakeFiles/maps_analysis.dir/reuse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/maps_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/maps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

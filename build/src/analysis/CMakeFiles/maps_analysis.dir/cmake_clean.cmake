@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maps_analysis.dir/bimodal.cpp.o"
+  "CMakeFiles/maps_analysis.dir/bimodal.cpp.o.d"
+  "CMakeFiles/maps_analysis.dir/reuse.cpp.o"
+  "CMakeFiles/maps_analysis.dir/reuse.cpp.o.d"
+  "libmaps_analysis.a"
+  "libmaps_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maps_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

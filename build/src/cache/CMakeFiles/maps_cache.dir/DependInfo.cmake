@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cache.cpp" "src/cache/CMakeFiles/maps_cache.dir/cache.cpp.o" "gcc" "src/cache/CMakeFiles/maps_cache.dir/cache.cpp.o.d"
+  "/root/repo/src/cache/geometry.cpp" "src/cache/CMakeFiles/maps_cache.dir/geometry.cpp.o" "gcc" "src/cache/CMakeFiles/maps_cache.dir/geometry.cpp.o.d"
+  "/root/repo/src/cache/partition.cpp" "src/cache/CMakeFiles/maps_cache.dir/partition.cpp.o" "gcc" "src/cache/CMakeFiles/maps_cache.dir/partition.cpp.o.d"
+  "/root/repo/src/cache/policy_belady.cpp" "src/cache/CMakeFiles/maps_cache.dir/policy_belady.cpp.o" "gcc" "src/cache/CMakeFiles/maps_cache.dir/policy_belady.cpp.o.d"
+  "/root/repo/src/cache/policy_cost.cpp" "src/cache/CMakeFiles/maps_cache.dir/policy_cost.cpp.o" "gcc" "src/cache/CMakeFiles/maps_cache.dir/policy_cost.cpp.o.d"
+  "/root/repo/src/cache/policy_drrip.cpp" "src/cache/CMakeFiles/maps_cache.dir/policy_drrip.cpp.o" "gcc" "src/cache/CMakeFiles/maps_cache.dir/policy_drrip.cpp.o.d"
+  "/root/repo/src/cache/policy_eva.cpp" "src/cache/CMakeFiles/maps_cache.dir/policy_eva.cpp.o" "gcc" "src/cache/CMakeFiles/maps_cache.dir/policy_eva.cpp.o.d"
+  "/root/repo/src/cache/policy_lru.cpp" "src/cache/CMakeFiles/maps_cache.dir/policy_lru.cpp.o" "gcc" "src/cache/CMakeFiles/maps_cache.dir/policy_lru.cpp.o.d"
+  "/root/repo/src/cache/policy_plru.cpp" "src/cache/CMakeFiles/maps_cache.dir/policy_plru.cpp.o" "gcc" "src/cache/CMakeFiles/maps_cache.dir/policy_plru.cpp.o.d"
+  "/root/repo/src/cache/policy_random.cpp" "src/cache/CMakeFiles/maps_cache.dir/policy_random.cpp.o" "gcc" "src/cache/CMakeFiles/maps_cache.dir/policy_random.cpp.o.d"
+  "/root/repo/src/cache/policy_srrip.cpp" "src/cache/CMakeFiles/maps_cache.dir/policy_srrip.cpp.o" "gcc" "src/cache/CMakeFiles/maps_cache.dir/policy_srrip.cpp.o.d"
+  "/root/repo/src/cache/replacement.cpp" "src/cache/CMakeFiles/maps_cache.dir/replacement.cpp.o" "gcc" "src/cache/CMakeFiles/maps_cache.dir/replacement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/maps_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/maps_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

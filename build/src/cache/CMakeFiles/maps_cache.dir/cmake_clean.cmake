@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maps_cache.dir/cache.cpp.o"
+  "CMakeFiles/maps_cache.dir/cache.cpp.o.d"
+  "CMakeFiles/maps_cache.dir/geometry.cpp.o"
+  "CMakeFiles/maps_cache.dir/geometry.cpp.o.d"
+  "CMakeFiles/maps_cache.dir/partition.cpp.o"
+  "CMakeFiles/maps_cache.dir/partition.cpp.o.d"
+  "CMakeFiles/maps_cache.dir/policy_belady.cpp.o"
+  "CMakeFiles/maps_cache.dir/policy_belady.cpp.o.d"
+  "CMakeFiles/maps_cache.dir/policy_cost.cpp.o"
+  "CMakeFiles/maps_cache.dir/policy_cost.cpp.o.d"
+  "CMakeFiles/maps_cache.dir/policy_drrip.cpp.o"
+  "CMakeFiles/maps_cache.dir/policy_drrip.cpp.o.d"
+  "CMakeFiles/maps_cache.dir/policy_eva.cpp.o"
+  "CMakeFiles/maps_cache.dir/policy_eva.cpp.o.d"
+  "CMakeFiles/maps_cache.dir/policy_lru.cpp.o"
+  "CMakeFiles/maps_cache.dir/policy_lru.cpp.o.d"
+  "CMakeFiles/maps_cache.dir/policy_plru.cpp.o"
+  "CMakeFiles/maps_cache.dir/policy_plru.cpp.o.d"
+  "CMakeFiles/maps_cache.dir/policy_random.cpp.o"
+  "CMakeFiles/maps_cache.dir/policy_random.cpp.o.d"
+  "CMakeFiles/maps_cache.dir/policy_srrip.cpp.o"
+  "CMakeFiles/maps_cache.dir/policy_srrip.cpp.o.d"
+  "CMakeFiles/maps_cache.dir/replacement.cpp.o"
+  "CMakeFiles/maps_cache.dir/replacement.cpp.o.d"
+  "libmaps_cache.a"
+  "libmaps_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maps_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

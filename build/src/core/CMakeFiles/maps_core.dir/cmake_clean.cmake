@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maps_core.dir/simulator.cpp.o"
+  "CMakeFiles/maps_core.dir/simulator.cpp.o.d"
+  "libmaps_core.a"
+  "libmaps_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maps_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

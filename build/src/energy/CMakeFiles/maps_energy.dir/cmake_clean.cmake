@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maps_energy.dir/energy.cpp.o"
+  "CMakeFiles/maps_energy.dir/energy.cpp.o.d"
+  "libmaps_energy.a"
+  "libmaps_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maps_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

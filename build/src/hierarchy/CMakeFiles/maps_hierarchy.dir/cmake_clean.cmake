@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maps_hierarchy.dir/hierarchy.cpp.o"
+  "CMakeFiles/maps_hierarchy.dir/hierarchy.cpp.o.d"
+  "libmaps_hierarchy.a"
+  "libmaps_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maps_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

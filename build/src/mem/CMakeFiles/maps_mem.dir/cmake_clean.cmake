@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maps_mem.dir/dram.cpp.o"
+  "CMakeFiles/maps_mem.dir/dram.cpp.o.d"
+  "CMakeFiles/maps_mem.dir/fixed_latency.cpp.o"
+  "CMakeFiles/maps_mem.dir/fixed_latency.cpp.o.d"
+  "libmaps_mem.a"
+  "libmaps_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maps_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmaps_mem.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/offline/capture.cpp" "src/offline/CMakeFiles/maps_offline.dir/capture.cpp.o" "gcc" "src/offline/CMakeFiles/maps_offline.dir/capture.cpp.o.d"
+  "/root/repo/src/offline/csopt.cpp" "src/offline/CMakeFiles/maps_offline.dir/csopt.cpp.o" "gcc" "src/offline/CMakeFiles/maps_offline.dir/csopt.cpp.o.d"
+  "/root/repo/src/offline/itermin.cpp" "src/offline/CMakeFiles/maps_offline.dir/itermin.cpp.o" "gcc" "src/offline/CMakeFiles/maps_offline.dir/itermin.cpp.o.d"
+  "/root/repo/src/offline/min_sim.cpp" "src/offline/CMakeFiles/maps_offline.dir/min_sim.cpp.o" "gcc" "src/offline/CMakeFiles/maps_offline.dir/min_sim.cpp.o.d"
+  "/root/repo/src/offline/oracle.cpp" "src/offline/CMakeFiles/maps_offline.dir/oracle.cpp.o" "gcc" "src/offline/CMakeFiles/maps_offline.dir/oracle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cache/CMakeFiles/maps_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/secmem/CMakeFiles/maps_secmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/maps_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/maps_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/maps_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maps_offline.dir/capture.cpp.o"
+  "CMakeFiles/maps_offline.dir/capture.cpp.o.d"
+  "CMakeFiles/maps_offline.dir/csopt.cpp.o"
+  "CMakeFiles/maps_offline.dir/csopt.cpp.o.d"
+  "CMakeFiles/maps_offline.dir/itermin.cpp.o"
+  "CMakeFiles/maps_offline.dir/itermin.cpp.o.d"
+  "CMakeFiles/maps_offline.dir/min_sim.cpp.o"
+  "CMakeFiles/maps_offline.dir/min_sim.cpp.o.d"
+  "CMakeFiles/maps_offline.dir/oracle.cpp.o"
+  "CMakeFiles/maps_offline.dir/oracle.cpp.o.d"
+  "libmaps_offline.a"
+  "libmaps_offline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maps_offline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/secmem/controller.cpp" "src/secmem/CMakeFiles/maps_secmem.dir/controller.cpp.o" "gcc" "src/secmem/CMakeFiles/maps_secmem.dir/controller.cpp.o.d"
+  "/root/repo/src/secmem/counter_store.cpp" "src/secmem/CMakeFiles/maps_secmem.dir/counter_store.cpp.o" "gcc" "src/secmem/CMakeFiles/maps_secmem.dir/counter_store.cpp.o.d"
+  "/root/repo/src/secmem/integrity_tree.cpp" "src/secmem/CMakeFiles/maps_secmem.dir/integrity_tree.cpp.o" "gcc" "src/secmem/CMakeFiles/maps_secmem.dir/integrity_tree.cpp.o.d"
+  "/root/repo/src/secmem/layout.cpp" "src/secmem/CMakeFiles/maps_secmem.dir/layout.cpp.o" "gcc" "src/secmem/CMakeFiles/maps_secmem.dir/layout.cpp.o.d"
+  "/root/repo/src/secmem/metadata_cache.cpp" "src/secmem/CMakeFiles/maps_secmem.dir/metadata_cache.cpp.o" "gcc" "src/secmem/CMakeFiles/maps_secmem.dir/metadata_cache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cache/CMakeFiles/maps_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/maps_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/maps_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/maps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

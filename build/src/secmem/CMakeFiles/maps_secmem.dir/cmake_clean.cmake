@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maps_secmem.dir/controller.cpp.o"
+  "CMakeFiles/maps_secmem.dir/controller.cpp.o.d"
+  "CMakeFiles/maps_secmem.dir/counter_store.cpp.o"
+  "CMakeFiles/maps_secmem.dir/counter_store.cpp.o.d"
+  "CMakeFiles/maps_secmem.dir/integrity_tree.cpp.o"
+  "CMakeFiles/maps_secmem.dir/integrity_tree.cpp.o.d"
+  "CMakeFiles/maps_secmem.dir/layout.cpp.o"
+  "CMakeFiles/maps_secmem.dir/layout.cpp.o.d"
+  "CMakeFiles/maps_secmem.dir/metadata_cache.cpp.o"
+  "CMakeFiles/maps_secmem.dir/metadata_cache.cpp.o.d"
+  "libmaps_secmem.a"
+  "libmaps_secmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maps_secmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

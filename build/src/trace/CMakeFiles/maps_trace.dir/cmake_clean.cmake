@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maps_trace.dir/record.cpp.o"
+  "CMakeFiles/maps_trace.dir/record.cpp.o.d"
+  "CMakeFiles/maps_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/maps_trace.dir/trace_io.cpp.o.d"
+  "CMakeFiles/maps_trace.dir/trace_stats.cpp.o"
+  "CMakeFiles/maps_trace.dir/trace_stats.cpp.o.d"
+  "libmaps_trace.a"
+  "libmaps_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maps_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maps_util.dir/cdf.cpp.o"
+  "CMakeFiles/maps_util.dir/cdf.cpp.o.d"
+  "CMakeFiles/maps_util.dir/histogram.cpp.o"
+  "CMakeFiles/maps_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/maps_util.dir/rng.cpp.o"
+  "CMakeFiles/maps_util.dir/rng.cpp.o.d"
+  "CMakeFiles/maps_util.dir/stats.cpp.o"
+  "CMakeFiles/maps_util.dir/stats.cpp.o.d"
+  "CMakeFiles/maps_util.dir/table.cpp.o"
+  "CMakeFiles/maps_util.dir/table.cpp.o.d"
+  "libmaps_util.a"
+  "libmaps_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maps_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

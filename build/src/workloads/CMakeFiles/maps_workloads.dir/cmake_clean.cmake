@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maps_workloads.dir/generators.cpp.o"
+  "CMakeFiles/maps_workloads.dir/generators.cpp.o.d"
+  "CMakeFiles/maps_workloads.dir/suite.cpp.o"
+  "CMakeFiles/maps_workloads.dir/suite.cpp.o.d"
+  "libmaps_workloads.a"
+  "libmaps_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maps_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

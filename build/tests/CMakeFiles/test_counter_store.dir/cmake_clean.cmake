@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_counter_store.dir/test_counter_store.cpp.o"
+  "CMakeFiles/test_counter_store.dir/test_counter_store.cpp.o.d"
+  "test_counter_store"
+  "test_counter_store.pdb"
+  "test_counter_store[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_counter_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_csopt_extra.dir/test_csopt_extra.cpp.o"
+  "CMakeFiles/test_csopt_extra.dir/test_csopt_extra.cpp.o.d"
+  "test_csopt_extra"
+  "test_csopt_extra.pdb"
+  "test_csopt_extra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_csopt_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

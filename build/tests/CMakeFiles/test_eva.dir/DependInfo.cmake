@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_eva.cpp" "tests/CMakeFiles/test_eva.dir/test_eva.cpp.o" "gcc" "tests/CMakeFiles/test_eva.dir/test_eva.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/maps_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/offline/CMakeFiles/maps_offline.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/maps_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/maps_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/hierarchy/CMakeFiles/maps_hierarchy.dir/DependInfo.cmake"
+  "/root/repo/build/src/secmem/CMakeFiles/maps_secmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/maps_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/maps_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/maps_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/maps_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/maps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

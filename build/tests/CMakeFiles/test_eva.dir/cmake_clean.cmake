@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eva.dir/test_eva.cpp.o"
+  "CMakeFiles/test_eva.dir/test_eva.cpp.o.d"
+  "test_eva"
+  "test_eva.pdb"
+  "test_eva[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eva.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

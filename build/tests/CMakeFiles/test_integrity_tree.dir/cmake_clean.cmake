@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integrity_tree.dir/test_integrity_tree.cpp.o"
+  "CMakeFiles/test_integrity_tree.dir/test_integrity_tree.cpp.o.d"
+  "test_integrity_tree"
+  "test_integrity_tree.pdb"
+  "test_integrity_tree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integrity_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

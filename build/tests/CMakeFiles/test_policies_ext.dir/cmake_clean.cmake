@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_policies_ext.dir/test_policies_ext.cpp.o"
+  "CMakeFiles/test_policies_ext.dir/test_policies_ext.cpp.o.d"
+  "test_policies_ext"
+  "test_policies_ext.pdb"
+  "test_policies_ext[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_policies_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
