@@ -22,47 +22,56 @@ int
 main(int argc, char **argv)
 {
     const auto opts = Options::parse(argc, argv);
-    banner("Ablation: cost-aware and type-aware policies (extensions)",
-           "§VI (Designing a Metadata Cache — research directions)",
-           opts);
+    Experiment exp({"abl_policies",
+                    "Ablation: cost-aware and type-aware policies "
+                    "(extensions)",
+                    "§VI (Designing a Metadata Cache — research "
+                    "directions)"},
+                   opts);
 
     const std::vector<std::string> policies{"plru", "cost-lru", "drrip",
                                             "drrip-typed", "eva-typed"};
     const std::vector<std::uint64_t> sizes{32_KiB, 64_KiB, 128_KiB};
 
-    for (const char *bench :
+    std::vector<Cell> cells;
+    for (const std::string bench :
          {"canneal", "cactusADM", "mcf", "libquantum"}) {
-        std::printf("benchmark: %s (metadata *memory traffic* per "
-                    "kilo-instruction)\n",
-                    bench);
-        std::vector<std::string> header{"md cache"};
-        for (const auto &p : policies)
-            header.push_back(p);
-        TextTable table(header);
         for (const auto size : sizes) {
-            std::vector<std::string> row{TextTable::fmtSize(size)};
-            for (const auto &policy : policies) {
-                auto cfg = defaultConfig(bench, opts, 600'000, 200'000);
-                cfg.secure.cache.sizeBytes = size;
-                cfg.secure.cache.policy = policy;
-                const auto report = runBenchmark(cfg);
-                row.push_back(TextTable::fmt(
-                    1000.0 *
-                        static_cast<double>(
-                            report.controller.metadataMemAccesses()) /
-                        static_cast<double>(report.instructions),
-                    1));
-            }
-            table.addRow(row);
+            const std::string id =
+                bench + "/" + TextTable::fmtSize(size);
+            cells.push_back({id, 0, [=](const Cell &) {
+                Row row;
+                row.add("md cache", Value::size(size));
+                for (const auto &policy : policies) {
+                    auto cfg = defaultConfig(bench, opts, 600'000,
+                                             200'000);
+                    cfg.secure.cache.sizeBytes = size;
+                    cfg.secure.cache.policy = policy;
+                    const auto report = runBenchmark(cfg);
+                    row.add(policy,
+                            1000.0 *
+                                static_cast<double>(
+                                    report.controller
+                                        .metadataMemAccesses()) /
+                                static_cast<double>(
+                                    report.instructions),
+                            1);
+                }
+                CellOutput out;
+                out.add("benchmark: " + bench +
+                            " (metadata *memory traffic* per "
+                            "kilo-instruction)",
+                        std::move(row));
+                return out;
+            }});
         }
-        table.print(std::cout);
-        std::printf("\n");
     }
+    exp.runAndEmit(cells);
 
-    std::printf(
+    exp.note(
         "expected shape: cost-lru trades extra (cheap) hash misses for\n"
         "fewer (expensive) counter misses, lowering memory traffic on\n"
         "tree-traversal-heavy workloads; typed DRRIP helps when one\n"
-        "type thrashes while another has cacheable reuse.\n");
-    return 0;
+        "type thrashes while another has cacheable reuse.");
+    return exp.finish();
 }

@@ -14,45 +14,57 @@ int
 main(int argc, char **argv)
 {
     const auto opts = Options::parse(argc, argv);
-    banner("Ablation: next-block metadata prefetching (extension)",
-           "§IV-B (Amount of Data Protected) + §VI directions", opts);
+    Experiment exp({"abl_prefetch",
+                    "Ablation: next-block metadata prefetching "
+                    "(extension)",
+                    "§IV-B (Amount of Data Protected) + §VI directions"},
+                   opts);
 
-    TextTable table({"benchmark", "md misses (off)", "md misses (on)",
-                     "miss delta", "prefetches", "md traffic (off)",
-                     "md traffic (on)", "traffic delta"});
-    for (const char *bench :
+    std::vector<Cell> cells;
+    for (const std::string bench :
          {"libquantum", "streamcluster", "fft", "leslie3d", "canneal",
           "mcf"}) {
-        auto cfg = defaultConfig(bench, opts, 600'000, 200'000);
-        cfg.secure.prefetchNextMetadata = false;
-        const auto off = runBenchmark(cfg);
-        cfg.secure.prefetchNextMetadata = true;
-        const auto on = runBenchmark(cfg);
+        cells.push_back({bench, 0, [=](const Cell &) {
+            auto cfg = defaultConfig(bench, opts, 600'000, 200'000);
+            cfg.secure.prefetchNextMetadata = false;
+            const auto off = runBenchmark(cfg);
+            cfg.secure.prefetchNextMetadata = true;
+            const auto on = runBenchmark(cfg);
 
-        const auto pct = [](double a, double b) {
-            return b > 0.0
-                       ? TextTable::fmt(100.0 * (a - b) / b, 1) + "%"
-                       : "-";
-        };
-        table.addRow(
-            {bench, TextTable::fmt(off.mdCache.totalMisses()),
-             TextTable::fmt(on.mdCache.totalMisses()),
-             pct(static_cast<double>(on.mdCache.totalMisses()),
-                 static_cast<double>(off.mdCache.totalMisses())),
-             TextTable::fmt(on.controller.prefetchesIssued),
-             TextTable::fmt(off.controller.metadataMemAccesses()),
-             TextTable::fmt(on.controller.metadataMemAccesses()),
-             pct(static_cast<double>(
-                     on.controller.metadataMemAccesses()),
-                 static_cast<double>(
-                     off.controller.metadataMemAccesses()))});
+            const auto pct = [](double a, double b) {
+                return b > 0.0 ? TextTable::fmt(100.0 * (a - b) / b, 1) +
+                                     "%"
+                               : std::string("-");
+            };
+            Row row;
+            row.add("benchmark", bench)
+                .add("md misses (off)", off.mdCache.totalMisses())
+                .add("md misses (on)", on.mdCache.totalMisses())
+                .add("miss delta",
+                     pct(static_cast<double>(on.mdCache.totalMisses()),
+                         static_cast<double>(
+                             off.mdCache.totalMisses())))
+                .add("prefetches", on.controller.prefetchesIssued)
+                .add("md traffic (off)",
+                     off.controller.metadataMemAccesses())
+                .add("md traffic (on)",
+                     on.controller.metadataMemAccesses())
+                .add("traffic delta",
+                     pct(static_cast<double>(
+                             on.controller.metadataMemAccesses()),
+                         static_cast<double>(
+                             off.controller.metadataMemAccesses())));
+            CellOutput out;
+            out.add(std::move(row));
+            return out;
+        }});
     }
-    table.print(std::cout);
+    exp.runAndEmit(cells);
 
-    std::printf(
-        "\nexpected shape: streaming workloads (libquantum,\n"
+    exp.note(
+        "expected shape: streaming workloads (libquantum,\n"
         "streamcluster, fft) see large demand-miss drops at roughly\n"
         "traffic-neutral cost (the prefetch was going to be fetched\n"
-        "anyway); scattered workloads (canneal, mcf) waste traffic.\n");
-    return 0;
+        "anyway); scattered workloads (canneal, mcf) waste traffic.");
+    return exp.finish();
 }

@@ -13,57 +13,73 @@ int
 main(int argc, char **argv)
 {
     const auto opts = Options::parse(argc, argv);
-    banner("Ablation: speculative use of unverified data",
-           "§III (Simulation Methodologies) + PoisonIvy [12]", opts);
+    Experiment exp({"abl_speculation",
+                    "Ablation: speculative use of unverified data",
+                    "§III (Simulation Methodologies) + PoisonIvy [12]"},
+                   opts);
 
-    TextTable table({"benchmark", "cycles (spec)", "cycles (no spec)",
-                     "slowdown", "avg read lat (spec)",
-                     "avg read lat (no spec)", "ED^2 ratio"});
-    for (const char *bench :
+    const char *trend_section =
+        "Figure-2 trend without speculation (1MB+16KB vs "
+        "512KB+512KB):";
+
+    std::vector<Cell> cells;
+    for (const std::string bench :
          {"canneal", "libquantum", "fft", "mcf", "leslie3d"}) {
-        auto cfg = defaultConfig(bench, opts, 500'000, 150'000);
-        cfg.secure.speculation = true;
-        const auto spec = runBenchmark(cfg);
-        cfg.secure.speculation = false;
-        const auto nospec = runBenchmark(cfg);
-        table.addRow(
-            {bench, TextTable::fmt(spec.cycles),
-             TextTable::fmt(nospec.cycles),
-             TextTable::fmt(static_cast<double>(nospec.cycles) /
-                                static_cast<double>(spec.cycles),
-                            2),
-             TextTable::fmt(spec.controller.avgReadLatency(), 0),
-             TextTable::fmt(nospec.controller.avgReadLatency(), 0),
-             TextTable::fmt(nospec.ed2 / spec.ed2, 2)});
+        cells.push_back({bench, 0, [=](const Cell &) {
+            auto cfg = defaultConfig(bench, opts, 500'000, 150'000);
+            cfg.secure.speculation = true;
+            const auto spec = runBenchmark(cfg);
+            cfg.secure.speculation = false;
+            const auto nospec = runBenchmark(cfg);
+            Row row;
+            row.add("benchmark", bench)
+                .add("cycles (spec)", spec.cycles)
+                .add("cycles (no spec)", nospec.cycles)
+                .add("slowdown",
+                     static_cast<double>(nospec.cycles) /
+                         static_cast<double>(spec.cycles),
+                     2)
+                .add("avg read lat (spec)",
+                     spec.controller.avgReadLatency(), 0)
+                .add("avg read lat (no spec)",
+                     nospec.controller.avgReadLatency(), 0)
+                .add("ED^2 ratio", nospec.ed2 / spec.ed2, 2);
+            CellOutput out;
+            out.add(std::move(row));
+            return out;
+        }});
     }
-    table.print(std::cout);
-
     // Trend check: does the Figure-2 conclusion (bigger LLC beats
     // bigger metadata cache for the average; reversed for canneal)
     // survive without speculation?
-    std::printf("\nFigure-2 trend without speculation (1MB+16KB vs "
-                "512KB+512KB):\n");
-    TextTable trend({"benchmark", "big-LLC ED^2", "big-md ED^2",
-                     "winner"});
-    for (const char *bench : {"libquantum", "canneal"}) {
-        auto big_llc = defaultConfig(bench, opts, 400'000, 150'000);
-        big_llc.secure.speculation = false;
-        big_llc.hierarchy.llcBytes = 1_MiB;
-        big_llc.secure.cache.sizeBytes = 16_KiB;
-        const auto a = runBenchmark(big_llc);
+    for (const std::string bench : {"libquantum", "canneal"}) {
+        cells.push_back({"trend/" + bench, 0, [=](const Cell &) {
+            auto big_llc = defaultConfig(bench, opts, 400'000, 150'000);
+            big_llc.secure.speculation = false;
+            big_llc.hierarchy.llcBytes = 1_MiB;
+            big_llc.secure.cache.sizeBytes = 16_KiB;
+            const auto a = runBenchmark(big_llc);
 
-        auto big_md = big_llc;
-        big_md.hierarchy.llcBytes = 512_KiB;
-        big_md.secure.cache.sizeBytes = 512_KiB;
-        const auto b = runBenchmark(big_md);
-        trend.addRow({bench, TextTable::fmt(a.ed2, 6),
-                      TextTable::fmt(b.ed2, 6),
-                      a.ed2 < b.ed2 ? "big LLC" : "big md cache"});
+            auto big_md = big_llc;
+            big_md.hierarchy.llcBytes = 512_KiB;
+            big_md.secure.cache.sizeBytes = 512_KiB;
+            const auto b = runBenchmark(big_md);
+            Row row;
+            row.add("benchmark", bench)
+                .add("big-LLC ED^2", a.ed2, 6)
+                .add("big-md ED^2", b.ed2, 6)
+                .add("winner", a.ed2 < b.ed2 ? "big LLC"
+                                             : "big md cache");
+            CellOutput out;
+            out.add(trend_section, std::move(row));
+            return out;
+        }});
     }
-    trend.print(std::cout);
-    std::printf(
-        "\nexpected shape (paper): verification latency hidden when\n"
+    exp.runAndEmit(cells);
+
+    exp.note(
+        "expected shape (paper): verification latency hidden when\n"
         "speculating; the general sizing trends are the same either\n"
-        "way, with canneal still preferring metadata capacity.\n");
-    return 0;
+        "way, with canneal still preferring metadata capacity.");
+    return exp.finish();
 }

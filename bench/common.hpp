@@ -1,62 +1,42 @@
 /**
  * @file
- * Shared plumbing for the figure/table benches: option parsing, default
- * configurations, and reporting helpers. Every bench prints the rows or
- * series the corresponding paper figure plots.
+ * Shared plumbing for the figure/table benches, now a thin veneer over
+ * the maps::runner experiment harness (src/core/runner.hpp): every
+ * driver parses the common CLI (--quick/--full/--scale, --seed, --jobs,
+ * --format, --out), declares its sweep as a grid of cells, and lets
+ * ExperimentRunner execute them in parallel and render the rows through
+ * the selected ResultSink.
  *
  * Scaling: the paper simulates 500M instructions per benchmark on a
  * cluster; these harnesses default to a few million references per run
- * so the whole suite finishes in minutes on one core. Pass --quick for
- * a fast sanity sweep or --full for a larger one; shapes are stable
- * across scales (EXPERIMENTS.md records the defaults used).
+ * so the whole suite finishes in minutes. Pass --quick for a fast
+ * sanity sweep or --full for a larger one; shapes are stable across
+ * scales (EXPERIMENTS.md records the defaults used).
  */
 #ifndef MAPS_BENCH_COMMON_HPP
 #define MAPS_BENCH_COMMON_HPP
 
 #include <cstdio>
-#include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "core/runner.hpp"
 #include "core/simulator.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
 namespace maps::bench {
 
-struct Options
-{
-    double scale = 1.0;
-    std::uint64_t seed = 1;
-
-    static Options
-    parse(int argc, char **argv)
-    {
-        Options opts;
-        for (int i = 1; i < argc; ++i) {
-            if (std::strcmp(argv[i], "--quick") == 0)
-                opts.scale = 0.25;
-            else if (std::strcmp(argv[i], "--full") == 0)
-                opts.scale = 4.0;
-            else if (std::strncmp(argv[i], "--scale=", 8) == 0)
-                opts.scale = std::atof(argv[i] + 8);
-            else if (std::strncmp(argv[i], "--seed=", 7) == 0)
-                opts.seed = std::strtoull(argv[i] + 7, nullptr, 10);
-            else
-                std::fprintf(stderr, "unknown option: %s\n", argv[i]);
-        }
-        return opts;
-    }
-
-    std::uint64_t
-    refs(std::uint64_t base) const
-    {
-        const auto scaled = static_cast<std::uint64_t>(
-            static_cast<double>(base) * scale);
-        return scaled < 10'000 ? 10'000 : scaled;
-    }
-};
+using runner::Cell;
+using runner::CellOutput;
+using runner::Experiment;
+using runner::ExperimentMeta;
+using runner::ExperimentRunner;
+using runner::Options;
+using runner::Row;
+using runner::SectionRow;
+using runner::Value;
 
 /** Baseline configuration shared by the experiments (Table I shapes). */
 inline SimConfig
@@ -72,22 +52,6 @@ defaultConfig(const std::string &benchmark, const Options &opts,
     cfg.secure.layout.protectedBytes = 256_MiB;
     cfg.useDram = true;
     return cfg;
-}
-
-/** Print the standard bench banner. */
-inline void
-banner(const std::string &title, const std::string &paper_ref,
-       const Options &opts)
-{
-    std::printf("================================================="
-                "=====================\n");
-    std::printf("MAPS reproduction | %s\n", title.c_str());
-    std::printf("paper reference   | %s\n", paper_ref.c_str());
-    std::printf("scale             | %.2fx (use --quick / --full / "
-                "--scale=X)\n",
-                opts.scale);
-    std::printf("================================================="
-                "=====================\n\n");
 }
 
 } // namespace maps::bench

@@ -15,21 +15,11 @@ using namespace maps::bench;
 
 namespace {
 
-enum class Contents { CountersOnly, CountersHashes, All };
-
-MetadataCacheConfig
-contentsConfig(Contents c, std::uint64_t size)
+struct ContentsColumn
 {
-    switch (c) {
-      case Contents::CountersOnly:
-        return MetadataCacheConfig::countersOnly(size);
-      case Contents::CountersHashes:
-        return MetadataCacheConfig::countersAndHashes(size);
-      case Contents::All:
-        return MetadataCacheConfig::allTypes(size);
-    }
-    return MetadataCacheConfig::allTypes(size);
-}
+    const char *label;
+    MetadataCacheConfig (*make)(std::uint64_t size);
+};
 
 } // namespace
 
@@ -37,43 +27,54 @@ int
 main(int argc, char **argv)
 {
     const auto opts = Options::parse(argc, argv);
-    banner("Figure 1: metadata MPKI vs cache contents",
-           "Figure 1 (§II-B, Case for Caching All Metadata Types)",
-           opts);
+    Experiment exp({"fig1_cache_contents",
+                    "Figure 1: metadata MPKI vs cache contents",
+                    "Figure 1 (§II-B, Case for Caching All Metadata "
+                    "Types)"},
+                   opts);
 
     const std::vector<std::uint64_t> sizes{16_KiB,  32_KiB, 64_KiB,
                                            128_KiB, 256_KiB, 512_KiB,
                                            1_MiB,  2_MiB};
-    const std::vector<Contents> contents{
-        Contents::CountersOnly, Contents::CountersHashes, Contents::All};
+    const std::vector<ContentsColumn> contents{
+        {"counters", MetadataCacheConfig::countersOnly},
+        {"counters+hashes", MetadataCacheConfig::countersAndHashes},
+        {"all types", MetadataCacheConfig::allTypes}};
 
-    for (const char *benchmark : {"canneal", "libquantum"}) {
-        std::printf("benchmark: %s\n", benchmark);
-        TextTable table({"md cache", "counters", "counters+hashes",
-                         "all types"});
+    // One cell per (benchmark, size) point; the three contents variants
+    // stay inside the cell so each table row is produced whole.
+    std::vector<Cell> cells;
+    for (const std::string benchmark : {"canneal", "libquantum"}) {
         for (const auto size : sizes) {
-            std::vector<std::string> row{TextTable::fmtSize(size)};
-            for (const auto c : contents) {
-                // libquantum's wrap-around reuse (the 4MB array) only
-                // shows after multiple full passes, so run longer.
-                auto cfg = defaultConfig(benchmark, opts, 1'800'000,
-                                         400'000);
-                cfg.measureRefs = std::max<std::uint64_t>(
-                    cfg.measureRefs, 1'200'000);
-                cfg.secure.cache = contentsConfig(c, size);
-                const auto report = runBenchmark(cfg);
-                row.push_back(TextTable::fmt(report.metadataMpki, 1));
-            }
-            table.addRow(row);
+            const std::string id =
+                benchmark + "/" + TextTable::fmtSize(size);
+            cells.push_back({id, 0, [=](const Cell &) {
+                Row row;
+                row.add("md cache", Value::size(size));
+                for (const auto &c : contents) {
+                    // libquantum's wrap-around reuse (the 4MB array)
+                    // only shows after multiple full passes, so run
+                    // longer.
+                    auto cfg = defaultConfig(benchmark, opts, 1'800'000,
+                                             400'000);
+                    cfg.measureRefs = std::max<std::uint64_t>(
+                        cfg.measureRefs, 1'200'000);
+                    cfg.secure.cache = c.make(size);
+                    const auto report = runBenchmark(cfg);
+                    row.add(c.label, report.metadataMpki, 1);
+                }
+                CellOutput out;
+                out.add("benchmark: " + benchmark, std::move(row));
+                return out;
+            }});
         }
-        table.print(std::cout);
-        std::printf("\n");
     }
+    exp.runAndEmit(cells);
 
-    std::printf(
+    exp.note(
         "expected shape (paper): canneal needs a much smaller cache for\n"
         "a given MPKI when all types are cacheable; libquantum shows\n"
         "hashes hurting counters at ~1MB but tree caching helping below\n"
-        "512KB.\n");
-    return 0;
+        "512KB.");
+    return exp.finish();
 }

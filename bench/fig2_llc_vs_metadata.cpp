@@ -6,6 +6,9 @@
  * memory — for the suite average (geomean) and for canneal, whose poor
  * locality flips the conclusion (§IV-A).
  */
+#include <memory>
+#include <unordered_map>
+
 #include "common.hpp"
 
 using namespace maps;
@@ -15,8 +18,10 @@ int
 main(int argc, char **argv)
 {
     const auto opts = Options::parse(argc, argv);
-    banner("Figure 2: LLC vs metadata cache sizing (ED^2)",
-           "Figure 2 (§IV-A, Metadata Cache Size)", opts);
+    Experiment exp({"fig2_llc_vs_metadata",
+                    "Figure 2: LLC vs metadata cache sizing (ED^2)",
+                    "Figure 2 (§IV-A, Metadata Cache Size)"},
+                   opts);
 
     const std::vector<std::uint64_t> llc_sizes{512_KiB, 1_MiB, 2_MiB,
                                                4_MiB};
@@ -31,9 +36,9 @@ main(int argc, char **argv)
         "libquantum", "fft", "leslie3d", "perl", "gcc",
         "streamcluster"};
 
-    const auto make_cfg = [&](const std::string &bench,
-                              std::uint64_t llc, std::uint64_t md,
-                              bool secure) {
+    const auto make_cfg = [opts](const std::string &bench,
+                                 std::uint64_t llc, std::uint64_t md,
+                                 bool secure) {
         auto cfg = defaultConfig(bench, opts, 350'000, 140'000);
         cfg.hierarchy.llcBytes = llc;
         cfg.secure.cache.sizeBytes = md;
@@ -41,62 +46,84 @@ main(int argc, char **argv)
         return cfg;
     };
 
-    // Baselines: 2MB LLC, no secure memory.
-    std::printf("computing insecure 2MB-LLC baselines...\n");
-    std::unordered_map<std::string, double> baseline_ed2;
-    for (const auto &bench : avg_set) {
-        baseline_ed2[bench] =
-            runBenchmark(make_cfg(bench, 2_MiB, 16_KiB, false)).ed2;
+    // Phase 1: insecure 2MB-LLC baselines, one cell per benchmark.
+    std::vector<std::string> baseline_set = avg_set;
+    baseline_set.push_back("canneal");
+    std::vector<Cell> baseline_cells;
+    for (const auto &bench : baseline_set) {
+        baseline_cells.push_back(
+            {"baseline/" + bench, 0, [=](const Cell &) {
+                const auto rep =
+                    runBenchmark(make_cfg(bench, 2_MiB, 16_KiB, false));
+                CellOutput out;
+                out.add(Row{}.add("ed2", rep.ed2, 9));
+                return out;
+            }});
     }
-    baseline_ed2["canneal"] =
-        runBenchmark(make_cfg("canneal", 2_MiB, 16_KiB, false)).ed2;
+    const auto baseline_outputs =
+        exp.run(baseline_cells, "fig2/baselines");
+    auto baseline_ed2 = std::make_shared<
+        std::unordered_map<std::string, double>>();
+    for (std::size_t i = 0; i < baseline_set.size(); ++i)
+        (*baseline_ed2)[baseline_set[i]] =
+            baseline_outputs[i].rows.front().row.num("ed2");
 
-    TextTable table({"LLC", "md cache", "total SRAM",
-                     "avg ED^2 (norm)", "canneal ED^2 (norm)"});
-    double best_avg = 1e300, best_canneal = 1e300;
-    std::string best_avg_cfg, best_canneal_cfg;
+    // Phase 2: the (LLC, md) grid; each cell runs the whole average set
+    // plus canneal and produces one normalized row.
+    std::vector<Cell> grid;
     for (const auto llc : llc_sizes) {
         for (const auto md : md_sizes) {
-            std::vector<double> ratios;
-            for (const auto &bench : avg_set) {
-                const auto rep = runBenchmark(
-                    make_cfg(bench, llc, md, true));
-                ratios.push_back(rep.ed2 / baseline_ed2[bench]);
-            }
-            const double avg = geometricMean(ratios);
-            const auto canneal_rep =
-                runBenchmark(make_cfg("canneal", llc, md, true));
-            const double canneal =
-                canneal_rep.ed2 / baseline_ed2["canneal"];
+            const std::string id = TextTable::fmtSize(llc) + "+" +
+                                   TextTable::fmtSize(md);
+            grid.push_back({id, 0, [=](const Cell &) {
+                std::vector<double> ratios;
+                for (const auto &bench : avg_set) {
+                    const auto rep =
+                        runBenchmark(make_cfg(bench, llc, md, true));
+                    ratios.push_back(rep.ed2 / baseline_ed2->at(bench));
+                }
+                const double avg = geometricMean(ratios);
+                const auto canneal_rep = runBenchmark(
+                    make_cfg("canneal", llc, md, true));
+                const double canneal =
+                    canneal_rep.ed2 / baseline_ed2->at("canneal");
 
-            const std::string cfg_name =
-                TextTable::fmtSize(llc) + "+" + TextTable::fmtSize(md);
-            if (avg < best_avg) {
-                best_avg = avg;
-                best_avg_cfg = cfg_name;
-            }
-            if (canneal < best_canneal) {
-                best_canneal = canneal;
-                best_canneal_cfg = cfg_name;
-            }
-            table.addRow({TextTable::fmtSize(llc),
-                          TextTable::fmtSize(md),
-                          TextTable::fmtSize(llc + md),
-                          TextTable::fmt(avg, 3),
-                          TextTable::fmt(canneal, 3)});
+                Row row;
+                row.add("LLC", Value::size(llc))
+                    .add("md cache", Value::size(md))
+                    .add("total SRAM", Value::size(llc + md))
+                    .add("avg ED^2 (norm)", avg, 3)
+                    .add("canneal ED^2 (norm)", canneal, 3);
+                CellOutput out;
+                out.add(std::move(row));
+                return out;
+            }});
         }
-        table.addRule();
     }
-    table.print(std::cout);
+    const auto outputs = exp.runAndEmit(grid, "fig2/grid");
 
-    std::printf("\nbest average config: %s (%.3f); best canneal config: "
-                "%s (%.3f)\n",
-                best_avg_cfg.c_str(), best_avg, best_canneal_cfg.c_str(),
-                best_canneal);
-    std::printf(
+    double best_avg = 1e300, best_canneal = 1e300;
+    std::string best_avg_cfg, best_canneal_cfg;
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        const auto &row = outputs[i].rows.front().row;
+        if (row.num("avg ED^2 (norm)") < best_avg) {
+            best_avg = row.num("avg ED^2 (norm)");
+            best_avg_cfg = grid[i].id;
+        }
+        if (row.num("canneal ED^2 (norm)") < best_canneal) {
+            best_canneal = row.num("canneal ED^2 (norm)");
+            best_canneal_cfg = grid[i].id;
+        }
+    }
+
+    exp.note("best average config: " + best_avg_cfg + " (" +
+             TextTable::fmt(best_avg, 3) + "); best canneal config: " +
+             best_canneal_cfg + " (" + TextTable::fmt(best_canneal, 3) +
+             ")");
+    exp.note(
         "expected shape (paper): for the average workload, spending the\n"
         "budget on LLC wins (big LLC + small metadata cache); canneal\n"
         "prefers trading LLC for metadata cache (512KB+512KB beats\n"
-        "1MB+16KB at similar budgets).\n");
-    return 0;
+        "1MB+16KB at similar budgets).");
+    return exp.finish();
 }

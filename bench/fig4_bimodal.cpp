@@ -18,38 +18,49 @@ int
 main(int argc, char **argv)
 {
     const auto opts = Options::parse(argc, argv);
-    banner("Figure 4: bimodal reuse-distance classes",
-           "Figure 4 (§IV-D, Bimodal Reuse Distances)", opts);
+    Experiment exp({"fig4_bimodal",
+                    "Figure 4: bimodal reuse-distance classes",
+                    "Figure 4 (§IV-D, Bimodal Reuse Distances)"},
+                   opts);
 
-    TextTable table({"benchmark", "<=128blk(8KB)", "128-256", "256-512",
-                     ">512blk(32KB)", "bimodality"});
+    std::vector<Cell> cells;
     for (const auto &benchmark : benchmarkNames()) {
-        auto cfg = defaultConfig(benchmark, opts, 1'000'000, 250'000);
-        cfg.secure.cacheEnabled = false;
-        SecureMemorySim sim(cfg);
-        ReuseDistanceAnalyzer analyzer;
-        sim.setMetadataTap(
-            [&analyzer](const MetadataAccess &a) { analyzer.observe(a); });
-        sim.run();
+        cells.push_back({benchmark, 0, [benchmark, opts](const Cell &) {
+            auto cfg = defaultConfig(benchmark, opts, 1'000'000, 250'000);
+            cfg.secure.cacheEnabled = false;
+            SecureMemorySim sim(cfg);
+            ReuseDistanceAnalyzer analyzer;
+            sim.setMetadataTap(
+                [&analyzer](const MetadataAccess &a) {
+                    analyzer.observe(a);
+                });
+            sim.run();
 
-        ExactHistogram workload_driven;
-        workload_driven.merge(
-            analyzer.typeHistogram(MetadataType::Counter));
-        workload_driven.merge(analyzer.typeHistogram(MetadataType::Hash));
-        const auto fractions = classifyReuse(workload_driven);
-        table.addRow({benchmark, TextTable::fmt(fractions[0], 3),
-                      TextTable::fmt(fractions[1], 3),
-                      TextTable::fmt(fractions[2], 3),
-                      TextTable::fmt(fractions[3], 3),
-                      TextTable::fmt(bimodalityScore(workload_driven),
-                                     3)});
+            ExactHistogram workload_driven;
+            workload_driven.merge(
+                analyzer.typeHistogram(MetadataType::Counter));
+            workload_driven.merge(
+                analyzer.typeHistogram(MetadataType::Hash));
+            const auto fractions = classifyReuse(workload_driven);
+
+            Row row;
+            row.add("benchmark", benchmark)
+                .add("<=128blk(8KB)", fractions[0], 3)
+                .add("128-256", fractions[1], 3)
+                .add("256-512", fractions[2], 3)
+                .add(">512blk(32KB)", fractions[3], 3)
+                .add("bimodality", bimodalityScore(workload_driven), 3);
+            CellOutput out;
+            out.add(std::move(row));
+            return out;
+        }});
     }
-    table.print(std::cout);
+    exp.runAndEmit(cells);
 
-    std::printf(
-        "\nexpected shape (paper): every benchmark except canneal and\n"
-        "cactusADM has >=50%% of accesses in the smallest class, with\n"
+    exp.note(
+        "expected shape (paper): every benchmark except canneal and\n"
+        "cactusADM has >=50% of accesses in the smallest class, with\n"
         "most of the remainder in the largest class (bimodality ~1.0);\n"
-        "canneal and cactusADM are the exceptions.\n");
-    return 0;
+        "canneal and cactusADM are the exceptions.");
+    return exp.finish();
 }

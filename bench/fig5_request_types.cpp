@@ -17,8 +17,11 @@ int
 main(int argc, char **argv)
 {
     const auto opts = Options::parse(argc, argv);
-    banner("Figure 5: reuse CDF by request transition x metadata type",
-           "Figure 5 (§IV-E, Request Types)", opts);
+    Experiment exp({"fig5_request_types",
+                    "Figure 5: reuse CDF by request transition x "
+                    "metadata type",
+                    "Figure 5 (§IV-E, Request Types)"},
+                   opts);
 
     const std::vector<std::uint64_t> points{512,    4_KiB,  16_KiB,
                                             64_KiB, 256_KiB, 1_MiB,
@@ -28,52 +31,59 @@ main(int argc, char **argv)
         ReuseTransition::WriteAfterRead,
         ReuseTransition::WriteAfterWrite};
 
-    for (const char *benchmark : {"fft", "leslie3d"}) {
-        auto cfg = defaultConfig(benchmark, opts, 1'500'000, 300'000);
-        // Metadata *writes* only exist once dirty lines leave the LLC;
-        // keep enough references to evict even at --quick.
-        cfg.measureRefs = std::max<std::uint64_t>(cfg.measureRefs,
-                                                  1'200'000);
-        cfg.secure.cacheEnabled = false;
-        SecureMemorySim sim(cfg);
-        ReuseDistanceAnalyzer analyzer;
-        sim.setMetadataTap(
-            [&analyzer](const MetadataAccess &a) { analyzer.observe(a); });
-        sim.run();
+    std::vector<Cell> cells;
+    for (const std::string benchmark : {"fft", "leslie3d"}) {
+        cells.push_back({benchmark, 0, [=](const Cell &) {
+            auto cfg = defaultConfig(benchmark, opts, 1'500'000,
+                                     300'000);
+            // Metadata *writes* only exist once dirty lines leave the
+            // LLC; keep enough references to evict even at --quick.
+            cfg.measureRefs = std::max<std::uint64_t>(cfg.measureRefs,
+                                                      1'200'000);
+            cfg.secure.cacheEnabled = false;
+            SecureMemorySim sim(cfg);
+            ReuseDistanceAnalyzer analyzer;
+            sim.setMetadataTap(
+                [&analyzer](const MetadataAccess &a) {
+                    analyzer.observe(a);
+                });
+            sim.run();
 
-        std::printf("benchmark: %s\n", benchmark);
-        for (const auto type :
-             {MetadataType::Counter, MetadataType::Hash,
-              MetadataType::TreeNode}) {
-            std::vector<std::string> header{
-                std::string(metadataTypeName(type)) + " \\ <="};
-            for (const auto p : points)
-                header.push_back(TextTable::fmtSize(p));
-            header.push_back("samples");
-            TextTable table(header);
-            for (const auto t : transitions) {
-                const auto &hist = analyzer.transitionHistogram(type, t);
-                std::vector<std::string> row{reuseTransitionName(t)};
-                for (const auto p : points) {
-                    row.push_back(
-                        hist.totalCount()
-                            ? TextTable::fmt(100.0 *
-                                                 hist.cumulativeAtOrBelow(
-                                                     p / kBlockSize),
-                                             1)
-                            : "-");
+            CellOutput out;
+            for (const auto type :
+                 {MetadataType::Counter, MetadataType::Hash,
+                  MetadataType::TreeNode}) {
+                const std::string section =
+                    "benchmark: " + benchmark + ", " +
+                    metadataTypeName(type);
+                for (const auto t : transitions) {
+                    const auto &hist =
+                        analyzer.transitionHistogram(type, t);
+                    Row row;
+                    row.add(std::string(metadataTypeName(type)) +
+                                " \\ <=",
+                            reuseTransitionName(t));
+                    for (const auto p : points) {
+                        if (hist.totalCount())
+                            row.add(TextTable::fmtSize(p),
+                                    100.0 * hist.cumulativeAtOrBelow(
+                                                p / kBlockSize),
+                                    1);
+                        else
+                            row.add(TextTable::fmtSize(p), "-");
+                    }
+                    row.add("samples", hist.totalCount());
+                    out.add(section, std::move(row));
                 }
-                row.push_back(TextTable::fmt(hist.totalCount()));
-                table.addRow(row);
             }
-            table.print(std::cout);
-        }
-        std::printf("\n");
+            return out;
+        }});
     }
+    exp.runAndEmit(cells);
 
-    std::printf(
+    exp.note(
         "expected shape (paper): same-direction transitions (RAR, WAW)\n"
         "show shorter reuse than cross-direction ones; WAW shortest for\n"
-        "hashes (the §IV-E motivation for partial writes).\n");
-    return 0;
+        "hashes (the §IV-E motivation for partial writes).");
+    return exp.finish();
 }

@@ -65,86 +65,105 @@ int
 main(int argc, char **argv)
 {
     const auto opts = Options::parse(argc, argv);
-    banner("Figure 6: eviction policies on a 64KB metadata cache",
-           "Figure 6 (§V-A/B, Eviction Policies / Optimal Eviction)",
-           opts);
+    Experiment exp({"fig6_eviction_policies",
+                    "Figure 6: eviction policies on a 64KB metadata "
+                    "cache",
+                    "Figure 6 (§V-A/B, Eviction Policies / Optimal "
+                    "Eviction)"},
+                   opts);
 
     const std::vector<std::string> benchmarks{
         "canneal", "cactusADM", "fft",  "leslie3d",
         "libquantum", "mcf",   "barnes"};
+    const char *kCountSection =
+        "metadata cache miss MPKI (count view):";
+    const char *kTrafficSection =
+        "metadata *memory accesses* per kilo-instruction "
+        "(cost-weighted view;\na counter miss can trigger a whole tree "
+        "traversal):";
 
-    TextTable table({"benchmark", "pseudo-LRU", "EVA", "MIN", "iterMIN",
-                     "trueLRU*", "SRRIP*", "EVA-typed*", "MIN divergence"});
-    TextTable traffic({"benchmark", "pseudo-LRU", "EVA", "MIN",
-                       "iterMIN", "trueLRU*", "SRRIP*", "EVA-typed*"});
-
+    // One cell per benchmark: the online policies are independent runs,
+    // but MIN/iterMIN consume the profiling trace sequentially, so the
+    // whole policy set stays inside the cell.
+    std::vector<Cell> cells;
     for (const auto &benchmark : benchmarks) {
-        auto base = defaultConfig(benchmark, opts, 1'000'000, 300'000);
-        base.secure.cache.sizeBytes = 64_KiB; // the paper's Fig. 6 point
+        cells.push_back({benchmark, 0, [=](const Cell &) {
+            auto base = defaultConfig(benchmark, opts, 1'000'000,
+                                      300'000);
+            base.secure.cache.sizeBytes = 64_KiB; // paper's Fig. 6 point
 
-        const auto plru =
-            runPolicy(base, makeReplacementPolicy("plru"), nullptr);
-        const auto eva =
-            runPolicy(base, makeReplacementPolicy("eva"), nullptr);
-        const auto lru =
-            runPolicy(base, makeReplacementPolicy("lru"), nullptr);
-        const auto srrip =
-            runPolicy(base, makeReplacementPolicy("srrip"), nullptr);
-        const auto eva_typed =
-            runPolicy(base, makeReplacementPolicy("eva-typed"), nullptr);
+            const auto plru =
+                runPolicy(base, makeReplacementPolicy("plru"), nullptr);
+            const auto eva =
+                runPolicy(base, makeReplacementPolicy("eva"), nullptr);
+            const auto lru =
+                runPolicy(base, makeReplacementPolicy("lru"), nullptr);
+            const auto srrip =
+                runPolicy(base, makeReplacementPolicy("srrip"),
+                          nullptr);
+            const auto eva_typed =
+                runPolicy(base, makeReplacementPolicy("eva-typed"),
+                          nullptr);
 
-        // MIN and iterMIN via the fixed-point driver: iteration 0 is
-        // the true-LRU profiling run, iteration 1 is the paper's MIN.
-        std::vector<PolicyRun> iterations;
-        IterMinDriver driver;
-        const auto simulate =
-            [&](std::unique_ptr<ReplacementPolicy> policy,
-                std::vector<Addr> &trace_out) -> std::uint64_t {
-            const auto run = runPolicy(base, std::move(policy),
-                                       &trace_out);
-            iterations.push_back(run);
-            return run.misses;
-        };
-        const auto iter = driver.run(simulate, "lru", 3);
-        const PolicyRun min_run =
-            iterations.size() > 1 ? iterations[1] : PolicyRun{};
-        const PolicyRun itermin_run = iterations.back();
-        const double divergence =
-            iter.divergencesPerIteration.size() > 1
-                ? static_cast<double>(iter.divergencesPerIteration[1])
-                : 0.0;
+            // MIN and iterMIN via the fixed-point driver: iteration 0
+            // is the true-LRU profiling run, iteration 1 is the paper's
+            // MIN.
+            std::vector<PolicyRun> iterations;
+            IterMinDriver driver;
+            const auto simulate =
+                [&](std::unique_ptr<ReplacementPolicy> policy,
+                    std::vector<Addr> &trace_out) -> std::uint64_t {
+                const auto run = runPolicy(base, std::move(policy),
+                                           &trace_out);
+                iterations.push_back(run);
+                return run.misses;
+            };
+            const auto iter = driver.run(simulate, "lru", 3);
+            const PolicyRun min_run =
+                iterations.size() > 1 ? iterations[1] : PolicyRun{};
+            const PolicyRun itermin_run = iterations.back();
+            const double divergence =
+                iter.divergencesPerIteration.size() > 1
+                    ? static_cast<double>(
+                          iter.divergencesPerIteration[1])
+                    : 0.0;
 
-        table.addRow({benchmark, TextTable::fmt(plru.mpki(), 1),
-                      TextTable::fmt(eva.mpki(), 1),
-                      TextTable::fmt(min_run.mpki(), 1),
-                      TextTable::fmt(itermin_run.mpki(), 1),
-                      TextTable::fmt(lru.mpki(), 1),
-                      TextTable::fmt(srrip.mpki(), 1),
-                      TextTable::fmt(eva_typed.mpki(), 1),
-                      TextTable::fmt(divergence, 0)});
-        traffic.addRow({benchmark, TextTable::fmt(plru.trafficMpki(), 1),
-                        TextTable::fmt(eva.trafficMpki(), 1),
-                        TextTable::fmt(min_run.trafficMpki(), 1),
-                        TextTable::fmt(itermin_run.trafficMpki(), 1),
-                        TextTable::fmt(lru.trafficMpki(), 1),
-                        TextTable::fmt(srrip.trafficMpki(), 1),
-                        TextTable::fmt(eva_typed.trafficMpki(), 1)});
+            Row counts;
+            counts.add("benchmark", benchmark)
+                .add("pseudo-LRU", plru.mpki(), 1)
+                .add("EVA", eva.mpki(), 1)
+                .add("MIN", min_run.mpki(), 1)
+                .add("iterMIN", itermin_run.mpki(), 1)
+                .add("trueLRU*", lru.mpki(), 1)
+                .add("SRRIP*", srrip.mpki(), 1)
+                .add("EVA-typed*", eva_typed.mpki(), 1)
+                .add("MIN divergence", divergence, 0);
+            Row traffic;
+            traffic.add("benchmark", benchmark)
+                .add("pseudo-LRU", plru.trafficMpki(), 1)
+                .add("EVA", eva.trafficMpki(), 1)
+                .add("MIN", min_run.trafficMpki(), 1)
+                .add("iterMIN", itermin_run.trafficMpki(), 1)
+                .add("trueLRU*", lru.trafficMpki(), 1)
+                .add("SRRIP*", srrip.trafficMpki(), 1)
+                .add("EVA-typed*", eva_typed.trafficMpki(), 1);
+
+            CellOutput out;
+            out.add(kCountSection, std::move(counts));
+            out.add(kTrafficSection, std::move(traffic));
+            return out;
+        }});
     }
-    std::printf("metadata cache miss MPKI (count view):\n");
-    table.print(std::cout);
-    std::printf("\nmetadata *memory accesses* per kilo-instruction "
-                "(cost-weighted view;\na counter miss can trigger a "
-                "whole tree traversal):\n");
-    traffic.print(std::cout);
+    exp.runAndEmit(cells);
 
-    std::printf(
-        "\n(*) extension columns beyond the paper's four policies.\n"
+    exp.note(
+        "(*) extension columns beyond the paper's four policies.\n"
         "expected shape (paper): no single winner; MIN and iterMIN do\n"
         "not beat pseudo-LRU consistently (stale future knowledge +\n"
         "uniform-cost assumption: MIN minimizes miss *count* while the\n"
         "cost-weighted view shows the expensive counter misses it\n"
         "trades for cheap hash hits); EVA suffers from bimodal reuse.\n"
         "'MIN divergence' counts live accesses that differed from the\n"
-        "profiling trace MIN's oracle was built from.\n");
-    return 0;
+        "profiling trace MIN's oracle was built from.");
+    return exp.finish();
 }

@@ -9,32 +9,27 @@
  */
 #include "common.hpp"
 
+#include "util/logging.hpp"
+
 using namespace maps;
 using namespace maps::bench;
-
-namespace {
-
-struct SchemeResult
-{
-    double ed2 = 0.0;
-    double mpki = 0.0;
-};
-
-} // namespace
 
 int
 main(int argc, char **argv)
 {
     const auto opts = Options::parse(argc, argv);
-    banner("Figure 7: cache partitioning schemes",
-           "Figure 7 (§V-C, Cache Partitioning)", opts);
+    Experiment exp({"fig7_partitioning",
+                    "Figure 7: cache partitioning schemes",
+                    "Figure 7 (§V-C, Cache Partitioning)"},
+                   opts);
 
     const std::vector<std::string> benchmarks{
         "canneal", "cactusADM", "fft",   "leslie3d", "libquantum",
         "mcf",     "barnes",    "ocean", "radix"};
     const std::uint32_t assoc = 8;
 
-    const auto make_cfg = [&](const std::string &bench, bool secure) {
+    const auto make_cfg = [opts, assoc](const std::string &bench,
+                                        bool secure) {
         auto cfg = defaultConfig(bench, opts, 400'000, 150'000);
         cfg.secure.cache.sizeBytes = 64_KiB;
         cfg.secure.cache.assoc = assoc;
@@ -42,82 +37,117 @@ main(int argc, char **argv)
         return cfg;
     };
 
-    const auto run_scheme = [&](const std::string &bench,
-                                PartitionScheme scheme,
-                                std::uint32_t split) {
+    const auto scheme_row = [make_cfg](const std::string &bench,
+                                       PartitionScheme scheme,
+                                       std::uint32_t split) {
         auto cfg = make_cfg(bench, true);
         cfg.secure.cache.partition = scheme;
         cfg.secure.cache.staticCounterWays = split;
         const auto rep = runBenchmark(cfg);
-        return SchemeResult{rep.ed2, rep.metadataMpki};
+        return Row{}
+            .add("ed2", rep.ed2, 9)
+            .add("mpki", rep.metadataMpki, 6);
     };
 
-    // Pass 1: per-benchmark baseline, no-partition, and static sweep.
-    std::unordered_map<std::string, double> baseline_ed2;
-    std::unordered_map<std::string, SchemeResult> none_result;
-    std::unordered_map<std::string, SchemeResult> best_static;
-    std::unordered_map<std::string, std::uint32_t> best_split;
-    std::unordered_map<std::string,
-                       std::vector<SchemeResult>> static_sweep;
+    // Phase 1 grid, one cell per (benchmark, variant): the insecure
+    // baseline, the unpartitioned cache, every static split, and the
+    // set-dueling scheme. The derived columns (best/average split) are
+    // computed from the collected grid below.
+    struct Variant
+    {
+        std::string name;
+        std::function<Row(const std::string &)> run;
+    };
+    std::vector<Variant> variants;
+    variants.push_back({"baseline", [make_cfg](const std::string &b) {
+        return Row{}.add("ed2", runBenchmark(make_cfg(b, false)).ed2, 9);
+    }});
+    variants.push_back({"none", [scheme_row](const std::string &b) {
+        return scheme_row(b, PartitionScheme::None, 0);
+    }});
+    for (std::uint32_t split = 1; split < assoc; ++split) {
+        variants.push_back(
+            {"static" + std::to_string(split),
+             [scheme_row, split](const std::string &b) {
+                 return scheme_row(b, PartitionScheme::Static, split);
+             }});
+    }
+    variants.push_back({"dueling", [scheme_row](const std::string &b) {
+        return scheme_row(b, PartitionScheme::Dueling, 0);
+    }});
+
+    std::vector<Cell> cells;
     for (const auto &bench : benchmarks) {
-        baseline_ed2[bench] = runBenchmark(make_cfg(bench, false)).ed2;
-        none_result[bench] =
-            run_scheme(bench, PartitionScheme::None, 0);
-        std::vector<SchemeResult> sweep(assoc);
+        for (const auto &variant : variants) {
+            cells.push_back({bench + "/" + variant.name, 0,
+                             [bench, variant](const Cell &) {
+                                 CellOutput out;
+                                 out.add(variant.run(bench));
+                                 return out;
+                             }});
+        }
+    }
+    const auto outputs = exp.run(cells, "fig7/sweep");
+    const auto result = [&](const std::string &bench,
+                            const std::string &variant) -> const Row & {
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            if (cells[i].id == bench + "/" + variant)
+                return outputs[i].rows.front().row;
+        panic("missing fig7 cell " + bench + "/" + variant);
+    };
+
+    // Best static split per benchmark, then the average best split.
+    std::unordered_map<std::string, std::uint32_t> best_split;
+    double split_acc = 0.0;
+    for (const auto &bench : benchmarks) {
         double best = 1e300;
         for (std::uint32_t split = 1; split < assoc; ++split) {
-            sweep[split] =
-                run_scheme(bench, PartitionScheme::Static, split);
-            if (sweep[split].ed2 < best) {
-                best = sweep[split].ed2;
+            const double ed2 =
+                result(bench, "static" + std::to_string(split))
+                    .num("ed2");
+            if (ed2 < best) {
+                best = ed2;
                 best_split[bench] = split;
-                best_static[bench] = sweep[split];
             }
         }
-        static_sweep[bench] = std::move(sweep);
-        std::printf("swept %s (best split %u/%u)\n", bench.c_str(),
-                    best_split[bench], assoc - best_split[bench]);
-    }
-
-    // Average best split across applications (rounded mean).
-    double split_acc = 0.0;
-    for (const auto &bench : benchmarks)
         split_acc += best_split[bench];
+    }
     const auto avg_split = static_cast<std::uint32_t>(
         split_acc / static_cast<double>(benchmarks.size()) + 0.5);
-    std::printf("\naverage best split across applications: %u/%u\n\n",
-                avg_split, assoc - avg_split);
 
-    TextTable table({"benchmark", "no part", "best static",
-                     "avg static", "dynamic", "best split",
-                     "no-part MPKI", "best-static MPKI",
-                     "dynamic MPKI"});
     for (const auto &bench : benchmarks) {
-        const auto &none = none_result[bench];
-        const auto &best = best_static[bench];
-        const auto &avg = static_sweep[bench][avg_split];
-        const auto dyn =
-            run_scheme(bench, PartitionScheme::Dueling, 0);
-        const double base = baseline_ed2[bench];
-        table.addRow(
-            {bench, TextTable::fmt(none.ed2 / base, 3),
-             TextTable::fmt(best.ed2 / base, 3),
-             TextTable::fmt(avg.ed2 / base, 3),
-             TextTable::fmt(dyn.ed2 / base, 3),
-             std::to_string(best_split[bench]) + "/" +
-                 std::to_string(assoc - best_split[bench]),
-             TextTable::fmt(none.mpki, 1), TextTable::fmt(best.mpki, 1),
-             TextTable::fmt(dyn.mpki, 1)});
+        const auto &none = result(bench, "none");
+        const auto &best =
+            result(bench, "static" + std::to_string(best_split[bench]));
+        const auto &avg =
+            result(bench, "static" + std::to_string(avg_split));
+        const auto &dyn = result(bench, "dueling");
+        const double base = result(bench, "baseline").num("ed2");
+        Row row;
+        row.add("benchmark", bench)
+            .add("no part", none.num("ed2") / base, 3)
+            .add("best static", best.num("ed2") / base, 3)
+            .add("avg static", avg.num("ed2") / base, 3)
+            .add("dynamic", dyn.num("ed2") / base, 3)
+            .add("best split",
+                 std::to_string(best_split[bench]) + "/" +
+                     std::to_string(assoc - best_split[bench]))
+            .add("no-part MPKI", none.num("mpki"), 1)
+            .add("best-static MPKI", best.num("mpki"), 1)
+            .add("dynamic MPKI", dyn.num("mpki"), 1);
+        exp.emit(std::move(row));
     }
-    table.print(std::cout);
 
-    std::printf(
-        "\nED^2 columns are normalized to the insecure baseline (lower\n"
+    exp.note("average best split across applications: " +
+             std::to_string(avg_split) + "/" +
+             std::to_string(assoc - avg_split));
+    exp.note(
+        "ED^2 columns are normalized to the insecure baseline (lower\n"
         "is better; 1.0 = no secure-memory overhead).\n"
         "expected shape (paper): the app-specific best static split\n"
         "helps only a few benchmarks (barnes, canneal, libquantum, mcf)\n"
         "and hurts others; the average split and the dynamic set-\n"
         "dueling scheme do not help — set sampling fails because sets\n"
-        "are heterogeneous in type mix and miss cost (§V-C).\n");
-    return 0;
+        "are heterogeneous in type mix and miss cost (§V-C).");
+    return exp.finish();
 }

@@ -15,50 +15,71 @@ int
 main(int argc, char **argv)
 {
     const auto opts = Options::parse(argc, argv);
-    banner("Table I: Simulation Configuration",
-           "Table I (Simulation Methodologies, §III)", opts);
+    Experiment exp({"tab1_configuration",
+                    "Table I: Simulation Configuration",
+                    "Table I (Simulation Methodologies, §III)"},
+                   opts);
 
-    const SimConfig cfg = defaultConfig("libquantum", opts);
+    // A single analytic cell: no sweep, but the same harness and sinks
+    // as every other driver.
+    std::vector<Cell> cells;
+    cells.push_back({"defaults", 0, [opts](const Cell &) {
+        const SimConfig cfg = defaultConfig("libquantum", opts);
 
-    TextTable table({"Parameter", "Paper", "This repo"});
-    table.addRow({"Processor", "out-of-order core",
-                  "trace-driven unit-IPC core + stall model"});
-    table.addRow({"Clock Frequency", "3GHz",
-                  TextTable::fmt(cfg.energy.cpuFreqGhz, 0) + "GHz"});
-    table.addRow({"L1 I & D Cache", "32KB 8-way",
-                  TextTable::fmtSize(cfg.hierarchy.l1Bytes) + " " +
-                      std::to_string(cfg.hierarchy.l1Assoc) + "-way"});
-    table.addRow({"L2 Cache", "256KB 8-way",
-                  TextTable::fmtSize(cfg.hierarchy.l2Bytes) + " " +
-                      std::to_string(cfg.hierarchy.l2Assoc) + "-way"});
-    table.addRow({"L3 Cache", "2MB 8-way",
-                  TextTable::fmtSize(cfg.hierarchy.llcBytes) + " " +
-                      std::to_string(cfg.hierarchy.llcAssoc) + "-way"});
-    table.addRow({"Memory Size", "4GB",
-                  TextTable::fmtSize(cfg.secure.layout.protectedBytes) +
-                      " protected (scaled; see DESIGN.md)"});
-    table.addRow({"Memory Latency", "from DRAMSim2",
-                  "banked row-buffer DRAM-lite"});
-    table.addRow({"Hash Latency", "40 processor cycles",
-                  std::to_string(cfg.secure.hashLatency) + " cycles"});
-    table.addRow({"Hash Throughput", "1 per DRAM cycle",
-                  "pipelined (transaction-level)"});
-    table.print(std::cout);
+        const auto row = [](const char *param, const char *paper,
+                            const std::string &repo) {
+            return Row{}
+                .add("Parameter", param)
+                .add("Paper", paper)
+                .add("This repo", repo);
+        };
+        CellOutput out;
+        out.add(row("Processor", "out-of-order core",
+                    "trace-driven unit-IPC core + stall model"));
+        out.add(row("Clock Frequency", "3GHz",
+                    TextTable::fmt(cfg.energy.cpuFreqGhz, 0) + "GHz"));
+        out.add(row("L1 I & D Cache", "32KB 8-way",
+                    TextTable::fmtSize(cfg.hierarchy.l1Bytes) + " " +
+                        std::to_string(cfg.hierarchy.l1Assoc) +
+                        "-way"));
+        out.add(row("L2 Cache", "256KB 8-way",
+                    TextTable::fmtSize(cfg.hierarchy.l2Bytes) + " " +
+                        std::to_string(cfg.hierarchy.l2Assoc) +
+                        "-way"));
+        out.add(row("L3 Cache", "2MB 8-way",
+                    TextTable::fmtSize(cfg.hierarchy.llcBytes) + " " +
+                        std::to_string(cfg.hierarchy.llcAssoc) +
+                        "-way"));
+        out.add(row("Memory Size", "4GB",
+                    TextTable::fmtSize(
+                        cfg.secure.layout.protectedBytes) +
+                        " protected (scaled; see DESIGN.md)"));
+        out.add(row("Memory Latency", "from DRAMSim2",
+                    "banked row-buffer DRAM-lite"));
+        out.add(row("Hash Latency", "40 processor cycles",
+                    std::to_string(cfg.secure.hashLatency) + " cycles"));
+        out.add(row("Hash Throughput", "1 per DRAM cycle",
+                    "pipelined (transaction-level)"));
 
-    // Self-checks: the defaults every other bench inherits really are
-    // the paper's.
-    fatalIf(cfg.hierarchy.l1Bytes != 32_KiB || cfg.hierarchy.l1Assoc != 8,
-            "L1 default drifted from Table I");
-    fatalIf(cfg.hierarchy.l2Bytes != 256_KiB ||
-                cfg.hierarchy.l2Assoc != 8,
-            "L2 default drifted from Table I");
-    fatalIf(cfg.hierarchy.llcBytes != 2_MiB ||
-                cfg.hierarchy.llcAssoc != 8,
-            "LLC default drifted from Table I");
-    fatalIf(cfg.secure.hashLatency != 40,
-            "hash latency drifted from Table I");
-    fatalIf(cfg.energy.cpuFreqGhz != 3.0,
-            "clock frequency drifted from Table I");
-    std::printf("\nself-check: defaults match Table I\n");
-    return 0;
+        // Self-checks: the defaults every other bench inherits really
+        // are the paper's.
+        fatalIf(cfg.hierarchy.l1Bytes != 32_KiB ||
+                    cfg.hierarchy.l1Assoc != 8,
+                "L1 default drifted from Table I");
+        fatalIf(cfg.hierarchy.l2Bytes != 256_KiB ||
+                    cfg.hierarchy.l2Assoc != 8,
+                "L2 default drifted from Table I");
+        fatalIf(cfg.hierarchy.llcBytes != 2_MiB ||
+                    cfg.hierarchy.llcAssoc != 8,
+                "LLC default drifted from Table I");
+        fatalIf(cfg.secure.hashLatency != 40,
+                "hash latency drifted from Table I");
+        fatalIf(cfg.energy.cpuFreqGhz != 3.0,
+                "clock frequency drifted from Table I");
+        return out;
+    }});
+    exp.runAndEmit(cells);
+
+    exp.note("self-check: defaults match Table I");
+    return exp.finish();
 }

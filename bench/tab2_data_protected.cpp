@@ -17,77 +17,103 @@ int
 main(int argc, char **argv)
 {
     const auto opts = Options::parse(argc, argv);
-    banner("Table II: Metadata organization / data protected",
-           "Table II (§IV-B, Amount of Data Protected)", opts);
+    Experiment exp({"tab2_data_protected",
+                    "Table II: Metadata organization / data protected",
+                    "Table II (§IV-B, Amount of Data Protected)"},
+                   opts);
 
-    LayoutConfig pi_cfg;
-    pi_cfg.protectedBytes = 4_GiB;
-    pi_cfg.counterMode = CounterMode::SplitPi;
-    MetadataLayout pi(pi_cfg);
+    std::vector<Cell> cells;
+    cells.push_back({"geometry", 0, [](const Cell &) {
+        LayoutConfig pi_cfg;
+        pi_cfg.protectedBytes = 4_GiB;
+        pi_cfg.counterMode = CounterMode::SplitPi;
+        MetadataLayout pi(pi_cfg);
 
-    LayoutConfig sgx_cfg = pi_cfg;
-    sgx_cfg.counterMode = CounterMode::MonolithicSgx;
-    MetadataLayout sgx(sgx_cfg);
+        LayoutConfig sgx_cfg = pi_cfg;
+        sgx_cfg.counterMode = CounterMode::MonolithicSgx;
+        MetadataLayout sgx(sgx_cfg);
 
-    TextTable table({"Metadata Type", "Organization (PI)",
-                     "Organization (SGX)", "Protected (PI)",
-                     "Protected (SGX)"});
-    table.addRow({"Counters", "1x8B/page + 64x7b/blk", "8x8B/blk",
-                  TextTable::fmtSize(pi.counterBlockCoverage()),
-                  TextTable::fmtSize(sgx.counterBlockCoverage())});
-    for (std::uint32_t lev = 0; lev < 3; ++lev) {
-        table.addRow({"Integrity Tree L" + std::to_string(lev),
-                      "8x8B hashes", "8x8B hashes",
-                      TextTable::fmtSize(pi.treeBlockCoverage(lev)),
-                      TextTable::fmtSize(sgx.treeBlockCoverage(lev))});
-    }
-    table.addRow({"Data Hashes", "8x8B hashes", "8x8B hashes",
-                  TextTable::fmtSize(pi.hashBlockCoverage()),
-                  TextTable::fmtSize(sgx.hashBlockCoverage())});
-    table.print(std::cout);
+        CellOutput out;
+        const auto coverage =
+            [](const std::string &type, const std::string &org_pi,
+               const std::string &org_sgx, std::uint64_t prot_pi,
+               std::uint64_t prot_sgx) {
+                return Row{}
+                    .add("Metadata Type", type)
+                    .add("Organization (PI)", org_pi)
+                    .add("Organization (SGX)", org_sgx)
+                    .add("Protected (PI)", Value::size(prot_pi))
+                    .add("Protected (SGX)", Value::size(prot_sgx));
+            };
+        out.add(coverage("Counters", "1x8B/page + 64x7b/blk", "8x8B/blk",
+                         pi.counterBlockCoverage(),
+                         sgx.counterBlockCoverage()));
+        for (std::uint32_t lev = 0; lev < 3; ++lev) {
+            out.add(coverage("Integrity Tree L" + std::to_string(lev),
+                             "8x8B hashes", "8x8B hashes",
+                             pi.treeBlockCoverage(lev),
+                             sgx.treeBlockCoverage(lev)));
+        }
+        out.add(coverage("Data Hashes", "8x8B hashes", "8x8B hashes",
+                         pi.hashBlockCoverage(),
+                         sgx.hashBlockCoverage()));
 
-    // Paper's closed forms: PI counter block covers 4KB, SGX 512B;
-    // tree level lev covers 4*8^(lev+1) KB (PI) / 512*8^(lev+1) B (SGX)
-    // with our 0-based stored levels; hashes cover 512B.
-    fatalIf(pi.counterBlockCoverage() != 4_KiB, "PI counter coverage");
-    fatalIf(sgx.counterBlockCoverage() != 512, "SGX counter coverage");
-    fatalIf(pi.treeBlockCoverage(0) != 32_KiB, "PI leaf coverage");
-    fatalIf(sgx.treeBlockCoverage(0) != 4_KiB, "SGX leaf coverage");
-    std::uint64_t expect_pi = 32_KiB, expect_sgx = 4_KiB;
-    for (std::uint32_t lev = 0; lev < 4; ++lev) {
-        fatalIf(pi.treeBlockCoverage(lev) != expect_pi,
-                "PI tree coverage at level " + std::to_string(lev));
-        fatalIf(sgx.treeBlockCoverage(lev) != expect_sgx,
-                "SGX tree coverage at level " + std::to_string(lev));
-        expect_pi *= 8;
-        expect_sgx *= 8;
-    }
-    fatalIf(pi.hashBlockCoverage() != 512, "hash coverage");
+        // Paper's closed forms: PI counter block covers 4KB, SGX 512B;
+        // tree level lev covers 4*8^(lev+1) KB (PI) / 512*8^(lev+1) B
+        // (SGX) with our 0-based stored levels; hashes cover 512B.
+        fatalIf(pi.counterBlockCoverage() != 4_KiB,
+                "PI counter coverage");
+        fatalIf(sgx.counterBlockCoverage() != 512,
+                "SGX counter coverage");
+        fatalIf(pi.treeBlockCoverage(0) != 32_KiB, "PI leaf coverage");
+        fatalIf(sgx.treeBlockCoverage(0) != 4_KiB, "SGX leaf coverage");
+        std::uint64_t expect_pi = 32_KiB, expect_sgx = 4_KiB;
+        for (std::uint32_t lev = 0; lev < 4; ++lev) {
+            fatalIf(pi.treeBlockCoverage(lev) != expect_pi,
+                    "PI tree coverage at level " + std::to_string(lev));
+            fatalIf(sgx.treeBlockCoverage(lev) != expect_sgx,
+                    "SGX tree coverage at level " + std::to_string(lev));
+            expect_pi *= 8;
+            expect_sgx *= 8;
+        }
+        fatalIf(pi.hashBlockCoverage() != 512, "hash coverage");
 
-    std::printf("\nStorage for 4GB protected memory:\n");
-    TextTable storage({"Layout", "Counter blocks", "Counter bytes",
-                       "Hash bytes", "Tree levels", "Tree bytes"});
-    for (const auto *layout : {&pi, &sgx}) {
-        std::uint64_t tree_blocks = 0;
-        for (std::uint32_t l = 0; l < layout->numTreeLevels(); ++l)
-            tree_blocks += layout->treeLevelBlockCount(l);
-        storage.addRow(
-            {counterModeName(layout->config().counterMode),
-             TextTable::fmt(layout->numCounterBlocks()),
-             TextTable::fmtSize(layout->numCounterBlocks() * kBlockSize),
-             TextTable::fmtSize(layout->numHashBlocks() * kBlockSize),
-             TextTable::fmt(
-                 static_cast<std::uint64_t>(layout->numTreeLevels())),
-             TextTable::fmtSize(tree_blocks * kBlockSize)});
-    }
-    storage.print(std::cout);
+        const char *storage_section =
+            "Storage for 4GB protected memory:";
+        for (const auto *layout : {&pi, &sgx}) {
+            std::uint64_t tree_blocks = 0;
+            for (std::uint32_t l = 0; l < layout->numTreeLevels(); ++l)
+                tree_blocks += layout->treeLevelBlockCount(l);
+            out.add(storage_section,
+                    Row{}
+                        .add("Layout",
+                             counterModeName(
+                                 layout->config().counterMode))
+                        .add("Counter blocks",
+                             layout->numCounterBlocks())
+                        .add("Counter bytes",
+                             Value::size(layout->numCounterBlocks() *
+                                         kBlockSize))
+                        .add("Hash bytes",
+                             Value::size(layout->numHashBlocks() *
+                                         kBlockSize))
+                        .add("Tree levels",
+                             static_cast<std::uint64_t>(
+                                 layout->numTreeLevels()))
+                        .add("Tree bytes",
+                             Value::size(tree_blocks * kBlockSize)));
+        }
 
-    // §II-A claim: split counters shrink 512MB of counters to 64MB.
-    fatalIf(pi.numCounterBlocks() * kBlockSize != 64_MiB,
-            "PI counter storage claim");
-    fatalIf(sgx.numCounterBlocks() * kBlockSize != 512_MiB,
-            "SGX counter storage claim");
-    std::printf("\nself-check: geometry matches Table II and the SS II-A "
-                "512MB->64MB claim\n");
-    return 0;
+        // §II-A claim: split counters shrink 512MB of counters to 64MB.
+        fatalIf(pi.numCounterBlocks() * kBlockSize != 64_MiB,
+                "PI counter storage claim");
+        fatalIf(sgx.numCounterBlocks() * kBlockSize != 512_MiB,
+                "SGX counter storage claim");
+        return out;
+    }});
+    exp.runAndEmit(cells);
+
+    exp.note("self-check: geometry matches Table II and the SS II-A "
+             "512MB->64MB claim");
+    return exp.finish();
 }

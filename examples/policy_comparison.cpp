@@ -2,38 +2,34 @@
  * @file
  * Policy comparison: run one benchmark under every online replacement
  * policy (plus oracle-driven MIN) for a chosen metadata cache size, and
- * see §V's conclusions for yourself.
+ * see §V's conclusions for yourself. Online policies run in parallel
+ * through the shared ExperimentRunner; MIN follows in a second phase
+ * because its oracle consumes the true-LRU profiling trace.
  *
- *   ./policy_comparison [benchmark] [md-cache-KB]
- *   ./policy_comparison mcf 64
+ *   ./policy_comparison [benchmark] [md-cache-KB] [runner options]
+ *   ./policy_comparison mcf 64 --jobs=4 --format=json
  */
 #include <cstdio>
 #include <cstdlib>
-#include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "cache/policy_belady.hpp"
+#include "core/runner.hpp"
 #include "core/simulator.hpp"
 #include "offline/oracle.hpp"
 #include "util/table.hpp"
 
 using namespace maps;
+using namespace maps::runner;
 
 namespace {
 
-struct Row
-{
-    std::string name;
-    double mpki;
-    double traffic_mpki;
-    double avg_read_latency;
-};
-
 Row
-run(const SimConfig &base, const std::string &label,
-    std::unique_ptr<ReplacementPolicy> policy,
-    std::vector<Addr> *capture)
+runPolicy(const SimConfig &base, const std::string &label,
+          std::unique_ptr<ReplacementPolicy> policy,
+          std::vector<Addr> *capture)
 {
     SecureMemorySim sim(base, std::move(policy));
     if (capture) {
@@ -45,14 +41,21 @@ run(const SimConfig &base, const std::string &label,
     }
     const auto report = sim.run();
     const double inst = static_cast<double>(report.instructions);
-    return {label,
-            1000.0 * static_cast<double>(report.mdCache.totalMisses()) /
-                inst,
-            1000.0 *
-                static_cast<double>(
-                    report.controller.metadataMemAccesses()) /
-                inst,
-            report.controller.avgReadLatency()};
+    return Row{}
+        .add("policy", label)
+        .add("md miss MPKI",
+             1000.0 *
+                 static_cast<double>(report.mdCache.totalMisses()) /
+                 inst,
+             2)
+        .add("md traffic MPKI",
+             1000.0 *
+                 static_cast<double>(
+                     report.controller.metadataMemAccesses()) /
+                 inst,
+             2)
+        .add("avg read latency (cyc)",
+             report.controller.avgReadLatency(), 1);
 }
 
 } // namespace
@@ -60,12 +63,28 @@ run(const SimConfig &base, const std::string &label,
 int
 main(int argc, char **argv)
 {
-    const std::string benchmark = argc > 1 ? argv[1] : "mcf";
-    const std::uint64_t md_kb =
-        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 64;
+    std::vector<std::string> positionals;
+    const auto opts = Options::parse(argc, argv, &positionals);
+    if (positionals.size() > 2) {
+        std::fprintf(stderr,
+                     "usage: %s [options] [benchmark] [md-cache-KB]\n",
+                     argv[0]);
+        return 2;
+    }
+    const std::string benchmark =
+        !positionals.empty() ? positionals[0] : "mcf";
+    std::uint64_t md_kb = 64;
+    if (positionals.size() > 1) {
+        char *end = nullptr;
+        md_kb = std::strtoull(positionals[1].c_str(), &end, 10);
+        if (end == nullptr || *end != '\0' || md_kb == 0) {
+            std::fprintf(stderr, "invalid md-cache-KB '%s'\n",
+                         positionals[1].c_str());
+            return 2;
+        }
+    }
 
-    if (benchmark.rfind("mix:", 0) != 0 &&
-        !findBenchmark(benchmark)) {
+    if (benchmark.rfind("mix:", 0) != 0 && !findBenchmark(benchmark)) {
         std::fprintf(stderr, "unknown benchmark '%s'\n",
                      benchmark.c_str());
         return 1;
@@ -73,41 +92,48 @@ main(int argc, char **argv)
 
     SimConfig cfg;
     cfg.benchmark = benchmark;
-    cfg.warmupRefs = 200'000;
-    cfg.measureRefs = 800'000;
+    cfg.seed = opts.seed;
+    cfg.warmupRefs = opts.refs(200'000);
+    cfg.measureRefs = opts.refs(800'000);
     cfg.secure.layout.protectedBytes = 256_MiB;
     cfg.secure.cache.sizeBytes = md_kb * 1024;
 
-    std::printf("comparing policies on %s (%lluKB metadata cache)...\n\n",
-                benchmark.c_str(),
-                static_cast<unsigned long long>(md_kb));
+    Experiment exp({"policy_comparison",
+                    "Policy comparison on " + benchmark + " (" +
+                        std::to_string(md_kb) + "KB metadata cache)",
+                    "§V (Eviction Policies)"},
+                   opts);
 
-    std::vector<Row> rows;
-    std::vector<Addr> profile_trace;
-    for (const char *policy :
+    // Phase 1: every online policy, in parallel. The true-LRU run also
+    // captures the profiling trace MIN's future knowledge comes from,
+    // exactly as the paper gathers it.
+    auto profile_trace = std::make_shared<std::vector<Addr>>();
+    std::vector<Cell> cells;
+    for (const std::string policy :
          {"plru", "lru", "random", "srrip", "eva", "eva-typed"}) {
-        // Capture the profiling trace during the true-LRU run, exactly
-        // as the paper gathers MIN's future knowledge.
-        const bool is_lru = std::string(policy) == "lru";
-        rows.push_back(run(cfg, policy, makeReplacementPolicy(policy),
-                           is_lru ? &profile_trace : nullptr));
-        std::printf("  %-10s done\n", policy);
+        cells.push_back({policy, 0, [=](const Cell &) {
+            const bool is_lru = policy == "lru";
+            CellOutput out;
+            out.add(runPolicy(cfg, policy, makeReplacementPolicy(policy),
+                              is_lru ? profile_trace.get() : nullptr));
+            return out;
+        }});
     }
+    exp.runAndEmit(cells, "policies");
 
-    TraceOracle oracle(std::move(profile_trace));
-    rows.push_back(run(cfg, "MIN (stale oracle)",
-                       std::make_unique<BeladyPolicy>(oracle), nullptr));
-    std::printf("  %-10s done (oracle divergences: %llu)\n", "MIN",
-                static_cast<unsigned long long>(oracle.divergences()));
+    // Phase 2: MIN, after the profiling trace exists.
+    TraceOracle oracle(std::move(*profile_trace));
+    std::vector<Cell> min_cell;
+    min_cell.push_back({"min", 0, [&](const Cell &) {
+        CellOutput out;
+        out.add(runPolicy(cfg, "MIN (stale oracle)",
+                          std::make_unique<BeladyPolicy>(oracle),
+                          nullptr));
+        return out;
+    }});
+    exp.runAndEmit(min_cell, "min");
 
-    std::printf("\n");
-    TextTable table({"policy", "md miss MPKI", "md traffic MPKI",
-                     "avg read latency (cyc)"});
-    for (const auto &row : rows) {
-        table.addRow({row.name, TextTable::fmt(row.mpki, 2),
-                      TextTable::fmt(row.traffic_mpki, 2),
-                      TextTable::fmt(row.avg_read_latency, 1)});
-    }
-    table.print(std::cout);
-    return 0;
+    exp.note("oracle divergences: " +
+             TextTable::fmt(oracle.divergences()));
+    return exp.finish();
 }

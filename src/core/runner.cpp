@@ -1,0 +1,729 @@
+#include "core/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <thread>
+
+#ifdef _WIN32
+#include <io.h>
+#define MAPS_ISATTY(fd) _isatty(fd)
+#else
+#include <unistd.h>
+#define MAPS_ISATTY(fd) isatty(fd)
+#endif
+
+#include "util/logging.hpp"
+#include "util/table.hpp"
+
+namespace maps::runner {
+
+// ---------------------------------------------------------------------------
+// Options.
+// ---------------------------------------------------------------------------
+
+const char *
+formatName(OutputFormat f)
+{
+    switch (f) {
+      case OutputFormat::Table:
+        return "table";
+      case OutputFormat::Jsonl:
+        return "json";
+      case OutputFormat::Csv:
+        return "csv";
+    }
+    return "?";
+}
+
+namespace {
+
+bool
+parsePositiveDouble(const std::string &text, double &out)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (end != text.c_str() + text.size())
+        return false;
+    if (!std::isfinite(v) || v <= 0.0)
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+parseUint(const std::string &text, std::uint64_t &out)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    const std::uint64_t v = std::strtoull(text.c_str(), &end, 10);
+    if (end != text.c_str() + text.size())
+        return false;
+    out = v;
+    return true;
+}
+
+} // namespace
+
+std::string
+Options::tryParse(const std::vector<std::string> &args, Options &out,
+                  std::vector<std::string> *positionals)
+{
+    for (const auto &arg : args) {
+        const auto value_of = [&arg](std::size_t prefix_len) {
+            return arg.substr(prefix_len);
+        };
+        if (arg == "--help" || arg == "-h") {
+            return "help";
+        } else if (arg == "--quick") {
+            out.scale = 0.25;
+        } else if (arg == "--full") {
+            out.scale = 4.0;
+        } else if (arg.rfind("--scale=", 0) == 0) {
+            if (!parsePositiveDouble(value_of(8), out.scale))
+                return "invalid --scale value '" + value_of(8) +
+                       "' (need a finite number > 0)";
+        } else if (arg.rfind("--seed=", 0) == 0) {
+            if (!parseUint(value_of(7), out.seed))
+                return "invalid --seed value '" + value_of(7) + "'";
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            std::uint64_t jobs = 0;
+            if (!parseUint(value_of(7), jobs) || jobs == 0 ||
+                jobs > 4096)
+                return "invalid --jobs value '" + value_of(7) +
+                       "' (need an integer in [1, 4096])";
+            out.jobs = static_cast<unsigned>(jobs);
+        } else if (arg.rfind("--format=", 0) == 0) {
+            const auto fmt = value_of(9);
+            if (fmt == "table")
+                out.format = OutputFormat::Table;
+            else if (fmt == "json" || fmt == "jsonl")
+                out.format = OutputFormat::Jsonl;
+            else if (fmt == "csv")
+                out.format = OutputFormat::Csv;
+            else
+                return "invalid --format value '" + fmt +
+                       "' (table, json, or csv)";
+        } else if (arg.rfind("--out=", 0) == 0) {
+            out.outPath = value_of(6);
+            if (out.outPath.empty())
+                return "--out needs a file path";
+        } else if (arg == "--no-progress") {
+            out.progress = false;
+        } else if (arg.rfind("--", 0) == 0) {
+            return "unknown option: " + arg;
+        } else if (positionals) {
+            positionals->push_back(arg);
+        } else {
+            return "unexpected argument: " + arg;
+        }
+    }
+    return "";
+}
+
+void
+Options::usage(std::ostream &os, const std::string &argv0)
+{
+    os << "usage: " << argv0 << " [options]\n"
+       << "  --quick | --full | --scale=X  sweep size (X > 0; quick=0.25,"
+          " full=4)\n"
+       << "  --seed=N                      base RNG seed (default 1)\n"
+       << "  --jobs=N                      worker threads (default: all"
+          " cores)\n"
+       << "  --format=table|json|csv       result format (default table)\n"
+       << "  --out=FILE                    write results to FILE (default"
+          " stdout)\n"
+       << "  --no-progress                 suppress stderr progress/ETA\n"
+       << "  --help                        this message\n";
+}
+
+Options
+Options::parse(int argc, char **argv,
+               std::vector<std::string> *positionals)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    Options opts;
+    const auto err = tryParse(args, opts, positionals);
+    if (err == "help") {
+        usage(std::cout, argv[0]);
+        std::exit(0);
+    }
+    if (!err.empty()) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], err.c_str());
+        usage(std::cerr, argv[0]);
+        std::exit(2);
+    }
+    return opts;
+}
+
+std::uint64_t
+Options::refs(std::uint64_t base) const
+{
+    const auto scaled =
+        static_cast<std::uint64_t>(static_cast<double>(base) * scale);
+    return scaled < 10'000 ? 10'000 : scaled;
+}
+
+unsigned
+Options::effectiveJobs() const
+{
+    if (jobs)
+        return jobs;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+std::uint64_t
+deriveCellSeed(std::uint64_t base, std::string_view cell_id)
+{
+    // FNV-1a over the id, folded into the base, splitmix64-finalized.
+    std::uint64_t h = base ^ 0xCBF29CE484222325ull;
+    for (const char c : cell_id) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001B3ull;
+    }
+    h += 0x9E3779B97F4A7C15ull;
+    h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ull;
+    h = (h ^ (h >> 27)) * 0x94D049BB133111EBull;
+    return h ^ (h >> 31);
+}
+
+// ---------------------------------------------------------------------------
+// Value / Row / CellOutput.
+// ---------------------------------------------------------------------------
+
+Value
+Value::num(double v, int precision)
+{
+    Value out;
+    out.kind_ = Kind::Real;
+    out.real_ = v;
+    out.precision_ = precision;
+    return out;
+}
+
+Value
+Value::integer(std::uint64_t v)
+{
+    Value out;
+    out.kind_ = Kind::Int;
+    out.int_ = v;
+    return out;
+}
+
+Value
+Value::size(std::uint64_t bytes)
+{
+    return Value(TextTable::fmtSize(bytes));
+}
+
+std::string
+Value::text() const
+{
+    switch (kind_) {
+      case Kind::Text:
+        return text_;
+      case Kind::Real:
+        return TextTable::fmt(real_, precision_);
+      case Kind::Int:
+        return TextTable::fmt(int_);
+    }
+    return "";
+}
+
+std::string
+Value::json() const
+{
+    switch (kind_) {
+      case Kind::Real: {
+        // Render the display value so every sink reports one number;
+        // non-finite doubles have no JSON literal, so quote them.
+        if (!std::isfinite(real_))
+            return "\"" + TextTable::fmt(real_, precision_) + "\"";
+        return TextTable::fmt(real_, precision_);
+      }
+      case Kind::Int:
+        return TextTable::fmt(int_);
+      case Kind::Text:
+        break;
+    }
+    std::string out = "\"";
+    for (const char ch : text_) {
+        switch (ch) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(ch));
+                out += buf;
+            } else {
+                out += ch;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+double
+Value::asDouble() const
+{
+    switch (kind_) {
+      case Kind::Real:
+        return real_;
+      case Kind::Int:
+        return static_cast<double>(int_);
+      case Kind::Text:
+        break;
+    }
+    return 0.0;
+}
+
+Row &
+Row::add(std::string key, Value v)
+{
+    cols.emplace_back(std::move(key), std::move(v));
+    return *this;
+}
+
+Row &
+Row::add(std::string key, const std::string &text)
+{
+    return add(std::move(key), Value(text));
+}
+
+Row &
+Row::add(std::string key, const char *text)
+{
+    return add(std::move(key), Value(text));
+}
+
+Row &
+Row::add(std::string key, double v, int precision)
+{
+    return add(std::move(key), Value::num(v, precision));
+}
+
+Row &
+Row::add(std::string key, std::uint64_t v)
+{
+    return add(std::move(key), Value::integer(v));
+}
+
+const Value *
+Row::find(std::string_view key) const
+{
+    for (const auto &[k, v] : cols)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+double
+Row::num(std::string_view key) const
+{
+    const auto *v = find(key);
+    return v ? v->asDouble() : 0.0;
+}
+
+CellOutput &
+CellOutput::add(std::string section, Row row)
+{
+    rows.push_back({std::move(section), std::move(row)});
+    return *this;
+}
+
+// ---------------------------------------------------------------------------
+// Sinks.
+// ---------------------------------------------------------------------------
+
+void
+ResultSink::begin(const ExperimentMeta &, const Options &)
+{
+}
+
+void
+ResultSink::note(const std::string &)
+{
+}
+
+void
+ResultSink::end()
+{
+}
+
+void
+TableSink::begin(const ExperimentMeta &meta, const Options &opts)
+{
+    const std::string rule(70, '=');
+    os_ << rule << '\n'
+        << "MAPS reproduction | " << meta.title << '\n'
+        << "paper reference   | " << meta.paperRef << '\n';
+    char scale[64];
+    std::snprintf(scale, sizeof(scale), "%.2f", opts.scale);
+    // No --jobs echo here: results are independent of the job count and
+    // the table must be byte-identical for every value of it.
+    os_ << "scale             | " << scale
+        << "x (use --quick / --full / --scale=X)\n"
+        << rule << "\n\n";
+}
+
+void
+TableSink::row(const SectionRow &r)
+{
+    if (sections_.empty() || sections_.back().first != r.section) {
+        // Append to an earlier table if the section re-appears, so
+        // drivers may emit related sections in any grouping.
+        auto it = std::find_if(
+            sections_.begin(), sections_.end(),
+            [&](const auto &s) { return s.first == r.section; });
+        if (it != sections_.end()) {
+            it->second.push_back(r.row);
+            return;
+        }
+        sections_.push_back({r.section, {}});
+    }
+    sections_.back().second.push_back(r.row);
+}
+
+void
+TableSink::note(const std::string &text)
+{
+    notes_.push_back(text);
+}
+
+void
+TableSink::end()
+{
+    bool first = true;
+    for (const auto &[section, rows] : sections_) {
+        if (rows.empty())
+            continue;
+        if (!first)
+            os_ << '\n';
+        first = false;
+        if (!section.empty())
+            os_ << section << '\n';
+        std::vector<std::string> header;
+        for (const auto &[key, value] : rows.front().cols)
+            header.push_back(key);
+        TextTable table(header);
+        for (const auto &row : rows) {
+            std::vector<std::string> cells;
+            for (const auto &key : header) {
+                const auto *v = row.find(key);
+                cells.push_back(v ? v->text() : "");
+            }
+            table.addRow(std::move(cells));
+        }
+        table.print(os_);
+    }
+    for (const auto &text : notes_)
+        os_ << '\n' << text << '\n';
+    os_.flush();
+}
+
+void
+JsonlSink::begin(const ExperimentMeta &meta, const Options &)
+{
+    experiment_ = meta.name;
+}
+
+void
+JsonlSink::row(const SectionRow &r)
+{
+    os_ << "{\"experiment\":" << Value(experiment_).json()
+        << ",\"section\":" << Value(r.section).json();
+    for (const auto &[key, value] : r.row.cols)
+        os_ << ',' << Value(key).json() << ':' << value.json();
+    os_ << "}\n";
+    os_.flush();
+}
+
+void
+CsvSink::begin(const ExperimentMeta &meta, const Options &)
+{
+    experiment_ = meta.name;
+}
+
+void
+CsvSink::row(const SectionRow &r)
+{
+    for (const auto &[key, value] : r.row.cols) {
+        if (std::find(columns_.begin(), columns_.end(), key) ==
+            columns_.end())
+            columns_.push_back(key);
+    }
+    rows_.push_back(r);
+}
+
+void
+CsvSink::end()
+{
+    CsvWriter writer(os_);
+    std::vector<std::string> header{"experiment", "section"};
+    header.insert(header.end(), columns_.begin(), columns_.end());
+    writer.writeRow(header);
+    for (const auto &r : rows_) {
+        std::vector<std::string> cells{experiment_, r.section};
+        for (const auto &key : columns_) {
+            const auto *v = r.row.find(key);
+            cells.push_back(v ? v->text() : "");
+        }
+        writer.writeRow(cells);
+    }
+    os_.flush();
+}
+
+namespace {
+
+/** Sink wrapper owning the output file stream. */
+class FileSink : public ResultSink
+{
+  public:
+    FileSink(std::unique_ptr<std::ofstream> os,
+             std::unique_ptr<ResultSink> inner)
+        : os_(std::move(os)), inner_(std::move(inner))
+    {
+    }
+
+    void begin(const ExperimentMeta &meta, const Options &opts) override
+    {
+        inner_->begin(meta, opts);
+    }
+    void row(const SectionRow &r) override { inner_->row(r); }
+    void note(const std::string &text) override { inner_->note(text); }
+    void end() override { inner_->end(); }
+
+  private:
+    std::unique_ptr<std::ofstream> os_;
+    std::unique_ptr<ResultSink> inner_;
+};
+
+std::unique_ptr<ResultSink>
+makeSinkFor(const Options &opts, std::ostream &os)
+{
+    switch (opts.format) {
+      case OutputFormat::Table:
+        return std::make_unique<TableSink>(os);
+      case OutputFormat::Jsonl:
+        return std::make_unique<JsonlSink>(os);
+      case OutputFormat::Csv:
+        return std::make_unique<CsvSink>(os);
+    }
+    return std::make_unique<TableSink>(os);
+}
+
+} // namespace
+
+std::unique_ptr<ResultSink>
+makeSink(const Options &opts)
+{
+    if (opts.outPath.empty())
+        return makeSinkFor(opts, std::cout);
+    auto file = std::make_unique<std::ofstream>(opts.outPath);
+    fatalIf(!*file, "cannot open --out file '" + opts.outPath + "'");
+    auto &os = *file;
+    return std::make_unique<FileSink>(std::move(file),
+                                      makeSinkFor(opts, os));
+}
+
+// ---------------------------------------------------------------------------
+// Runner.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/**
+ * stderr progress/ETA reporter. All completions funnel through one
+ * mutex, which also serializes the stderr writes.
+ */
+class Progress
+{
+  public:
+    Progress(std::string phase, std::size_t total, bool enabled)
+        : phase_(std::move(phase)), total_(total),
+          enabled_(enabled && total > 0),
+          tty_(MAPS_ISATTY(2 /* stderr */) != 0),
+          start_(std::chrono::steady_clock::now())
+    {
+    }
+
+    void completed(const std::string &cell_id)
+    {
+        if (!enabled_)
+            return;
+        const std::lock_guard<std::mutex> lock(mu_);
+        ++done_;
+        // Non-tty consumers (CI logs) get at most ~10 lines per phase.
+        if (!tty_ && done_ != total_ &&
+            done_ % std::max<std::size_t>(1, total_ / 10) != 0)
+            return;
+        const double elapsed =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start_)
+                .count();
+        const double eta =
+            elapsed / static_cast<double>(done_) *
+            static_cast<double>(total_ - done_);
+        std::fprintf(stderr, "%s[%s] %zu/%zu cells, %.1fs elapsed, "
+                             "eta %.1fs (%s)%s",
+                     tty_ ? "\r\033[K" : "", phase_.c_str(), done_,
+                     total_, elapsed, eta, cell_id.c_str(),
+                     tty_ ? "" : "\n");
+        if (tty_ && done_ == total_)
+            std::fprintf(stderr, "\n");
+        std::fflush(stderr);
+    }
+
+  private:
+    std::string phase_;
+    std::size_t total_;
+    bool enabled_;
+    bool tty_;
+    std::chrono::steady_clock::time_point start_;
+    std::mutex mu_;
+    std::size_t done_ = 0;
+};
+
+} // namespace
+
+std::vector<CellOutput>
+ExperimentRunner::run(const std::vector<Cell> &cells,
+                      const std::string &phase)
+{
+    std::vector<Cell> work(cells);
+    for (auto &cell : work) {
+        if (!cell.seed)
+            cell.seed = deriveCellSeed(opts_.seed, cell.id);
+        panicIf(!cell.work, "cell '" + cell.id + "' has no work function");
+    }
+
+    std::vector<CellOutput> out(work.size());
+    Progress progress(phase.empty() ? "run" : phase, work.size(),
+                      opts_.progress);
+
+    const unsigned jobs = static_cast<unsigned>(std::min<std::size_t>(
+        opts_.effectiveJobs(), work.size()));
+
+    std::atomic<std::size_t> next{0};
+    std::mutex error_mu;
+    std::exception_ptr error;
+
+    const auto worker = [&] {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= work.size())
+                return;
+            try {
+                out[i] = work[i].work(work[i]);
+            } catch (...) {
+                const std::lock_guard<std::mutex> lock(error_mu);
+                if (!error)
+                    error = std::current_exception();
+                return;
+            }
+            progress.completed(work[i].id);
+        }
+    };
+
+    if (jobs <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> threads;
+        threads.reserve(jobs);
+        for (unsigned t = 0; t < jobs; ++t)
+            threads.emplace_back(worker);
+        for (auto &t : threads)
+            t.join();
+    }
+    if (error)
+        std::rethrow_exception(error);
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Experiment harness.
+// ---------------------------------------------------------------------------
+
+Experiment::Experiment(ExperimentMeta meta, const Options &opts)
+    : meta_(std::move(meta)), runner_(opts), sink_(makeSink(opts))
+{
+    sink_->begin(meta_, opts);
+}
+
+std::vector<CellOutput>
+Experiment::run(const std::vector<Cell> &cells, const std::string &phase)
+{
+    return runner_.run(cells, phase.empty() ? meta_.name : phase);
+}
+
+std::vector<CellOutput>
+Experiment::runAndEmit(const std::vector<Cell> &cells,
+                       const std::string &phase)
+{
+    auto outputs = run(cells, phase);
+    for (const auto &output : outputs)
+        emit(output);
+    return outputs;
+}
+
+void
+Experiment::emit(const SectionRow &r)
+{
+    sink_->row(r);
+}
+
+void
+Experiment::emit(std::string section, Row row)
+{
+    emit(SectionRow{std::move(section), std::move(row)});
+}
+
+void
+Experiment::emit(const CellOutput &out)
+{
+    for (const auto &r : out.rows)
+        emit(r);
+}
+
+void
+Experiment::note(const std::string &text)
+{
+    sink_->note(text);
+}
+
+int
+Experiment::finish()
+{
+    if (!finished_) {
+        sink_->end();
+        finished_ = true;
+    }
+    return 0;
+}
+
+} // namespace maps::runner

@@ -1,0 +1,344 @@
+/**
+ * @file
+ * maps::runner — the shared experiment harness behind every figure /
+ * table / ablation driver.
+ *
+ * An experiment is a named grid of *cells*: independent units of
+ * simulation work (typically one `benchmark x SimConfig` point, or a
+ * small dependent cluster such as an on/off pair) that each produce
+ * rows of derived metrics. ExperimentRunner executes cells on a
+ * std::thread pool (`--jobs=N`, default hardware_concurrency) and
+ * returns outputs indexed by cell, so results — and therefore the
+ * emitted tables — are identical whatever the execution order or job
+ * count. A ResultSink renders the rows as an aligned text table
+ * (`--format=table`, the default), JSON lines (`--format=json`) or CSV
+ * (`--format=csv`), to stdout or `--out=FILE`.
+ *
+ * Thread-safety contract for cell work functions: a cell must only
+ * touch state it owns. Every simulation object in MAPS (SecureMemorySim
+ * and everything beneath it, analyzers, Rng) is self-contained with no
+ * mutable globals, so constructing them inside the work function is
+ * sufficient. Randomness is seeded per cell: each SimConfig carries its
+ * own seed and each generator owns its Rng, and `Cell::seed` provides a
+ * deterministic per-cell auxiliary seed derived from `--seed` and the
+ * cell id — never share an Rng across cells.
+ */
+#ifndef MAPS_CORE_RUNNER_HPP
+#define MAPS_CORE_RUNNER_HPP
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace maps::runner {
+
+// ---------------------------------------------------------------------------
+// Options: the common bench command line.
+// ---------------------------------------------------------------------------
+
+enum class OutputFormat : std::uint8_t { Table, Jsonl, Csv };
+
+const char *formatName(OutputFormat f);
+
+/**
+ * Options shared by every experiment driver.
+ *
+ *   --quick | --full | --scale=X   sweep size (X > 0)
+ *   --seed=N                       base RNG seed
+ *   --jobs=N                       worker threads (default: all cores)
+ *   --format=table|json|csv        result rendering
+ *   --out=FILE                     write results to FILE (default stdout)
+ *   --no-progress                  suppress the stderr progress reporter
+ *   --help                         usage
+ *
+ * Unknown flags, malformed values, and non-positive scales are errors.
+ */
+struct Options
+{
+    double scale = 1.0;
+    std::uint64_t seed = 1;
+    /** Worker threads; 0 means hardware_concurrency. */
+    unsigned jobs = 0;
+    OutputFormat format = OutputFormat::Table;
+    /** Result destination; empty means stdout. */
+    std::string outPath;
+    bool progress = true;
+
+    /**
+     * Strict parse. On --help prints usage and exits 0; on any error
+     * prints the error plus usage and exits 2. When @p positionals is
+     * non-null, non-flag arguments are collected there instead of being
+     * rejected (for examples that take positional operands).
+     */
+    static Options parse(int argc, char **argv,
+                         std::vector<std::string> *positionals = nullptr);
+
+    /**
+     * Non-exiting parse over pre-split arguments (argv[0] excluded).
+     * Returns an empty string on success, the error message otherwise.
+     * `--help` is reported as the error "help".
+     */
+    static std::string tryParse(const std::vector<std::string> &args,
+                                Options &out,
+                                std::vector<std::string> *positionals
+                                = nullptr);
+
+    static void usage(std::ostream &os, const std::string &argv0);
+
+    /** Scale a base reference count, with the historical 10k floor. */
+    std::uint64_t refs(std::uint64_t base) const;
+
+    /** Resolved worker count (>= 1). */
+    unsigned effectiveJobs() const;
+};
+
+/**
+ * Deterministic auxiliary seed for one cell: a hash of the base seed
+ * and the cell id, independent of execution order and job count.
+ */
+std::uint64_t deriveCellSeed(std::uint64_t base, std::string_view cell_id);
+
+// ---------------------------------------------------------------------------
+// Values, rows, cells.
+// ---------------------------------------------------------------------------
+
+/**
+ * One metric value. Numeric values remember their display precision so
+ * the table, JSON and CSV sinks all render the same number.
+ */
+class Value
+{
+  public:
+    Value() = default;
+    Value(std::string text) : kind_(Kind::Text), text_(std::move(text)) {}
+    Value(const char *text) : kind_(Kind::Text), text_(text) {}
+
+    static Value num(double v, int precision = 3);
+    static Value integer(std::uint64_t v);
+    /** Byte size rendered as "64KB" / "2MB" (text in every format). */
+    static Value size(std::uint64_t bytes);
+
+    /** Table / CSV cell content. */
+    std::string text() const;
+    /** JSON literal (bare number or quoted string). */
+    std::string json() const;
+
+    bool isNumeric() const { return kind_ != Kind::Text; }
+    /** Raw numeric value (0 for text). */
+    double asDouble() const;
+
+  private:
+    enum class Kind : std::uint8_t { Text, Real, Int };
+    Kind kind_ = Kind::Text;
+    std::string text_;
+    double real_ = 0.0;
+    std::uint64_t int_ = 0;
+    int precision_ = 3;
+};
+
+/** An ordered set of (column, value) pairs; one line of a result table. */
+struct Row
+{
+    std::vector<std::pair<std::string, Value>> cols;
+
+    Row &add(std::string key, Value v);
+    Row &add(std::string key, const std::string &text);
+    Row &add(std::string key, const char *text);
+    Row &add(std::string key, double v, int precision);
+    Row &add(std::string key, std::uint64_t v);
+
+    /** nullptr if the column is absent. */
+    const Value *find(std::string_view key) const;
+    /** Numeric value of a column; 0 if absent. */
+    double num(std::string_view key) const;
+};
+
+/**
+ * A row tagged with the heading of the table it belongs to ("" for the
+ * experiment's single/main table). The table sink starts a new table
+ * whenever the section changes (first-seen order); JSON/CSV emit the
+ * section as a field.
+ */
+struct SectionRow
+{
+    std::string section;
+    Row row;
+};
+
+/** Everything one cell produces. */
+struct CellOutput
+{
+    std::vector<SectionRow> rows;
+
+    CellOutput &add(std::string section, Row row);
+    CellOutput &add(Row row) { return add("", std::move(row)); }
+};
+
+/** One schedulable unit of experiment work. */
+struct Cell
+{
+    /** Unique id within the experiment, e.g. "canneal/64KB". */
+    std::string id;
+    /**
+     * Deterministic per-cell seed; filled by the runner from
+     * deriveCellSeed(opts.seed, id) when left 0.
+     */
+    std::uint64_t seed = 0;
+    /** Runs on a worker thread; must only touch cell-local state. */
+    std::function<CellOutput(const Cell &)> work;
+};
+
+/** Identity of an experiment, shown in banners and records. */
+struct ExperimentMeta
+{
+    /** Machine name, e.g. "fig6_eviction_policies". */
+    std::string name;
+    std::string title;
+    std::string paperRef;
+};
+
+// ---------------------------------------------------------------------------
+// Result sinks.
+// ---------------------------------------------------------------------------
+
+/** Receives experiment rows and renders them somewhere. */
+class ResultSink
+{
+  public:
+    virtual ~ResultSink() = default;
+
+    virtual void begin(const ExperimentMeta &meta, const Options &opts);
+    virtual void row(const SectionRow &r) = 0;
+    /** Free-form postscript; only the table sink renders it. */
+    virtual void note(const std::string &text);
+    virtual void end();
+};
+
+/** Aligned text tables with the classic bench banner and notes. */
+class TableSink : public ResultSink
+{
+  public:
+    explicit TableSink(std::ostream &os) : os_(os) {}
+
+    void begin(const ExperimentMeta &meta, const Options &opts) override;
+    void row(const SectionRow &r) override;
+    void note(const std::string &text) override;
+    void end() override;
+
+  private:
+    std::ostream &os_;
+    std::vector<std::pair<std::string, std::vector<Row>>> sections_;
+    std::vector<std::string> notes_;
+};
+
+/** One flat JSON object per row: experiment/section plus the columns. */
+class JsonlSink : public ResultSink
+{
+  public:
+    explicit JsonlSink(std::ostream &os) : os_(os) {}
+
+    void begin(const ExperimentMeta &meta, const Options &opts) override;
+    void row(const SectionRow &r) override;
+
+  private:
+    std::ostream &os_;
+    std::string experiment_;
+};
+
+/**
+ * CSV with one header: experiment,section,<union of columns in
+ * first-seen order>; cells a row lacks are left empty.
+ */
+class CsvSink : public ResultSink
+{
+  public:
+    explicit CsvSink(std::ostream &os) : os_(os) {}
+
+    void begin(const ExperimentMeta &meta, const Options &opts) override;
+    void row(const SectionRow &r) override;
+    void end() override;
+
+  private:
+    std::ostream &os_;
+    std::string experiment_;
+    std::vector<std::string> columns_;
+    std::vector<SectionRow> rows_;
+};
+
+/** Build the sink selected by --format / --out (fatal on open failure). */
+std::unique_ptr<ResultSink> makeSink(const Options &opts);
+
+// ---------------------------------------------------------------------------
+// Runner.
+// ---------------------------------------------------------------------------
+
+/**
+ * Executes cells on a pool of opts.effectiveJobs() threads. Outputs are
+ * indexed like the input cells, so downstream consumers see the same
+ * results in the same order regardless of parallelism; a progress/ETA
+ * line is maintained on stderr while cells complete.
+ */
+class ExperimentRunner
+{
+  public:
+    explicit ExperimentRunner(Options opts) : opts_(std::move(opts)) {}
+
+    std::vector<CellOutput> run(const std::vector<Cell> &cells,
+                                const std::string &phase = "");
+
+    const Options &options() const { return opts_; }
+
+  private:
+    Options opts_;
+};
+
+/**
+ * The per-driver harness: banner + runner + sink. Typical driver:
+ *
+ *   auto opts = Options::parse(argc, argv);
+ *   Experiment exp({"fig4_bimodal", "Figure 4: ...", "Figure 4 (§IV-D)"},
+ *                  opts);
+ *   exp.runAndEmit(cells);
+ *   exp.note("expected shape (paper): ...");
+ *   return exp.finish();
+ */
+class Experiment
+{
+  public:
+    Experiment(ExperimentMeta meta, const Options &opts);
+
+    ExperimentRunner &runner() { return runner_; }
+    const Options &options() const { return runner_.options(); }
+
+    /** Run cells without emitting (intermediate phase). */
+    std::vector<CellOutput> run(const std::vector<Cell> &cells,
+                                const std::string &phase = "");
+    /** Run cells and stream every row to the sink in cell order. */
+    std::vector<CellOutput> runAndEmit(const std::vector<Cell> &cells,
+                                       const std::string &phase = "");
+
+    void emit(const SectionRow &r);
+    void emit(std::string section, Row row);
+    void emit(Row row) { emit("", std::move(row)); }
+    void emit(const CellOutput &out);
+
+    void note(const std::string &text);
+
+    /** Flush the sink; returns the process exit code (0). */
+    int finish();
+
+  private:
+    ExperimentMeta meta_;
+    ExperimentRunner runner_;
+    std::unique_ptr<ResultSink> sink_;
+    bool finished_ = false;
+};
+
+} // namespace maps::runner
+
+#endif // MAPS_CORE_RUNNER_HPP

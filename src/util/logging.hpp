@@ -4,6 +4,14 @@
  *
  * panic(): an internal invariant was violated (simulator bug) — aborts.
  * fatal(): the user supplied an impossible configuration — exits cleanly.
+ *
+ * Thread safety: these helpers are called from ExperimentRunner worker
+ * threads. There is no mutable state here, and each emits its message
+ * with a single fprintf call, which POSIX makes atomic with respect to
+ * other stdio calls on the same stream — concurrent messages may
+ * interleave *between* lines but never within one. panic/fatal
+ * terminate the whole process, not just the calling thread, which is
+ * the intended behavior for a violated invariant mid-sweep.
  */
 #ifndef MAPS_UTIL_LOGGING_HPP
 #define MAPS_UTIL_LOGGING_HPP

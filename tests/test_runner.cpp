@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Tests for maps::runner — option parsing, deterministic parallel
+ * execution, and result-sink round-tripping.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "core/runner.hpp"
+#include "core/simulator.hpp"
+
+namespace maps {
+namespace {
+
+using runner::Cell;
+using runner::CellOutput;
+using runner::CsvSink;
+using runner::ExperimentMeta;
+using runner::ExperimentRunner;
+using runner::JsonlSink;
+using runner::Options;
+using runner::OutputFormat;
+using runner::Row;
+using runner::SectionRow;
+using runner::TableSink;
+using runner::Value;
+
+// ---------------------------------------------------------------------------
+// Options parsing.
+// ---------------------------------------------------------------------------
+
+TEST(RunnerOptions, Defaults)
+{
+    Options opts;
+    EXPECT_EQ(Options::tryParse({}, opts), "");
+    EXPECT_DOUBLE_EQ(opts.scale, 1.0);
+    EXPECT_EQ(opts.seed, 1u);
+    EXPECT_EQ(opts.jobs, 0u);
+    EXPECT_GE(opts.effectiveJobs(), 1u);
+    EXPECT_EQ(opts.format, OutputFormat::Table);
+    EXPECT_TRUE(opts.outPath.empty());
+}
+
+TEST(RunnerOptions, ParsesEveryFlag)
+{
+    Options opts;
+    EXPECT_EQ(Options::tryParse({"--scale=2.5", "--seed=42", "--jobs=3",
+                                 "--format=csv", "--out=/tmp/x.csv",
+                                 "--no-progress"},
+                                opts),
+              "");
+    EXPECT_DOUBLE_EQ(opts.scale, 2.5);
+    EXPECT_EQ(opts.seed, 42u);
+    EXPECT_EQ(opts.jobs, 3u);
+    EXPECT_EQ(opts.effectiveJobs(), 3u);
+    EXPECT_EQ(opts.format, OutputFormat::Csv);
+    EXPECT_EQ(opts.outPath, "/tmp/x.csv");
+    EXPECT_FALSE(opts.progress);
+
+    EXPECT_EQ(Options::tryParse({"--quick"}, opts), "");
+    EXPECT_DOUBLE_EQ(opts.scale, 0.25);
+    EXPECT_EQ(Options::tryParse({"--full"}, opts), "");
+    EXPECT_DOUBLE_EQ(opts.scale, 4.0);
+    EXPECT_EQ(Options::tryParse({"--format=json"}, opts), "");
+    EXPECT_EQ(opts.format, OutputFormat::Jsonl);
+}
+
+TEST(RunnerOptions, RejectsUnknownFlags)
+{
+    Options opts;
+    EXPECT_NE(Options::tryParse({"--bogus"}, opts), "");
+    EXPECT_NE(Options::tryParse({"-q"}, opts), "");
+    // Positional operands are errors unless the driver opts in.
+    EXPECT_NE(Options::tryParse({"canneal"}, opts), "");
+    std::vector<std::string> positionals;
+    EXPECT_EQ(Options::tryParse({"canneal", "64"}, opts, &positionals),
+              "");
+    EXPECT_EQ(positionals, (std::vector<std::string>{"canneal", "64"}));
+}
+
+TEST(RunnerOptions, RejectsBadValues)
+{
+    Options opts;
+    EXPECT_NE(Options::tryParse({"--scale=abc"}, opts), "");
+    EXPECT_NE(Options::tryParse({"--scale=-1"}, opts), "");
+    EXPECT_NE(Options::tryParse({"--scale=0"}, opts), "");
+    EXPECT_NE(Options::tryParse({"--scale="}, opts), "");
+    EXPECT_NE(Options::tryParse({"--scale=1x"}, opts), "");
+    EXPECT_NE(Options::tryParse({"--seed=ten"}, opts), "");
+    EXPECT_NE(Options::tryParse({"--jobs=0"}, opts), "");
+    EXPECT_NE(Options::tryParse({"--jobs=many"}, opts), "");
+    EXPECT_NE(Options::tryParse({"--format=xml"}, opts), "");
+    EXPECT_EQ(Options::tryParse({"--help"}, opts), "help");
+}
+
+TEST(RunnerOptions, ScaledRefsKeepFloor)
+{
+    Options opts;
+    opts.scale = 0.25;
+    EXPECT_EQ(opts.refs(800'000), 200'000u);
+    EXPECT_EQ(opts.refs(8'000), 10'000u) << "10k floor";
+}
+
+TEST(Runner, DeriveCellSeedIsStableAndDistinct)
+{
+    const auto a = runner::deriveCellSeed(1, "canneal/64KB");
+    EXPECT_EQ(a, runner::deriveCellSeed(1, "canneal/64KB"));
+    EXPECT_NE(a, runner::deriveCellSeed(1, "canneal/128KB"));
+    EXPECT_NE(a, runner::deriveCellSeed(2, "canneal/64KB"));
+    EXPECT_NE(a, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel == serial.
+// ---------------------------------------------------------------------------
+
+std::vector<Cell>
+simCells()
+{
+    std::vector<Cell> cells;
+    for (const std::string bench :
+         {"libquantum", "canneal", "fft", "mcf"}) {
+        cells.push_back({bench, 0, [bench](const Cell &cell) {
+            SimConfig cfg;
+            cfg.benchmark = bench;
+            cfg.warmupRefs = 10'000;
+            cfg.measureRefs = 60'000;
+            cfg.seed = cell.seed;
+            cfg.secure.layout.protectedBytes = 256_MiB;
+            cfg.useDram = false;
+            const auto rep = runBenchmark(cfg);
+            Row row;
+            row.add("benchmark", bench)
+                .add("cycles", rep.cycles)
+                .add("md MPKI", rep.metadataMpki, 6)
+                .add("ed2", rep.ed2, 9);
+            return CellOutput{}.add(std::move(row));
+        }});
+    }
+    return cells;
+}
+
+std::vector<CellOutput>
+runWithJobs(unsigned jobs)
+{
+    Options opts;
+    opts.jobs = jobs;
+    opts.progress = false;
+    return ExperimentRunner(opts).run(simCells());
+}
+
+TEST(Runner, ParallelSweepMatchesSerial)
+{
+    const auto serial = runWithJobs(1);
+    const auto parallel = runWithJobs(4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        ASSERT_EQ(serial[i].rows.size(), parallel[i].rows.size());
+        const auto &s = serial[i].rows.front().row;
+        const auto &p = parallel[i].rows.front().row;
+        ASSERT_EQ(s.cols.size(), p.cols.size());
+        for (std::size_t c = 0; c < s.cols.size(); ++c) {
+            EXPECT_EQ(s.cols[c].first, p.cols[c].first);
+            EXPECT_EQ(s.cols[c].second.text(), p.cols[c].second.text())
+                << "cell " << i << " column " << s.cols[c].first;
+        }
+    }
+}
+
+TEST(Runner, FillsPerCellSeedsDeterministically)
+{
+    std::vector<std::uint64_t> seen;
+    std::vector<Cell> cells;
+    for (const std::string id : {"a", "b"}) {
+        cells.push_back({id, 0, [&seen](const Cell &cell) {
+            seen.push_back(cell.seed); // jobs=1: runs on this thread
+            return CellOutput{};
+        }});
+    }
+    Options opts;
+    opts.jobs = 1;
+    opts.seed = 7;
+    opts.progress = false;
+    ExperimentRunner(opts).run(cells);
+    ASSERT_EQ(seen.size(), 2u);
+    EXPECT_EQ(seen[0], runner::deriveCellSeed(7, "a"));
+    EXPECT_EQ(seen[1], runner::deriveCellSeed(7, "b"));
+    EXPECT_NE(seen[0], seen[1]);
+}
+
+TEST(Runner, PropagatesWorkerExceptions)
+{
+    std::vector<Cell> cells;
+    cells.push_back({"ok", 0, [](const Cell &) { return CellOutput{}; }});
+    cells.push_back({"boom", 0, [](const Cell &) -> CellOutput {
+        throw std::runtime_error("cell failed");
+    }});
+    Options opts;
+    opts.jobs = 2;
+    opts.progress = false;
+    EXPECT_THROW(ExperimentRunner(opts).run(cells), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Sinks render the same values in every format.
+// ---------------------------------------------------------------------------
+
+std::vector<SectionRow>
+sampleRows()
+{
+    std::vector<SectionRow> rows;
+    rows.push_back({"", Row{}
+                            .add("benchmark", "canneal")
+                            .add("md MPKI", 239.151234, 1)
+                            .add("cycles", std::uint64_t{14593642})
+                            .add("size", Value::size(64 * 1024))});
+    rows.push_back({"", Row{}
+                            .add("benchmark", "fft")
+                            .add("md MPKI", 6.04, 1)
+                            .add("cycles", std::uint64_t{1694951})
+                            .add("size", Value::size(2 * 1024 * 1024))});
+    return rows;
+}
+
+template <typename Sink>
+std::string
+render(const std::vector<SectionRow> &rows)
+{
+    std::ostringstream os;
+    Options opts;
+    Sink sink(os);
+    sink.begin({"exp", "title", "ref"}, opts);
+    for (const auto &r : rows)
+        sink.row(r);
+    sink.end();
+    return os.str();
+}
+
+TEST(Sinks, JsonAndCsvRoundTripTableValues)
+{
+    const auto rows = sampleRows();
+    const auto table = render<TableSink>(rows);
+    const auto jsonl = render<JsonlSink>(rows);
+    const auto csv = render<CsvSink>(rows);
+
+    // Every value the table prints appears verbatim in JSON and CSV:
+    // numbers keep their display precision across formats.
+    for (const auto &[section, row] : rows) {
+        for (const auto &[key, value] : row.cols) {
+            const auto text = value.text();
+            EXPECT_NE(table.find(text), std::string::npos)
+                << key << "=" << text << " missing from table";
+            const auto json_frag = value.isNumeric()
+                                       ? "\"" + key + "\":" + text
+                                       : "\"" + key + "\":\"" + text +
+                                             "\"";
+            EXPECT_NE(jsonl.find(json_frag), std::string::npos)
+                << json_frag << " missing from jsonl:\n"
+                << jsonl;
+            EXPECT_NE(csv.find(text), std::string::npos)
+                << key << "=" << text << " missing from csv";
+        }
+    }
+
+    EXPECT_EQ(csv.substr(0, csv.find('\n')),
+              "experiment,section,benchmark,md MPKI,cycles,size");
+    // Two rows per format (+ the CSV header line).
+    EXPECT_EQ(std::count(jsonl.begin(), jsonl.end(), '\n'), 2);
+    EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+}
+
+TEST(Sinks, TableGroupsRowsBySection)
+{
+    std::vector<SectionRow> rows;
+    rows.push_back({"benchmark: a", Row{}.add("x", "1")});
+    rows.push_back({"benchmark: b", Row{}.add("x", "2")});
+    rows.push_back({"benchmark: a", Row{}.add("x", "3")});
+    const auto table = render<TableSink>(rows);
+
+    const auto a = table.find("benchmark: a");
+    const auto b = table.find("benchmark: b");
+    ASSERT_NE(a, std::string::npos);
+    ASSERT_NE(b, std::string::npos);
+    EXPECT_LT(a, b) << "sections appear in first-seen order";
+    EXPECT_EQ(table.find("benchmark: a", a + 1), std::string::npos)
+        << "reappearing section is appended, not duplicated";
+}
+
+TEST(Sinks, ValueFormatting)
+{
+    EXPECT_EQ(Value::num(3.14159, 2).text(), "3.14");
+    EXPECT_EQ(Value::num(3.14159, 2).json(), "3.14");
+    EXPECT_EQ(Value::integer(12345).text(), "12345");
+    EXPECT_EQ(Value::integer(12345).json(), "12345");
+    EXPECT_EQ(Value::size(64 * 1024).text(), "64KB");
+    EXPECT_EQ(Value("a \"quoted\" name").json(),
+              "\"a \\\"quoted\\\" name\"");
+    EXPECT_TRUE(Value::num(1.0, 3).isNumeric());
+    EXPECT_FALSE(Value("text").isNumeric());
+    EXPECT_DOUBLE_EQ(Value::num(2.5, 3).asDouble(), 2.5);
+}
+
+} // namespace
+} // namespace maps
