@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Mutation self-test for the maps::check differential-verification
+ * subsystem: each seeded mutation in check::Mutations plants one
+ * realistic bug in the simulator, and this driver asserts that the
+ * oracles/invariants catch every one of them — and, just as important,
+ * that they stay silent on the unmutated code.
+ *
+ * A verification layer that has never caught a bug is untested code;
+ * this is its regression suite. Runs under ctest (label: quick).
+ */
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "cache/partition.hpp"
+#include "check/check.hpp"
+#include "check/secmem_shadow.hpp"
+#include "check/shadow_cache.hpp"
+#include "core/simulator.hpp"
+#include "hierarchy/hierarchy.hpp"
+#include "mem/fixed_latency.hpp"
+#include "secmem/controller.hpp"
+#include "secmem/counter_store.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace maps;
+
+int g_failures = 0;
+
+/** Run one scenario under Record mode and compare the verdict. */
+void
+scenario(const std::string &name, const check::Mutations &mutations,
+         bool expect_caught, const std::function<void()> &body)
+{
+    check::setEnabled(true);
+    check::setFailureMode(check::FailureMode::Record);
+    check::resetStats();
+    check::setMutations(mutations);
+
+    body();
+
+    const std::uint64_t caught = check::failureCount();
+    const std::uint64_t checks = check::checkCount();
+    check::clearMutations();
+
+    const bool ok = expect_caught ? caught > 0 : caught == 0;
+    std::printf("%-28s %-12s checks=%-10llu divergences=%llu\n",
+                name.c_str(), ok ? "ok" : "FAILED",
+                static_cast<unsigned long long>(checks),
+                static_cast<unsigned long long>(caught));
+    if (!ok) {
+        ++g_failures;
+        for (const auto &f : check::failures())
+            std::printf("    [%s] %s\n", f.domain.c_str(),
+                        f.message.c_str());
+    }
+    if (expect_caught && ok) {
+        // Show the first divergence so the catch is auditable.
+        const auto sample = check::failures();
+        if (!sample.empty())
+            std::printf("    caught: [%s] %s\n", sample[0].domain.c_str(),
+                        sample[0].message.c_str());
+    }
+}
+
+/** Random mixed read/write trace over a small footprint. */
+void
+driveCache(SetAssociativeCache &cache, check::CacheShadow &shadow,
+           std::uint64_t seed, std::uint64_t steps, std::uint64_t blocks)
+{
+    Rng rng(seed);
+    for (std::uint64_t i = 0; i < steps; ++i) {
+        const Addr addr = rng.nextBounded(blocks) * kBlockSize;
+        cache.access(addr, rng.nextBool(0.3));
+    }
+    shadow.finalAudit();
+}
+
+/** Cache+shadow scenario body for the policy mutations. */
+std::function<void()>
+cacheBody(const std::string &policy)
+{
+    return [policy] {
+        CacheGeometry geom;
+        geom.sizeBytes = 4_KiB; // 16 sets x 4 ways
+        geom.assoc = 4;
+        SetAssociativeCache cache(geom, makeReplacementPolicy(policy, 7));
+        auto shadow = check::CacheShadow::attach(cache, policy, 7);
+        driveCache(cache, *shadow, 11, 20'000, 256);
+    };
+}
+
+/** Partitioned-cache scenario body (mirror shadow + residency audit). */
+std::function<void()>
+partitionBody()
+{
+    return [] {
+        CacheGeometry geom;
+        geom.sizeBytes = 4_KiB;
+        geom.assoc = 4;
+        SetAssociativeCache cache(geom, makeReplacementPolicy("lru", 7),
+                                  std::make_unique<StaticPartition>(2));
+        auto shadow = check::CacheShadow::attach(cache, "partitioned", 7);
+        Rng rng(13);
+        for (std::uint64_t i = 0; i < 20'000; ++i) {
+            const Addr addr = rng.nextBounded(256) * kBlockSize;
+            const auto type = static_cast<std::uint8_t>(
+                rng.nextBounded(2) == 0
+                    ? static_cast<unsigned>(MetadataType::Counter)
+                    : static_cast<unsigned>(MetadataType::Hash));
+            cache.access(addr, rng.nextBool(0.3), type);
+        }
+        shadow->finalAudit();
+    };
+}
+
+/** Hierarchy scenario body: writes force dirty LLC evictions. */
+std::function<void()>
+hierarchyBody()
+{
+    return [] {
+        HierarchyConfig cfg;
+        cfg.l1Bytes = 2_KiB;
+        cfg.l1Assoc = 2;
+        cfg.l2Bytes = 4_KiB;
+        cfg.l2Assoc = 4;
+        cfg.llcBytes = 8_KiB;
+        cfg.llcAssoc = 4;
+        CacheHierarchy hierarchy(cfg);
+        Rng rng(17);
+        for (std::uint64_t i = 0; i < 50'000; ++i) {
+            MemRef ref;
+            ref.addr = rng.nextBounded(2048) * kBlockSize;
+            ref.type = rng.nextBool(0.5) ? AccessType::Write
+                                         : AccessType::Read;
+            hierarchy.access(ref);
+        }
+    };
+}
+
+/** Controller scenario body: reads/writes through a tiny metadata
+ * cache, with the flat SecmemShadow attached. */
+std::function<void()>
+controllerBody()
+{
+    return [] {
+        FixedLatencyMemory memory(100);
+        SecureMemoryConfig cfg;
+        cfg.layout.protectedBytes = 16_MiB;
+        cfg.cache.sizeBytes = 4_KiB;
+        cfg.cache.assoc = 4;
+        SecureMemoryController controller(cfg, memory);
+        check::SecmemShadow shadow(controller);
+        controller.setMetadataTap(
+            [&shadow](const MetadataAccess &acc) { shadow.onTap(acc); });
+        Rng rng(23);
+        for (std::uint64_t i = 0; i < 5'000; ++i) {
+            MemoryRequest req;
+            req.addr = rng.nextBounded(4096) * kBlockSize;
+            req.kind = rng.nextBool(0.5) ? RequestKind::Writeback
+                                         : RequestKind::Read;
+            req.icount = i;
+            shadow.beginRequest(req);
+            controller.handleRequest(req);
+            shadow.endRequest();
+        }
+    };
+}
+
+/** Bare counter-store scenario body (monotonicity invariant). */
+std::function<void()>
+counterBody()
+{
+    return [] {
+        MetadataLayout layout({16_MiB, CounterMode::SplitPi, 8});
+        CounterStore store(layout);
+        for (int i = 0; i < 300; ++i)
+            store.onBlockWrite(0x1000);
+    };
+}
+
+/** Full-simulator clean run: every oracle active at once. */
+std::function<void()>
+simulatorBody()
+{
+    return [] {
+        SimConfig cfg;
+        cfg.benchmark = "canneal";
+        cfg.warmupRefs = 5'000;
+        cfg.measureRefs = 30'000;
+        runBenchmark(cfg);
+    };
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("maps::check mutation self-test\n\n");
+
+    check::Mutations m;
+
+    // -- Clean baselines: the layer must stay silent on correct code. --
+    scenario("clean/lru", {}, false, cacheBody("lru"));
+    scenario("clean/plru", {}, false, cacheBody("plru"));
+    scenario("clean/partitioned", {}, false, partitionBody());
+    scenario("clean/hierarchy", {}, false, hierarchyBody());
+    scenario("clean/controller", {}, false, controllerBody());
+    scenario("clean/counter-overflow", {}, false, counterBody());
+    scenario("clean/simulator", {}, false, simulatorBody());
+
+    // -- Each seeded mutant must be detected. --
+    m = {};
+    m.lruOffByOneVictim = true;
+    scenario("mutant/lru-off-by-one", m, true, cacheBody("lru"));
+
+    m = {};
+    m.plruSkipTouch = true;
+    scenario("mutant/plru-skip-touch", m, true, cacheBody("plru"));
+
+    m = {};
+    m.ignorePartition = true;
+    scenario("mutant/ignore-partition", m, true, partitionBody());
+
+    m = {};
+    m.dropLlcWriteback = true;
+    scenario("mutant/drop-llc-writeback", m, true, hierarchyBody());
+
+    m = {};
+    m.skipTreeVerify = true;
+    scenario("mutant/skip-tree-verify", m, true, controllerBody());
+
+    m = {};
+    m.stuckCounter = true;
+    scenario("mutant/stuck-counter", m, true, counterBody());
+
+    std::printf("\n%s\n", g_failures == 0
+                              ? "all scenarios behaved as expected"
+                              : "SELF-TEST FAILURES");
+    return g_failures == 0 ? 0 : 1;
+}

@@ -1,5 +1,6 @@
 #include "cache/cache.hpp"
 
+#include "check/check.hpp"
 #include "util/logging.hpp"
 
 namespace maps {
@@ -45,6 +46,20 @@ SetAssociativeCache::access(Addr addr, bool write, std::uint8_t type_class)
 
     CacheAccessOutcome outcome;
 
+    const auto deliver = [&] {
+        if (check::enabled())
+            auditSet(set);
+        if (observer_) {
+            CacheAccessEvent ev;
+            ev.kind = CacheAccessEvent::Kind::Access;
+            ev.addr = ctx.addr;
+            ev.write = write;
+            ev.typeClass = type_class;
+            ev.outcome = outcome;
+            observer_(ev);
+        }
+    };
+
     const int hit_way = findWay(set, tag);
     if (hit_way >= 0) {
         outcome.hit = true;
@@ -55,6 +70,7 @@ SetAssociativeCache::access(Addr addr, bool write, std::uint8_t type_class)
         policy_->touch(set, static_cast<std::uint32_t>(hit_way), ctx);
         if (partition_)
             partition_->onHit(set, ctx);
+        deliver();
         return outcome;
     }
 
@@ -63,9 +79,14 @@ SetAssociativeCache::access(Addr addr, bool write, std::uint8_t type_class)
     if (partition_)
         partition_->onMiss(set, ctx);
 
-    const std::uint64_t allowed =
+    std::uint64_t allowed =
         partition_ ? partition_->allowedWays(set, ctx)
                    : fullWayMask(geom_.assoc);
+    if (check::enabled() && check::mutations().ignorePartition) {
+        // Seeded bug (check_mutants): the partition mask is discarded,
+        // so fills land in ways reserved for other metadata types.
+        allowed = fullWayMask(geom_.assoc);
+    }
     panicIf(allowed == 0, "partition produced an empty way mask");
 
     // Prefer an invalid allowed way.
@@ -87,6 +108,18 @@ SetAssociativeCache::access(Addr addr, bool write, std::uint8_t type_class)
             infos[w].typeClass = l.typeClass;
         }
         fill_way = policy_->victim(set, infos, allowed, ctx);
+        if (check::enabled() && check::mutations().lruOffByOneVictim) {
+            // Seeded bug (check_mutants): evict the next allowed way
+            // after the one the policy chose.
+            for (std::uint32_t step = 1; step <= geom_.assoc; ++step) {
+                const std::uint32_t w =
+                    (fill_way + step) % geom_.assoc;
+                if (allowed & (std::uint64_t{1} << w)) {
+                    fill_way = w;
+                    break;
+                }
+            }
+        }
         panicIf(fill_way >= geom_.assoc ||
                     !(allowed & (std::uint64_t{1} << fill_way)),
                 "policy victim outside the allowed mask");
@@ -109,7 +142,39 @@ SetAssociativeCache::access(Addr addr, bool write, std::uint8_t type_class)
     line.typeClass = type_class;
     ++validLines_;
     policy_->insert(set, fill_way, ctx);
+    deliver();
     return outcome;
+}
+
+void
+SetAssociativeCache::auditSet(std::uint32_t set) const
+{
+    check::countChecks();
+    for (std::uint32_t w = 0; w < geom_.assoc; ++w) {
+        const Line &line = lineAt(set, w);
+        if (!line.valid)
+            continue;
+        for (std::uint32_t v = w + 1; v < geom_.assoc; ++v) {
+            const Line &other = lineAt(set, v);
+            if (other.valid && other.tag == line.tag) {
+                check::fail("cache.set",
+                            "duplicate tag in set " +
+                                std::to_string(set) + ": ways " +
+                                std::to_string(w) + " and " +
+                                std::to_string(v));
+            }
+        }
+        if (partition_ &&
+            !(partition_->residencyMask(set, line.typeClass) &
+              (std::uint64_t{1} << w))) {
+            check::fail(
+                "cache.partition",
+                "type " + std::to_string(line.typeClass) +
+                    " resident outside its partition (set " +
+                    std::to_string(set) + " way " + std::to_string(w) +
+                    ")");
+        }
+    }
 }
 
 bool
@@ -122,9 +187,21 @@ bool
 SetAssociativeCache::invalidate(Addr addr, bool *was_dirty)
 {
     const std::uint32_t set = geom_.setIndexOf(addr);
-    const int way = findWay(set, geom_.tagOf(addr));
-    if (way < 0)
+    const std::uint64_t tag = geom_.tagOf(addr);
+    const int way = findWay(set, tag);
+    const auto deliver = [&](bool found) {
+        if (!observer_)
+            return;
+        CacheAccessEvent ev;
+        ev.kind = CacheAccessEvent::Kind::Invalidate;
+        ev.addr = addrOf(set, tag);
+        ev.found = found;
+        observer_(ev);
+    };
+    if (way < 0) {
+        deliver(false);
         return false;
+    }
     Line &line = lineAt(set, static_cast<std::uint32_t>(way));
     if (was_dirty)
         *was_dirty = line.dirty;
@@ -132,6 +209,7 @@ SetAssociativeCache::invalidate(Addr addr, bool *was_dirty)
     line.dirty = false;
     --validLines_;
     policy_->invalidate(set, static_cast<std::uint32_t>(way));
+    deliver(true);
     return true;
 }
 
@@ -139,11 +217,19 @@ bool
 SetAssociativeCache::cleanLine(Addr addr)
 {
     const std::uint32_t set = geom_.setIndexOf(addr);
-    const int way = findWay(set, geom_.tagOf(addr));
-    if (way < 0)
-        return false;
-    lineAt(set, static_cast<std::uint32_t>(way)).dirty = false;
-    return true;
+    const std::uint64_t tag = geom_.tagOf(addr);
+    const int way = findWay(set, tag);
+    const bool found = way >= 0;
+    if (found)
+        lineAt(set, static_cast<std::uint32_t>(way)).dirty = false;
+    if (observer_) {
+        CacheAccessEvent ev;
+        ev.kind = CacheAccessEvent::Kind::Clean;
+        ev.addr = addrOf(set, tag);
+        ev.found = found;
+        observer_(ev);
+    }
+    return found;
 }
 
 void

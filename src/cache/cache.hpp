@@ -29,6 +29,23 @@ struct CacheAccessOutcome
     std::uint8_t evictedType = 0;
 };
 
+/**
+ * One observed state-changing cache operation, delivered to the access
+ * observer (maps::check shadow models). `addr` is block-normalized.
+ */
+struct CacheAccessEvent
+{
+    enum class Kind : std::uint8_t { Access, Invalidate, Clean };
+    Kind kind = Kind::Access;
+    Addr addr = kInvalidAddr;
+    bool write = false;
+    std::uint8_t typeClass = 0;
+    /** Valid for Kind::Access. */
+    CacheAccessOutcome outcome;
+    /** Valid for Kind::Invalidate / Kind::Clean: the line was resident. */
+    bool found = false;
+};
+
 /** Aggregate counters; per-typeClass breakdowns sized for MetadataType. */
 struct CacheStats
 {
@@ -96,10 +113,23 @@ class SetAssociativeCache
     const CacheStats &stats() const { return stats_; }
     void clearStats() { stats_ = CacheStats{}; }
     ReplacementPolicy &policy() { return *policy_; }
+    const ReplacementPolicy &policy() const { return *policy_; }
     WayPartition *partition() { return partition_.get(); }
+    const WayPartition *partition() const { return partition_.get(); }
 
     /** Number of currently valid lines. */
     std::uint64_t validLines() const { return validLines_; }
+
+    /**
+     * Install an observer for every state-changing operation (at most
+     * one; maps::check shadow models attach here). The observer runs
+     * after the operation completes and must outlive the cache's use.
+     */
+    using AccessObserver = std::function<void(const CacheAccessEvent &)>;
+    void setAccessObserver(AccessObserver observer)
+    {
+        observer_ = std::move(observer);
+    }
 
   private:
     struct Line
@@ -116,6 +146,7 @@ class SetAssociativeCache
     std::vector<Line> lines_; // sets * ways
     std::uint64_t validLines_ = 0;
     CacheStats stats_;
+    AccessObserver observer_;
 
     Line &lineAt(std::uint32_t set, std::uint32_t way)
     {
@@ -134,6 +165,9 @@ class SetAssociativeCache
     }
 
     int findWay(std::uint32_t set, std::uint64_t tag) const;
+
+    /** maps::check: duplicate-tag and partition-residency audit. */
+    void auditSet(std::uint32_t set) const;
 };
 
 } // namespace maps

@@ -14,6 +14,12 @@ WayPartition::onMiss(std::uint32_t, const ReplContext &)
 {
 }
 
+std::uint64_t
+WayPartition::residencyMask(std::uint32_t, std::uint8_t) const
+{
+    return ~std::uint64_t{0};
+}
+
 void
 StaticPartition::init(std::uint32_t, std::uint32_t ways)
 {
@@ -29,6 +35,20 @@ std::uint64_t
 StaticPartition::allowedWays(std::uint32_t, const ReplContext &ctx)
 {
     switch (static_cast<MetadataType>(ctx.typeClass)) {
+      case MetadataType::Counter:
+        return counterMask_;
+      case MetadataType::Hash:
+        return hashMask_;
+      default:
+        return fullMask_;
+    }
+}
+
+std::uint64_t
+StaticPartition::residencyMask(std::uint32_t,
+                               std::uint8_t type_class) const
+{
+    switch (static_cast<MetadataType>(type_class)) {
       case MetadataType::Counter:
         return counterMask_;
       case MetadataType::Hash:

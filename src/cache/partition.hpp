@@ -37,6 +37,15 @@ class WayPartition
     /** Called on every cache miss (for dueling statistics). */
     virtual void onMiss(std::uint32_t set, const ReplContext &ctx);
 
+    /**
+     * Ways the given class may legitimately *occupy* (maps::check
+     * residency audit). Default: any way — schemes whose constraint
+     * changes over time (set dueling) cannot bound residency, because
+     * lines inserted under the losing split stay put.
+     */
+    virtual std::uint64_t residencyMask(std::uint32_t set,
+                                        std::uint8_t type_class) const;
+
     virtual std::string name() const = 0;
 };
 
@@ -73,6 +82,8 @@ class StaticPartition : public WayPartition
     void init(std::uint32_t sets, std::uint32_t ways) override;
     std::uint64_t allowedWays(std::uint32_t set,
                               const ReplContext &ctx) override;
+    std::uint64_t residencyMask(std::uint32_t set,
+                                std::uint8_t type_class) const override;
     std::string name() const override;
 
     std::uint32_t counterWays() const { return counterWays_; }

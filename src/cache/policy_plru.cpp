@@ -1,5 +1,6 @@
 #include "cache/policy_plru.hpp"
 
+#include "check/check.hpp"
 #include "util/bitops.hpp"
 #include "util/logging.hpp"
 
@@ -44,6 +45,11 @@ void
 TreePlruPolicy::touch(std::uint32_t set, std::uint32_t way,
                       const ReplContext &)
 {
+    if (check::enabled() && check::mutations().plruSkipTouch) {
+        // Seeded bug (check_mutants): hits no longer refresh the tree
+        // bits, so the victim walk degrades toward FIFO.
+        return;
+    }
     touchWay(set, way);
 }
 

@@ -1,0 +1,103 @@
+#include "check/check.hpp"
+
+#include <cstdlib>
+#include <mutex>
+
+#include "util/logging.hpp"
+
+namespace maps::check {
+
+namespace {
+
+/** Keep at most this many failure messages; the counter keeps counting. */
+constexpr std::size_t kMaxFailureSample = 64;
+
+bool
+initialEnabled()
+{
+#ifdef MAPS_CHECK_DEFAULT_ON
+    return true;
+#else
+    const char *env = std::getenv("MAPS_CHECK");
+    return env && *env && std::string_view(env) != "0";
+#endif
+}
+
+std::atomic<FailureMode> gMode{FailureMode::Abort};
+
+std::mutex gSampleMu;
+std::vector<Failure> gSample;
+
+} // namespace
+
+namespace detail {
+std::atomic<bool> gEnabled{initialEnabled()};
+std::atomic<std::uint64_t> gChecks{0};
+std::atomic<std::uint64_t> gFailures{0};
+Mutations gMutations{};
+} // namespace detail
+
+void
+setEnabled(bool on)
+{
+    detail::gEnabled.store(on, std::memory_order_relaxed);
+}
+
+void
+setFailureMode(FailureMode mode)
+{
+    gMode.store(mode, std::memory_order_relaxed);
+}
+
+FailureMode
+failureMode()
+{
+    return gMode.load(std::memory_order_relaxed);
+}
+
+void
+setMutations(const Mutations &m)
+{
+    detail::gMutations = m;
+}
+
+void
+fail(const std::string &domain, const std::string &message)
+{
+    detail::gFailures.fetch_add(1, std::memory_order_relaxed);
+    if (failureMode() == FailureMode::Abort)
+        panic("maps::check [" + domain + "] " + message);
+    const std::lock_guard<std::mutex> lock(gSampleMu);
+    if (gSample.size() < kMaxFailureSample)
+        gSample.push_back({domain, message});
+}
+
+std::uint64_t
+checkCount()
+{
+    return detail::gChecks.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+failureCount()
+{
+    return detail::gFailures.load(std::memory_order_relaxed);
+}
+
+std::vector<Failure>
+failures()
+{
+    const std::lock_guard<std::mutex> lock(gSampleMu);
+    return gSample;
+}
+
+void
+resetStats()
+{
+    detail::gChecks.store(0, std::memory_order_relaxed);
+    detail::gFailures.store(0, std::memory_order_relaxed);
+    const std::lock_guard<std::mutex> lock(gSampleMu);
+    gSample.clear();
+}
+
+} // namespace maps::check

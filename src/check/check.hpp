@@ -1,0 +1,142 @@
+/**
+ * @file
+ * maps::check — the differential-verification gate and divergence
+ * registry.
+ *
+ * Every runtime invariant and shadow model in the simulator funnels
+ * through this header: call sites test `check::enabled()` (one relaxed
+ * atomic load, so the cost when disabled is a branch), perform their
+ * verification, and report violations through `check::fail()`.
+ *
+ * Two failure modes:
+ *  - Abort (default): a violation is a simulator bug — panic at once
+ *    with the divergence message. This is what `MAPS_CHECK=1` builds
+ *    and the Debug CI tier use.
+ *  - Record: violations are counted and sampled so a harness (the
+ *    runner's `--check` flag, bench/check_mutants) can report them in
+ *    its result sink and turn them into an exit code.
+ *
+ * Enabling: checks start enabled when the build sets the
+ * MAPS_CHECK_DEFAULT_ON compile definition (CMake option MAPS_CHECK)
+ * or the MAPS_CHECK environment variable is set to anything but "0";
+ * otherwise they start disabled and a harness opts in via
+ * `setEnabled(true)` (the runner's `--check`).
+ *
+ * Mutations: seeded, intentionally-wrong behaviors compiled into the
+ * simulator and switched on only by the bench/check_mutants self-test
+ * to prove each checker actually fires. Mutation flags are consulted
+ * only when checks are enabled, so they cannot perturb normal runs.
+ *
+ * Thread-safety: the enable gate and counters are atomics; the failure
+ * sample is mutex-protected. Mutations are plain bools set before any
+ * worker threads start (check_mutants is single-threaded).
+ */
+#ifndef MAPS_CHECK_CHECK_HPP
+#define MAPS_CHECK_CHECK_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace maps::check {
+
+enum class FailureMode : std::uint8_t
+{
+    Abort = 0,  ///< panic on the first divergence (default)
+    Record = 1, ///< count and sample divergences for later reporting
+};
+
+/**
+ * Seeded bugs for the mutation self-test (bench/check_mutants). Each
+ * flag flips one deliberately-wrong code path in the simulator; the
+ * self-test asserts that maps::check detects every one of them. Only
+ * honored while checks are enabled.
+ */
+struct Mutations
+{
+    /** Cache picks the allowed way after the policy's victim. */
+    bool lruOffByOneVictim = false;
+    /** Tree-PLRU forgets to update its bits on hits. */
+    bool plruSkipTouch = false;
+    /** The hierarchy silently drops LLC dirty writebacks. */
+    bool dropLlcWriteback = false;
+    /** The controller skips tree traversal after counter fetches. */
+    bool skipTreeVerify = false;
+    /** Encryption-counter bumps are dropped on data writes. */
+    bool stuckCounter = false;
+    /** The cache ignores the way-partition's allowed mask. */
+    bool ignorePartition = false;
+
+    bool any() const
+    {
+        return lruOffByOneVictim || plruSkipTouch || dropLlcWriteback ||
+               skipTreeVerify || stuckCounter || ignorePartition;
+    }
+};
+
+/** One recorded divergence (Record mode keeps a bounded sample). */
+struct Failure
+{
+    std::string domain; ///< e.g. "cache.shadow", "secmem.counter"
+    std::string message;
+};
+
+namespace detail {
+extern std::atomic<bool> gEnabled;
+extern std::atomic<std::uint64_t> gChecks;
+extern std::atomic<std::uint64_t> gFailures;
+extern Mutations gMutations;
+} // namespace detail
+
+/** Master gate: are verification hooks active? */
+inline bool
+enabled()
+{
+    return detail::gEnabled.load(std::memory_order_relaxed);
+}
+
+void setEnabled(bool on);
+
+void setFailureMode(FailureMode mode);
+FailureMode failureMode();
+
+/** Active seeded-bug flags (all false outside check_mutants). */
+inline const Mutations &
+mutations()
+{
+    return detail::gMutations;
+}
+
+void setMutations(const Mutations &m);
+inline void
+clearMutations()
+{
+    setMutations(Mutations{});
+}
+
+/**
+ * Report one divergence. Aborts in Abort mode; in Record mode counts
+ * it and keeps the first few messages for the harness report.
+ */
+void fail(const std::string &domain, const std::string &message);
+
+/** Account checks performed (for the --check summary row). */
+inline void
+countChecks(std::uint64_t n = 1)
+{
+    detail::gChecks.fetch_add(n, std::memory_order_relaxed);
+}
+
+std::uint64_t checkCount();
+std::uint64_t failureCount();
+
+/** Bounded sample of recorded failures (Record mode). */
+std::vector<Failure> failures();
+
+/** Clear counters and the failure sample (not the enable gate). */
+void resetStats();
+
+} // namespace maps::check
+
+#endif // MAPS_CHECK_CHECK_HPP

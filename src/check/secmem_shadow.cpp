@@ -1,0 +1,210 @@
+#include "check/secmem_shadow.hpp"
+
+#include <sstream>
+
+namespace maps::check {
+
+namespace {
+
+constexpr std::uint64_t kBlockFoldSeed = 0xC0FFEE5EC0DE5EEDull;
+
+std::string
+hex(Addr addr)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << addr;
+    return os.str();
+}
+
+} // namespace
+
+SecmemShadow::SecmemShadow(const SecureMemoryController &controller)
+    : ctl_(controller),
+      layout_(controller.layout()),
+      counters_(layout_),
+      tree_(layout_)
+{
+}
+
+std::uint64_t
+SecmemShadow::digestOfCounterBlock(Addr counter_block_addr) const
+{
+    const std::uint64_t coverage = layout_.counterBlockCoverage();
+    const std::uint64_t index =
+        MetadataLayout::indexOf(counter_block_addr);
+    const Addr base = index * coverage;
+    std::uint64_t h = kBlockFoldSeed;
+    for (Addr blk = base; blk < base + coverage; blk += kBlockSize) {
+        const CounterValue value = counters_.read(blk);
+        h = IntegrityTree::mix(h, value.major);
+        h = IntegrityTree::mix(h, value.minor);
+    }
+    return h;
+}
+
+std::uint64_t
+SecmemShadow::storedDigest(Addr counter_block_addr) const
+{
+    const auto it =
+        ctrDigests_.find(MetadataLayout::indexOf(counter_block_addr));
+    return it != ctrDigests_.end()
+               ? it->second
+               : IntegrityTree::kDefaultCounterDigest;
+}
+
+void
+SecmemShadow::beginRequest(const MemoryRequest &req)
+{
+    if (dead_)
+        return;
+    if (inRequest_) {
+        diverge("secmem.tap", "nested request at " + hex(req.addr));
+        return;
+    }
+    inRequest_ = true;
+    req_ = req;
+    counterTaps_ = 0;
+    hashTaps_ = 0;
+}
+
+void
+SecmemShadow::onTap(const MetadataAccess &acc)
+{
+    if (dead_)
+        return;
+    if (!inRequest_) {
+        diverge("secmem.tap",
+                "metadata tap outside any request: " + hex(acc.addr));
+        return;
+    }
+    countChecks();
+
+    // The encoded address must agree with the tap's advertised type.
+    if (MetadataLayout::typeOf(acc.addr) != acc.type) {
+        diverge("secmem.tap", "tap type disagrees with encoded address " +
+                                  hex(acc.addr));
+        return;
+    }
+    const bool is_write = acc.access == AccessType::Write;
+
+    switch (acc.type) {
+      case MetadataType::Counter: {
+        ++counterTaps_;
+        const Addr want = layout_.counterBlockAddr(req_.addr);
+        if (acc.addr != want) {
+            diverge("secmem.tap", "counter tap at " + hex(acc.addr) +
+                                      ", expected " + hex(want));
+        } else if (is_write != req_.isWrite()) {
+            diverge("secmem.tap",
+                    "counter tap direction disagrees with the request");
+        }
+        break;
+      }
+      case MetadataType::Hash: {
+        ++hashTaps_;
+        const Addr want = layout_.hashBlockAddr(req_.addr);
+        if (acc.addr != want) {
+            diverge("secmem.tap", "hash tap at " + hex(acc.addr) +
+                                      ", expected " + hex(want));
+        } else if (is_write != req_.isWrite()) {
+            diverge("secmem.tap",
+                    "hash tap direction disagrees with the request");
+        }
+        break;
+      }
+      case MetadataType::TreeNode:
+        // Tree traffic is cache-state dependent (verification walks,
+        // lazy update cascades), so only self-consistency is checked.
+        if (MetadataLayout::levelOf(acc.addr) != acc.level) {
+            diverge("secmem.tap",
+                    "tree tap level disagrees with encoded address " +
+                        hex(acc.addr));
+        }
+        break;
+      case MetadataType::Data:
+        diverge("secmem.tap", "data address in the metadata tap stream: " +
+                                  hex(acc.addr));
+        break;
+    }
+}
+
+void
+SecmemShadow::endRequest()
+{
+    if (dead_ || !inRequest_)
+        return;
+    inRequest_ = false;
+    countChecks();
+
+    // Tap structure: the encryption counter and the data hash are
+    // consulted exactly once per request, no matter what the metadata
+    // cache, prefetcher or eviction cascades did.
+    if (counterTaps_ != 1) {
+        diverge("secmem.tap",
+                std::to_string(counterTaps_) +
+                    " counter taps in one request (expected 1)");
+        return;
+    }
+    if (hashTaps_ != 1) {
+        diverge("secmem.tap", std::to_string(hashTaps_) +
+                                  " hash taps in one request (expected 1)");
+        return;
+    }
+
+    const Addr ctr_addr = layout_.counterBlockAddr(req_.addr);
+    if (req_.isWrite()) {
+        counters_.onBlockWrite(req_.addr);
+
+        // The controller's functional counter must match the shadow's
+        // independently-bumped replica.
+        const CounterValue got = ctl_.counters().read(req_.addr);
+        const CounterValue want = counters_.read(req_.addr);
+        if (!(got == want)) {
+            diverge("secmem.shadow",
+                    "counter mismatch at " + hex(req_.addr) +
+                        ": controller (" + std::to_string(got.major) +
+                        "," + std::to_string(got.minor) + "), shadow (" +
+                        std::to_string(want.major) + "," +
+                        std::to_string(want.minor) + ")");
+            return;
+        }
+        if (ctl_.counters().pageOverflows() != counters_.pageOverflows()) {
+            diverge("secmem.shadow",
+                    "page-overflow tallies diverge: controller " +
+                        std::to_string(ctl_.counters().pageOverflows()) +
+                        ", shadow " +
+                        std::to_string(counters_.pageOverflows()));
+            return;
+        }
+
+        // Re-hash the counter block and push the update through the
+        // shadow tree; the path must still authenticate.
+        const std::uint64_t digest = digestOfCounterBlock(ctr_addr);
+        ctrDigests_[MetadataLayout::indexOf(ctr_addr)] = digest;
+        tree_.updateCounter(ctr_addr, digest);
+        if (!tree_.verifyCounter(ctr_addr, digest)) {
+            diverge("secmem.shadow",
+                    "tree path fails to verify after updating counter "
+                    "block " +
+                        hex(ctr_addr));
+        }
+        return;
+    }
+
+    // Read: the (possibly never-written) counter block must still
+    // verify against the shadow tree's on-chip root.
+    if (!tree_.verifyCounter(ctr_addr, storedDigest(ctr_addr))) {
+        diverge("secmem.shadow", "tree path fails to verify for counter "
+                                 "block " +
+                                     hex(ctr_addr) + " on a read");
+    }
+}
+
+void
+SecmemShadow::diverge(const char *domain, const std::string &message)
+{
+    dead_ = true;
+    fail(domain, message);
+}
+
+} // namespace maps::check

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * SecmemShadow: a flat functional model of secure memory that validates
+ * the SecureMemoryController end to end.
+ *
+ * The controller's timing machinery (metadata cache, lazy tree updates,
+ * eviction cascades, prefetching) must never change *functional* secure
+ * memory state. The shadow replays each serviced request against the
+ * simplest possible model — a private CounterStore replica plus a
+ * private functional IntegrityTree, with no cache at all — and checks:
+ *
+ *  - tap structure: every request emits exactly one Counter tap and one
+ *    Hash tap, at the layout-computed addresses, in the request's
+ *    direction; every tap's encoded type/level agrees with its address;
+ *  - counter equality: after a write, the controller's counter for the
+ *    block equals the shadow's independently-bumped replica (and the
+ *    page-overflow tallies agree);
+ *  - tree consistency: after every request the touched counter block
+ *    still verifies against the shadow tree's on-chip root.
+ *
+ * Drive it with beginRequest / endRequest around each
+ * SecureMemoryController::handleRequest call and feed every metadata
+ * tap to onTap (the simulator wires this automatically under --check).
+ *
+ * Failures go to check::fail under "secmem.tap" (structure) and
+ * "secmem.shadow" (state); like CacheShadow, the model goes dead after
+ * the first divergence.
+ */
+#ifndef MAPS_CHECK_SECMEM_SHADOW_HPP
+#define MAPS_CHECK_SECMEM_SHADOW_HPP
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "check/check.hpp"
+#include "secmem/controller.hpp"
+#include "secmem/counter_store.hpp"
+#include "secmem/integrity_tree.hpp"
+
+namespace maps::check {
+
+class SecmemShadow
+{
+  public:
+    explicit SecmemShadow(const SecureMemoryController &controller);
+
+    /** A request is about to be serviced. */
+    void beginRequest(const MemoryRequest &req);
+    /** One metadata tap observed while servicing the request. */
+    void onTap(const MetadataAccess &acc);
+    /** The request finished; run the end-of-request checks. */
+    void endRequest();
+
+    bool alive() const { return !dead_; }
+
+  private:
+    const SecureMemoryController &ctl_;
+    const MetadataLayout &layout_;
+    CounterStore counters_; ///< shadow replica
+    IntegrityTree tree_;    ///< shadow replica
+    /** Digest last installed per counter-block index. */
+    std::unordered_map<std::uint64_t, std::uint64_t> ctrDigests_;
+
+    bool dead_ = false;
+    bool inRequest_ = false;
+    MemoryRequest req_{};
+    unsigned counterTaps_ = 0;
+    unsigned hashTaps_ = 0;
+
+    /** Digest of a counter block from the shadow counter values. */
+    std::uint64_t digestOfCounterBlock(Addr counter_block_addr) const;
+    std::uint64_t storedDigest(Addr counter_block_addr) const;
+
+    void diverge(const char *domain, const std::string &message);
+};
+
+} // namespace maps::check
+
+#endif // MAPS_CHECK_SECMEM_SHADOW_HPP

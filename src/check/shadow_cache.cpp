@@ -1,0 +1,480 @@
+#include "check/shadow_cache.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.hpp"
+
+namespace maps::check {
+
+namespace {
+
+// Default tuning of the factory-built RRIP policies (replacement.cpp).
+constexpr std::uint8_t kMaxRrpv = 3;          // 2 RRPV bits
+constexpr std::uint32_t kBrripEpsilon = 32;   // 1/32 near insertions
+constexpr std::uint32_t kLeaderStride = 32;   // DRRIP leader spacing
+constexpr std::int32_t kPselMax = 1 << 9;     // 10 PSEL bits
+
+std::string
+hex(Addr addr)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << addr;
+    return os.str();
+}
+
+} // namespace
+
+CacheShadow::CacheShadow(const SetAssociativeCache &cache, std::string label,
+                         std::uint64_t seed, bool force_mirror)
+    : cache_(cache),
+      label_(std::move(label)),
+      geom_(cache.geometry()),
+      rng_(seed)
+{
+    entries_.assign(
+        static_cast<std::size_t>(geom_.numSets()) * geom_.assoc, Entry{});
+
+    // A partitioned cache restricts victim masks in ways the reference
+    // policies below do not model, so it always runs in Mirror mode.
+    if (!force_mirror && !cache.partition()) {
+        const std::string policy = cache.policy().name();
+        if (policy == "lru") {
+            ref_ = Ref::Lru;
+        } else if (policy == "plru") {
+            ref_ = Ref::Plru;
+        } else if (policy == "srrip") {
+            ref_ = Ref::Srrip;
+        } else if (policy == "drrip" || policy == "drrip-typed") {
+            ref_ = Ref::Drrip;
+            typedInsertion_ = policy == "drrip-typed";
+        } else if (policy == "random") {
+            ref_ = Ref::Random;
+        }
+    }
+
+    switch (ref_) {
+      case Ref::Lru:
+        lruOrder_.assign(geom_.numSets(), {});
+        break;
+      case Ref::Plru:
+        plruBits_.assign(static_cast<std::size_t>(geom_.numSets()) *
+                             (geom_.assoc > 1 ? geom_.assoc - 1 : 0),
+                         0);
+        break;
+      case Ref::Srrip:
+      case Ref::Drrip:
+        rrpv_.assign(
+            static_cast<std::size_t>(geom_.numSets()) * geom_.assoc,
+            kMaxRrpv);
+        break;
+      case Ref::Random:
+      case Ref::Mirror:
+        break;
+    }
+}
+
+std::unique_ptr<CacheShadow>
+CacheShadow::attach(SetAssociativeCache &cache, std::string label,
+                    std::uint64_t seed, bool force_mirror)
+{
+    auto shadow = std::make_unique<CacheShadow>(cache, std::move(label),
+                                                seed, force_mirror);
+    cache.setAccessObserver(
+        [raw = shadow.get()](const CacheAccessEvent &ev) {
+            raw->onEvent(ev);
+        });
+    return shadow;
+}
+
+int
+CacheShadow::findEntry(std::uint32_t set, Addr addr) const
+{
+    const std::size_t base = static_cast<std::size_t>(set) * geom_.assoc;
+    for (std::uint32_t w = 0; w < geom_.assoc; ++w) {
+        const Entry &e = entries_[base + w];
+        if (e.valid && e.addr == addr)
+            return static_cast<int>(w);
+    }
+    return -1;
+}
+
+void
+CacheShadow::onEvent(const CacheAccessEvent &ev)
+{
+    if (dead_)
+        return;
+    switch (ev.kind) {
+      case CacheAccessEvent::Kind::Access:
+        handleAccess(ev);
+        break;
+      case CacheAccessEvent::Kind::Invalidate:
+        handleInvalidate(ev);
+        break;
+      case CacheAccessEvent::Kind::Clean:
+        handleClean(ev);
+        break;
+    }
+}
+
+void
+CacheShadow::handleAccess(const CacheAccessEvent &ev)
+{
+    countChecks();
+    const std::uint32_t set = geom_.setIndexOf(ev.addr);
+    const int hit_way = findEntry(set, ev.addr);
+
+    if ((hit_way >= 0) != ev.outcome.hit) {
+        diverge(std::string(ev.outcome.hit ? "hit" : "miss") +
+                " reported for " + hex(ev.addr) + " but the shadow has " +
+                (hit_way >= 0 ? "the line resident" : "no such line"));
+        return;
+    }
+
+    if (ev.outcome.hit) {
+        Entry &entry = entryAt(set, static_cast<std::uint32_t>(hit_way));
+        entry.dirty = entry.dirty || ev.write;
+        refTouch(set, static_cast<std::uint32_t>(hit_way));
+        return;
+    }
+
+    // Miss: fill, evicting if (and only if) the model says so.
+    std::uint32_t fill = geom_.assoc;
+    for (std::uint32_t w = 0; w < geom_.assoc; ++w) {
+        if (!entryAt(set, w).valid) {
+            fill = w;
+            break;
+        }
+    }
+
+    if (predictive()) {
+        if (fill != geom_.assoc) {
+            if (ev.outcome.evictedValid) {
+                diverge("cache evicted " + hex(ev.outcome.evictedAddr) +
+                        " from a set the shadow sees as non-full");
+                return;
+            }
+        } else {
+            fill = refVictim(set);
+            const Entry victim = entryAt(set, fill);
+            if (!ev.outcome.evictedValid) {
+                diverge("model expects eviction of " + hex(victim.addr) +
+                        " but the cache evicted nothing");
+                return;
+            }
+            if (ev.outcome.evictedAddr != victim.addr) {
+                diverge("victim mismatch filling " + hex(ev.addr) +
+                        ": model evicts " + hex(victim.addr) +
+                        ", cache evicted " + hex(ev.outcome.evictedAddr));
+                return;
+            }
+            if (ev.outcome.evictedDirty != victim.dirty) {
+                diverge("dirty-bit mismatch on evicted " +
+                        hex(victim.addr));
+                return;
+            }
+            if (ev.outcome.evictedType != victim.typeClass) {
+                diverge("type-class mismatch on evicted " +
+                        hex(victim.addr));
+                return;
+            }
+        }
+    } else {
+        if (ev.outcome.evictedValid) {
+            const int vic = findEntry(set, ev.outcome.evictedAddr);
+            if (vic < 0) {
+                diverge("cache evicted " + hex(ev.outcome.evictedAddr) +
+                        " which is not resident in the shadow's set " +
+                        std::to_string(set));
+                return;
+            }
+            Entry &victim = entryAt(set, static_cast<std::uint32_t>(vic));
+            if (ev.outcome.evictedDirty != victim.dirty) {
+                diverge("dirty-bit mismatch on evicted " +
+                        hex(victim.addr));
+                return;
+            }
+            if (ev.outcome.evictedType != victim.typeClass) {
+                diverge("type-class mismatch on evicted " +
+                        hex(victim.addr));
+                return;
+            }
+            victim = Entry{};
+            if (fill == geom_.assoc)
+                fill = static_cast<std::uint32_t>(vic);
+        } else if (fill == geom_.assoc) {
+            diverge("cache filled " + hex(ev.addr) +
+                    " into a full set without evicting");
+            return;
+        }
+    }
+
+    Entry &entry = entryAt(set, fill);
+    entry.addr = ev.addr;
+    entry.valid = true;
+    entry.dirty = ev.write;
+    entry.typeClass = ev.typeClass;
+    refInsert(set, fill, ev.typeClass);
+}
+
+void
+CacheShadow::handleInvalidate(const CacheAccessEvent &ev)
+{
+    countChecks();
+    const std::uint32_t set = geom_.setIndexOf(ev.addr);
+    const int way = findEntry(set, ev.addr);
+    if ((way >= 0) != ev.found) {
+        diverge("invalidate of " + hex(ev.addr) + " found=" +
+                (ev.found ? "true" : "false") +
+                " disagrees with the shadow");
+        return;
+    }
+    if (way >= 0) {
+        refInvalidate(set, static_cast<std::uint32_t>(way));
+        entryAt(set, static_cast<std::uint32_t>(way)) = Entry{};
+    }
+}
+
+void
+CacheShadow::handleClean(const CacheAccessEvent &ev)
+{
+    countChecks();
+    const std::uint32_t set = geom_.setIndexOf(ev.addr);
+    const int way = findEntry(set, ev.addr);
+    if ((way >= 0) != ev.found) {
+        diverge("clean of " + hex(ev.addr) + " found=" +
+                (ev.found ? "true" : "false") +
+                " disagrees with the shadow");
+        return;
+    }
+    if (way >= 0)
+        entryAt(set, static_cast<std::uint32_t>(way)).dirty = false;
+}
+
+void
+CacheShadow::finalAudit()
+{
+    if (dead_)
+        return;
+    countChecks();
+    std::uint64_t shadow_valid = 0;
+    for (const Entry &e : entries_) {
+        if (e.valid)
+            ++shadow_valid;
+    }
+    if (shadow_valid != cache_.validLines()) {
+        diverge("final audit: shadow holds " +
+                std::to_string(shadow_valid) + " lines, cache holds " +
+                std::to_string(cache_.validLines()));
+        return;
+    }
+    cache_.forEachLine([this](const ReplLineInfo &line) {
+        if (dead_)
+            return;
+        const std::uint32_t set = geom_.setIndexOf(line.addr);
+        const int way = findEntry(set, line.addr);
+        if (way < 0) {
+            diverge("final audit: " + hex(line.addr) +
+                    " resident in the cache but not the shadow");
+            return;
+        }
+        const Entry &e = entryAt(set, static_cast<std::uint32_t>(way));
+        if (e.dirty != line.dirty) {
+            diverge("final audit: dirty-bit mismatch on " +
+                    hex(line.addr));
+        } else if (e.typeClass != line.typeClass) {
+            diverge("final audit: type-class mismatch on " +
+                    hex(line.addr));
+        }
+    });
+}
+
+// ---------------------------------------------------------------------
+// Reference policies. Deliberately written over different data
+// structures than src/cache/policy_*.cpp (recency lists instead of
+// stamps, etc.) so a shared bug is unlikely.
+// ---------------------------------------------------------------------
+
+void
+CacheShadow::refTouch(std::uint32_t set, std::uint32_t way)
+{
+    switch (ref_) {
+      case Ref::Lru: {
+        auto &order = lruOrder_[set];
+        order.erase(std::remove(order.begin(), order.end(), way),
+                    order.end());
+        order.insert(order.begin(), way);
+        break;
+      }
+      case Ref::Plru:
+        plruTouch(set, way);
+        break;
+      case Ref::Srrip:
+      case Ref::Drrip:
+        rrpv_[static_cast<std::size_t>(set) * geom_.assoc + way] = 0;
+        break;
+      case Ref::Random:
+      case Ref::Mirror:
+        break;
+    }
+}
+
+void
+CacheShadow::refInsert(std::uint32_t set, std::uint32_t way,
+                       std::uint8_t type_class)
+{
+    switch (ref_) {
+      case Ref::Lru: {
+        auto &order = lruOrder_[set];
+        order.erase(std::remove(order.begin(), order.end(), way),
+                    order.end());
+        order.insert(order.begin(), way);
+        break;
+      }
+      case Ref::Plru:
+        plruTouch(set, way);
+        break;
+      case Ref::Srrip:
+        rrpv_[static_cast<std::size_t>(set) * geom_.assoc + way] =
+            kMaxRrpv - 1;
+        break;
+      case Ref::Drrip:
+        rrpv_[static_cast<std::size_t>(set) * geom_.assoc + way] =
+            drripInsertionRrpv(set, type_class);
+        break;
+      case Ref::Random:
+      case Ref::Mirror:
+        break;
+    }
+}
+
+void
+CacheShadow::refInvalidate(std::uint32_t set, std::uint32_t way)
+{
+    // Only LRU keeps per-line state a victim walk could observe before
+    // the way is refilled (the RRIP values are overwritten on insert,
+    // matching the real policies' no-op invalidate).
+    if (ref_ == Ref::Lru) {
+        auto &order = lruOrder_[set];
+        order.erase(std::remove(order.begin(), order.end(), way),
+                    order.end());
+    }
+}
+
+std::uint32_t
+CacheShadow::refVictim(std::uint32_t set)
+{
+    switch (ref_) {
+      case Ref::Lru: {
+        const auto &order = lruOrder_[set];
+        // Every way of a full set has been inserted at least once, so
+        // the recency list covers the whole set; the victim is its tail.
+        panicIf(order.size() != geom_.assoc,
+                "shadow LRU list does not cover a full set");
+        return order.back();
+      }
+      case Ref::Plru:
+        return plruVictim(set);
+      case Ref::Srrip:
+      case Ref::Drrip:
+        return rripVictim(set);
+      case Ref::Random:
+        return static_cast<std::uint32_t>(
+            rng_.nextBounded(geom_.assoc));
+      case Ref::Mirror:
+        break;
+    }
+    panic("refVictim called on a mirror shadow");
+}
+
+void
+CacheShadow::plruTouch(std::uint32_t set, std::uint32_t way)
+{
+    if (geom_.assoc == 1)
+        return;
+    const std::size_t base =
+        static_cast<std::size_t>(set) * (geom_.assoc - 1);
+    std::uint32_t lo = 0, hi = geom_.assoc, node = 0;
+    while (hi - lo > 1) {
+        const std::uint32_t mid = lo + (hi - lo) / 2;
+        const bool right = way >= mid;
+        // Bit set == "left half touched more recently".
+        plruBits_[base + node] = right ? 0 : 1;
+        node = 2 * node + (right ? 2 : 1);
+        if (right)
+            lo = mid;
+        else
+            hi = mid;
+    }
+}
+
+std::uint32_t
+CacheShadow::plruVictim(std::uint32_t set) const
+{
+    if (geom_.assoc == 1)
+        return 0;
+    const std::size_t base =
+        static_cast<std::size_t>(set) * (geom_.assoc - 1);
+    std::uint32_t lo = 0, hi = geom_.assoc, node = 0;
+    while (hi - lo > 1) {
+        const std::uint32_t mid = lo + (hi - lo) / 2;
+        const bool right = plruBits_[base + node] != 0;
+        node = 2 * node + (right ? 2 : 1);
+        if (right)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+std::uint8_t
+CacheShadow::drripInsertionRrpv(std::uint32_t set, std::uint8_t type_class)
+{
+    const unsigned cls = typedInsertion_ ? (type_class & 3) : 0;
+    const std::uint32_t phase = set % kLeaderStride;
+    const bool srrip_leader = phase == 0;
+    const bool brrip_leader = phase == kLeaderStride / 2;
+    bool use_brrip;
+    if (srrip_leader)
+        use_brrip = false;
+    else if (brrip_leader)
+        use_brrip = true;
+    else
+        use_brrip = psel_[cls] < 0;
+
+    const std::uint8_t rrpv =
+        !use_brrip ? kMaxRrpv - 1
+                   : (rng_.nextBounded(kBrripEpsilon) == 0 ? kMaxRrpv - 1
+                                                           : kMaxRrpv);
+
+    // The duel: leader misses vote against their own insertion mode.
+    if (srrip_leader && psel_[cls] > -kPselMax)
+        --psel_[cls];
+    else if (brrip_leader && psel_[cls] < kPselMax - 1)
+        ++psel_[cls];
+    return rrpv;
+}
+
+std::uint32_t
+CacheShadow::rripVictim(std::uint32_t set)
+{
+    const std::size_t base = static_cast<std::size_t>(set) * geom_.assoc;
+    while (true) {
+        for (std::uint32_t w = 0; w < geom_.assoc; ++w) {
+            if (rrpv_[base + w] >= kMaxRrpv)
+                return w;
+        }
+        for (std::uint32_t w = 0; w < geom_.assoc; ++w)
+            ++rrpv_[base + w];
+    }
+}
+
+void
+CacheShadow::diverge(const std::string &message)
+{
+    dead_ = true;
+    fail("cache.shadow", label_ + ": " + message);
+}
+
+} // namespace maps::check

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * CacheShadow: a brute-force reference model that shadows one
+ * SetAssociativeCache through its access-observer hook and flags the
+ * first divergent hit/miss or victim decision.
+ *
+ * Two modes, chosen automatically from the shadowed cache's policy and
+ * partition:
+ *
+ *  - Predict: for the deterministic factory policies (lru, plru, srrip,
+ *    drrip, drrip-typed) and random (whose Rng stream is replicated
+ *    from the same seed) on unpartitioned caches, the shadow runs an
+ *    independently-written reference implementation (recency *lists*
+ *    instead of stamps, etc.) and predicts every eviction: the evicted
+ *    address, its dirty bit and its type class must match exactly.
+ *
+ *  - Mirror: for policies whose decisions the shadow cannot reproduce
+ *    (eva, cost-lru, an externally-supplied oracle policy) or for
+ *    partitioned caches, the shadow follows the real evictions but
+ *    still verifies structure: hit/miss against its own full-history
+ *    contents, victim-always-resident-in-the-set, eviction only from a
+ *    full set, and dirty/type agreement on every eviction.
+ *
+ * Predict mode assumes the policy was built by makeReplacementPolicy
+ * with default tuning (the only way the simulator builds them); pass
+ * force_mirror when shadowing a cache with a custom-configured policy.
+ *
+ * Divergences go to check::fail under the "cache.shadow" domain; after
+ * the first one the shadow goes dead (stops checking) so a single root
+ * cause does not cascade into thousands of reports.
+ */
+#ifndef MAPS_CHECK_SHADOW_CACHE_HPP
+#define MAPS_CHECK_SHADOW_CACHE_HPP
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "check/check.hpp"
+#include "util/rng.hpp"
+
+namespace maps::check {
+
+class CacheShadow
+{
+  public:
+    /**
+     * @param cache        the cache to verify (must outlive the shadow's
+     *                     last event).
+     * @param label        divergence-message prefix, e.g. "llc".
+     * @param seed         seed the cache's policy was built with (used
+     *                     by the random / drrip reference models).
+     * @param force_mirror never predict, even for a known policy.
+     */
+    CacheShadow(const SetAssociativeCache &cache, std::string label,
+                std::uint64_t seed = 1, bool force_mirror = false);
+
+    /** Construct a shadow and install it as the cache's observer. */
+    static std::unique_ptr<CacheShadow> attach(SetAssociativeCache &cache,
+                                               std::string label,
+                                               std::uint64_t seed = 1,
+                                               bool force_mirror = false);
+
+    /** Feed one observed cache operation. */
+    void onEvent(const CacheAccessEvent &ev);
+
+    /** Compare the mirrored contents against the real array. */
+    void finalAudit();
+
+    bool predictive() const { return ref_ != Ref::Mirror; }
+    /** False once a divergence has been reported. */
+    bool alive() const { return !dead_; }
+    const std::string &label() const { return label_; }
+
+  private:
+    enum class Ref : std::uint8_t
+    {
+        Mirror,
+        Lru,
+        Plru,
+        Srrip,
+        Drrip,
+        Random,
+    };
+
+    struct Entry
+    {
+        Addr addr = kInvalidAddr;
+        bool valid = false;
+        bool dirty = false;
+        std::uint8_t typeClass = 0;
+    };
+
+    const SetAssociativeCache &cache_;
+    std::string label_;
+    CacheGeometry geom_;
+    Ref ref_ = Ref::Mirror;
+    bool typedInsertion_ = false; // drrip-typed
+    bool dead_ = false;
+
+    std::vector<Entry> entries_; // sets * ways
+
+    // Reference-policy state (only the active one is used).
+    std::vector<std::vector<std::uint32_t>> lruOrder_; // per set, MRU first
+    std::vector<std::uint8_t> plruBits_;               // sets * (ways-1)
+    std::vector<std::uint8_t> rrpv_;                   // sets * ways
+    std::array<std::int32_t, 4> psel_{};               // drrip duel
+    Rng rng_;                                          // random / brrip
+
+    Entry &entryAt(std::uint32_t set, std::uint32_t way)
+    {
+        return entries_[static_cast<std::size_t>(set) * geom_.assoc + way];
+    }
+    int findEntry(std::uint32_t set, Addr addr) const;
+
+    void handleAccess(const CacheAccessEvent &ev);
+    void handleInvalidate(const CacheAccessEvent &ev);
+    void handleClean(const CacheAccessEvent &ev);
+
+    void refTouch(std::uint32_t set, std::uint32_t way);
+    void refInsert(std::uint32_t set, std::uint32_t way,
+                   std::uint8_t type_class);
+    void refInvalidate(std::uint32_t set, std::uint32_t way);
+    std::uint32_t refVictim(std::uint32_t set);
+
+    void plruTouch(std::uint32_t set, std::uint32_t way);
+    std::uint32_t plruVictim(std::uint32_t set) const;
+    std::uint8_t drripInsertionRrpv(std::uint32_t set,
+                                    std::uint8_t type_class);
+    std::uint32_t rripVictim(std::uint32_t set);
+
+    void diverge(const std::string &message);
+};
+
+} // namespace maps::check
+
+#endif // MAPS_CHECK_SHADOW_CACHE_HPP

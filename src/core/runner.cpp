@@ -21,6 +21,7 @@
 #define MAPS_ISATTY(fd) isatty(fd)
 #endif
 
+#include "check/check.hpp"
 #include "util/logging.hpp"
 #include "util/table.hpp"
 
@@ -121,6 +122,8 @@ Options::tryParse(const std::vector<std::string> &args, Options &out,
                 return "--out needs a file path";
         } else if (arg == "--no-progress") {
             out.progress = false;
+        } else if (arg == "--check") {
+            out.check = true;
         } else if (arg.rfind("--", 0) == 0) {
             return "unknown option: " + arg;
         } else if (positionals) {
@@ -145,6 +148,8 @@ Options::usage(std::ostream &os, const std::string &argv0)
        << "  --out=FILE                    write results to FILE (default"
           " stdout)\n"
        << "  --no-progress                 suppress stderr progress/ETA\n"
+       << "  --check                       run maps::check differential"
+          " verification (exit 1 on divergence)\n"
        << "  --help                        this message\n";
 }
 
@@ -672,6 +677,13 @@ ExperimentRunner::run(const std::vector<Cell> &cells,
 Experiment::Experiment(ExperimentMeta meta, const Options &opts)
     : meta_(std::move(meta)), runner_(opts), sink_(makeSink(opts))
 {
+    if (opts.check) {
+        // Record mode: divergences are tallied and summarized by
+        // finish() instead of aborting the run at the first one.
+        check::setEnabled(true);
+        check::setFailureMode(check::FailureMode::Record);
+        check::resetStats();
+    }
     sink_->begin(meta_, opts);
 }
 
@@ -719,11 +731,24 @@ Experiment::note(const std::string &text)
 int
 Experiment::finish()
 {
+    const bool checking = runner_.options().check;
     if (!finished_) {
+        if (checking) {
+            Row row;
+            row.add("checks", check::checkCount());
+            row.add("divergences", check::failureCount());
+            row.add("verdict",
+                    check::failureCount() == 0 ? "ok" : "DIVERGED");
+            emit("maps::check", std::move(row));
+            for (const auto &failure : check::failures()) {
+                note("maps::check divergence [" + failure.domain + "] " +
+                     failure.message);
+            }
+        }
         sink_->end();
         finished_ = true;
     }
-    return 0;
+    return checking && check::failureCount() != 0 ? 1 : 0;
 }
 
 } // namespace maps::runner

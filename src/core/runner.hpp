@@ -54,6 +54,8 @@ const char *formatName(OutputFormat f);
  *   --format=table|json|csv        result rendering
  *   --out=FILE                     write results to FILE (default stdout)
  *   --no-progress                  suppress the stderr progress reporter
+ *   --check                        run the maps::check differential
+ *                                  verification layer and report
  *   --help                         usage
  *
  * Unknown flags, malformed values, and non-positive scales are errors.
@@ -68,6 +70,12 @@ struct Options
     /** Result destination; empty means stdout. */
     std::string outPath;
     bool progress = true;
+    /**
+     * Enable maps::check (runtime invariants + shadow models) in Record
+     * mode for the whole run; divergences are summarized by
+     * Experiment::finish(), which then returns exit code 1.
+     */
+    bool check = false;
 
     /**
      * Strict parse. On --help prints usage and exits 0; on any error
@@ -329,7 +337,11 @@ class Experiment
 
     void note(const std::string &text);
 
-    /** Flush the sink; returns the process exit code (0). */
+    /**
+     * Flush the sink (appending the maps::check summary when --check is
+     * active); returns the process exit code: 0, or 1 when --check
+     * recorded divergences.
+     */
     int finish();
 
   private:

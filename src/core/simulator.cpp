@@ -17,6 +17,7 @@ SecureMemorySim::SecureMemorySim(SimConfig cfg,
         memory_ = std::make_unique<FixedLatencyMemory>(
             cfg_.fixedLatencyCycles);
 
+    const bool md_override = md_policy != nullptr;
     if (cfg_.secureEnabled) {
         controller_ = std::make_unique<SecureMemoryController>(
             cfg_.secure, *memory_, std::move(md_policy));
@@ -25,6 +26,26 @@ SecureMemorySim::SecureMemorySim(SimConfig cfg,
     hierarchy_ = std::make_unique<CacheHierarchy>(cfg_.hierarchy);
     hierarchy_->setRequestSink(
         [this](const MemoryRequest &req) { serviceRequest(req); });
+
+    if (check::enabled()) {
+        // The hierarchy builds its policies with the factory default
+        // seed; the metadata cache uses its configured seed. A policy
+        // override has unknown internals, so its shadow only mirrors.
+        cacheShadows_.push_back(
+            check::CacheShadow::attach(hierarchy_->l1Mut(), "l1"));
+        cacheShadows_.push_back(
+            check::CacheShadow::attach(hierarchy_->l2Mut(), "l2"));
+        cacheShadows_.push_back(
+            check::CacheShadow::attach(hierarchy_->llcMut(), "llc"));
+        if (controller_) {
+            cacheShadows_.push_back(check::CacheShadow::attach(
+                controller_->metadataCache().arrayMut(), "mdcache",
+                cfg_.secure.cache.seed, md_override));
+            secmemShadow_ =
+                std::make_unique<check::SecmemShadow>(*controller_);
+            installTap();
+        }
+    }
 }
 
 void
@@ -32,21 +53,33 @@ SecureMemorySim::setMetadataTap(SecureMemoryController::MetadataTap tap,
                                 bool include_warmup)
 {
     userTap_ = std::move(tap);
-    if (controller_) {
-        controller_->setMetadataTap(
-            [this, include_warmup](const MetadataAccess &acc) {
-                if ((measuring_ || include_warmup) && userTap_)
-                    userTap_(acc);
-            });
-    }
+    tapIncludeWarmup_ = include_warmup;
+    installTap();
+}
+
+void
+SecureMemorySim::installTap()
+{
+    if (!controller_ || (!userTap_ && !secmemShadow_))
+        return;
+    controller_->setMetadataTap([this](const MetadataAccess &acc) {
+        if (secmemShadow_)
+            secmemShadow_->onTap(acc);
+        if (userTap_ && (measuring_ || tapIncludeWarmup_))
+            userTap_(acc);
+    });
 }
 
 void
 SecureMemorySim::serviceRequest(const MemoryRequest &req)
 {
     if (controller_) {
+        if (secmemShadow_)
+            secmemShadow_->beginRequest(req);
         const RequestOutcome outcome =
             controller_->handleRequest(req, cycles_);
+        if (secmemShadow_)
+            secmemShadow_->endRequest();
         // Reads stall the core; posted writes do not (write buffers).
         if (req.kind == RequestKind::Read)
             cycles_ += outcome.latency;
@@ -80,6 +113,10 @@ SecureMemorySim::run()
         hierarchy_->access(ref);
     }
     measuring_ = false;
+
+    // End-of-run structural audit of every shadowed cache array.
+    for (auto &shadow : cacheShadows_)
+        shadow->finalAudit();
 
     RunReport report;
     report.benchmark = cfg_.benchmark;

@@ -10,7 +10,10 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "check/secmem_shadow.hpp"
+#include "check/shadow_cache.hpp"
 #include "energy/energy.hpp"
 #include "hierarchy/hierarchy.hpp"
 #include "mem/dram.hpp"
@@ -115,6 +118,19 @@ class SecureMemorySim
     Cycles cycles_ = 0;
     bool measuring_ = false;
     SecureMemoryController::MetadataTap userTap_;
+    bool tapIncludeWarmup_ = false;
+
+    /**
+     * maps::check differential models, attached when checking is
+     * enabled at construction time: one CacheShadow per cache array
+     * plus the flat SecmemShadow over the controller.
+     */
+    std::vector<std::unique_ptr<check::CacheShadow>> cacheShadows_;
+    std::unique_ptr<check::SecmemShadow> secmemShadow_;
+
+    /** (Re)install the controller tap dispatching to the shadow and
+     * the user tap. */
+    void installTap();
 
     void serviceRequest(const MemoryRequest &req);
 };

@@ -1,5 +1,6 @@
 #include "hierarchy/hierarchy.hpp"
 
+#include "check/check.hpp"
 #include "util/logging.hpp"
 
 namespace maps {
@@ -47,6 +48,11 @@ CacheHierarchy::accessLlc(Addr addr, bool write)
         emit(addr, RequestKind::Read);
     }
     if (result.evictedValid && result.evictedDirty) {
+        if (check::enabled() && check::mutations().dropLlcWriteback) {
+            // Seeded bug (check_mutants): the dirty victim vanishes —
+            // neither counted nor emitted downstream.
+            return;
+        }
         ++stats_.llcWritebacks;
         emit(result.evictedAddr, RequestKind::Writeback);
     }
@@ -81,6 +87,60 @@ CacheHierarchy::access(const MemRef &ref)
     }
     if (result.evictedValid && result.evictedDirty)
         accessL2(result.evictedAddr, true);
+
+    if (check::enabled())
+        checkInvariants();
+}
+
+CacheHierarchy::Snapshot
+CacheHierarchy::takeSnapshot() const
+{
+    Snapshot s;
+    s.l1Accesses = l1_->stats().accesses();
+    s.l1Misses = l1_->stats().misses;
+    s.l1DirtyEv = l1_->stats().dirtyEvictions;
+    s.l2Accesses = l2_->stats().accesses();
+    s.l2Misses = l2_->stats().misses;
+    s.l2DirtyEv = l2_->stats().dirtyEvictions;
+    s.llcAccesses = llc_->stats().accesses();
+    s.llcMisses = llc_->stats().misses;
+    s.llcDirtyEv = llc_->stats().dirtyEvictions;
+    return s;
+}
+
+void
+CacheHierarchy::checkInvariants() const
+{
+    check::countChecks();
+    const Snapshot now = takeSnapshot();
+    const auto expect = [](std::uint64_t got, std::uint64_t want,
+                           const char *what) {
+        if (got != want) {
+            check::fail("hierarchy",
+                        std::string(what) + ": got " +
+                            std::to_string(got) + ", expected " +
+                            std::to_string(want));
+        }
+    };
+    // Every CPU reference is exactly one L1 access, every level's miss
+    // counter mirrors its cache's own, and each lower level sees one
+    // access per upper-level miss plus one per dirty spill.
+    expect(now.l1Accesses - baseline_.l1Accesses, stats_.refs,
+           "L1 accesses != refs");
+    expect(stats_.l1Misses, now.l1Misses - baseline_.l1Misses,
+           "L1 miss accounting");
+    expect(now.l2Accesses - baseline_.l2Accesses,
+           stats_.l1Misses + (now.l1DirtyEv - baseline_.l1DirtyEv),
+           "L2 accesses != L1 misses + L1 dirty evictions");
+    expect(stats_.l2Misses, now.l2Misses - baseline_.l2Misses,
+           "L2 miss accounting");
+    expect(now.llcAccesses - baseline_.llcAccesses,
+           stats_.l2Misses + (now.l2DirtyEv - baseline_.l2DirtyEv),
+           "LLC accesses != L2 misses + L2 dirty evictions");
+    expect(stats_.llcMisses, now.llcMisses - baseline_.llcMisses,
+           "LLC miss accounting");
+    expect(stats_.llcWritebacks, now.llcDirtyEv - baseline_.llcDirtyEv,
+           "LLC writebacks != LLC dirty evictions");
 }
 
 } // namespace maps

@@ -65,12 +65,20 @@ class CacheHierarchy
     void setRequestSink(RequestSink sink) { sink_ = std::move(sink); }
 
     const HierarchyStats &stats() const { return stats_; }
-    void clearStats() { stats_ = HierarchyStats{}; }
+    void clearStats()
+    {
+        stats_ = HierarchyStats{};
+        baseline_ = takeSnapshot();
+    }
 
     const HierarchyConfig &config() const { return cfg_; }
     const SetAssociativeCache &l1() const { return *l1_; }
     const SetAssociativeCache &l2() const { return *l2_; }
     const SetAssociativeCache &llc() const { return *llc_; }
+    /** Mutable access (maps::check shadow attachment). */
+    SetAssociativeCache &l1Mut() { return *l1_; }
+    SetAssociativeCache &l2Mut() { return *l2_; }
+    SetAssociativeCache &llcMut() { return *llc_; }
 
   private:
     HierarchyConfig cfg_;
@@ -79,6 +87,25 @@ class CacheHierarchy
     std::unique_ptr<SetAssociativeCache> llc_;
     RequestSink sink_;
     HierarchyStats stats_;
+
+    /**
+     * Per-cache counters at the last clearStats(). HierarchyStats is
+     * reset between warmup and measurement but the per-cache CacheStats
+     * deliberately are not (energy accounting spans both phases), so
+     * the maps::check accounting invariants compare deltas against this
+     * baseline.
+     */
+    struct Snapshot
+    {
+        std::uint64_t l1Accesses = 0, l1Misses = 0, l1DirtyEv = 0;
+        std::uint64_t l2Accesses = 0, l2Misses = 0, l2DirtyEv = 0;
+        std::uint64_t llcAccesses = 0, llcMisses = 0, llcDirtyEv = 0;
+    };
+    Snapshot baseline_;
+
+    Snapshot takeSnapshot() const;
+    /** maps::check: per-level hit/miss/writeback accounting. */
+    void checkInvariants() const;
 
     void emit(Addr addr, RequestKind kind);
     /** Access the LLC; emit a Read on miss, Writeback on dirty victim. */

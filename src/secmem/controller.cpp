@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 
+#include "check/check.hpp"
 #include "util/logging.hpp"
 
 namespace maps {
@@ -97,6 +98,45 @@ SecureMemoryController::SecureMemoryController(
         tree_blocks += layout_.treeLevelBlockCount(l);
     base += tree_blocks * kBlockSize;
     regionBase_[static_cast<unsigned>(MemCategory::Hash)] = base;
+
+    if (check::enabled())
+        checkRegionDisjointness(tree_blocks);
+}
+
+void
+SecureMemoryController::checkRegionDisjointness(
+    std::uint64_t tree_blocks) const
+{
+    struct Region
+    {
+        const char *name;
+        Addr base;
+        std::uint64_t bytes;
+    };
+    const Region regions[] = {
+        {"data", 0, cfg_.layout.protectedBytes},
+        {"counter",
+         regionBase_[static_cast<unsigned>(MemCategory::Counter)],
+         layout_.numCounterBlocks() * kBlockSize},
+        {"tree", regionBase_[static_cast<unsigned>(MemCategory::Tree)],
+         tree_blocks * kBlockSize},
+        {"hash", regionBase_[static_cast<unsigned>(MemCategory::Hash)],
+         layout_.numHashBlocks() * kBlockSize},
+    };
+    check::countChecks();
+    for (const auto &a : regions) {
+        for (const auto &b : regions) {
+            if (&a == &b)
+                continue;
+            const bool overlap = a.base < b.base + b.bytes &&
+                                 b.base < a.base + a.bytes;
+            if (overlap) {
+                check::fail("secmem.layout",
+                            std::string("DRAM regions overlap: ") +
+                                a.name + " and " + b.name);
+            }
+        }
+    }
 }
 
 Addr
@@ -167,6 +207,11 @@ SecureMemoryController::traverseTree(Addr counter_block_addr,
                                      InstCount icount, Cycles now,
                                      RequestOutcome &outcome)
 {
+    if (check::enabled() && check::mutations().skipTreeVerify) {
+        // Seeded bug (check_mutants): fetched counters are used without
+        // authenticating them against the tree.
+        return 0;
+    }
     Cycles verify = 0;
     Addr node = layout_.treeLeafForCounter(counter_block_addr);
     while (node != kInvalidAddr) {
@@ -242,6 +287,16 @@ SecureMemoryController::handleRead(const MemoryRequest &req, Cycles now)
             memAccess(MemCategory::Counter, ctr_addr, false, now, outcome);
         // Freshly fetched counters must be verified against the tree.
         verify += traverseTree(ctr_addr, req.icount, now, outcome);
+        if (check::enabled()) {
+            // A counter fetched from (attackable) memory must incur at
+            // least one tree hash compare before use.
+            check::countChecks();
+            if (cfg_.hashLatency > 0 && verify < cfg_.hashLatency) {
+                check::fail("secmem.verify",
+                            "counter fetched without tree verification"
+                            " (read)");
+            }
+        }
         if (cfg_.prefetchNextMetadata && !ctr_md.bypassed) {
             prefetchNeighbor(ctr_addr, MetadataType::Counter, req.icount,
                              now, outcome);
@@ -446,6 +501,15 @@ SecureMemoryController::handleWrite(const MemoryRequest &req, Cycles now)
         memAccess(MemCategory::Counter, ctr_addr, false, now, outcome);
         outcome.verifyLatency +=
             traverseTree(ctr_addr, req.icount, now, outcome);
+    }
+    if (check::enabled() && !ctr_md.hit) {
+        check::countChecks();
+        if (cfg_.hashLatency > 0 &&
+            outcome.verifyLatency < cfg_.hashLatency) {
+            check::fail("secmem.verify",
+                        "counter fetched without tree verification"
+                        " (write)");
+        }
     }
 
     // 3. Tree path: immediate when updates cannot be deferred to a dirty

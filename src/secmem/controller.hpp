@@ -188,6 +188,9 @@ class SecureMemoryController
     void emitTap(Addr addr, MetadataType type, bool write,
                  std::uint8_t level, InstCount icount);
 
+    /** maps::check: verify DRAM region ranges never overlap. */
+    void checkRegionDisjointness(std::uint64_t tree_blocks) const;
+
     static MemCategory categoryOf(MetadataType type);
 };
 

@@ -1,8 +1,39 @@
 #include "secmem/counter_store.hpp"
 
+#include "check/check.hpp"
 #include "util/logging.hpp"
 
 namespace maps {
+
+namespace {
+
+/** maps::check: a write must advance the counter by exactly one step. */
+void
+checkMonotonicBump(const CounterValue &before, const CounterValue &after,
+                   bool page_overflow, CounterMode mode)
+{
+    check::countChecks();
+    bool ok;
+    if (mode == CounterMode::MonolithicSgx) {
+        ok = after.major == before.major + 1;
+    } else if (page_overflow) {
+        ok = after.major == before.major + 1 && after.minor == 1;
+    } else {
+        ok = after.major == before.major &&
+             after.minor == before.minor + 1;
+    }
+    if (!ok) {
+        check::fail("secmem.counter",
+                    "non-monotonic counter bump: (" +
+                        std::to_string(before.major) + "," +
+                        std::to_string(before.minor) + ") -> (" +
+                        std::to_string(after.major) + "," +
+                        std::to_string(after.minor) + ")" +
+                        (page_overflow ? " [overflow]" : ""));
+    }
+}
+
+} // namespace
 
 CounterStore::CounterStore(const MetadataLayout &layout)
     : layout_(layout),
@@ -14,9 +45,20 @@ CounterWriteResult
 CounterStore::onBlockWrite(Addr data_addr)
 {
     CounterWriteResult result;
+    const bool checking = check::enabled();
+    const bool stuck = checking && check::mutations().stuckCounter;
+    const CounterValue before = checking ? read(data_addr)
+                                         : CounterValue{};
+    const CounterMode mode = layout_.config().counterMode;
 
-    if (layout_.config().counterMode == CounterMode::MonolithicSgx) {
-        ++sgxCounters_[blockIndex(data_addr)];
+    if (mode == CounterMode::MonolithicSgx) {
+        std::uint64_t &ctr = sgxCounters_[blockIndex(data_addr)];
+        if (!stuck) // seeded bug (check_mutants): drop the bump
+            ++ctr;
+        if (checking) {
+            checkMonotonicBump(before, read(data_addr),
+                               result.pageOverflow, mode);
+        }
         return result; // 64-bit counters do not overflow in practice
     }
 
@@ -24,7 +66,9 @@ CounterStore::onBlockWrite(Addr data_addr)
     const std::uint64_t block_in_page =
         blockIndex(data_addr) % kBlocksPerPage;
     std::uint8_t &minor = page.minors[block_in_page];
-    if (minor >= minorLimit_) {
+    if (stuck) {
+        // Seeded bug (check_mutants): drop the bump entirely.
+    } else if (minor >= minorLimit_) {
         // Per-block counter exhausted: bump the per-page counter and
         // reset every minor. All blocks in the page must be fetched and
         // re-encrypted under the new pad (§II-A).
@@ -37,6 +81,10 @@ CounterStore::onBlockWrite(Addr data_addr)
             static_cast<std::uint32_t>(kBlocksPerPage);
     } else {
         ++minor;
+    }
+    if (checking) {
+        checkMonotonicBump(before, read(data_addr), result.pageOverflow,
+                           mode);
     }
     return result;
 }

@@ -149,6 +149,8 @@ class MetadataCache
 
     /** Underlying array (for inspection in tests). */
     const SetAssociativeCache &array() const { return *cache_; }
+    /** Mutable array access (maps::check shadow attachment). */
+    SetAssociativeCache &arrayMut() { return *cache_; }
 
     /** Metadata misses per kilo-instruction given an instruction count. */
     double mpki(InstCount instructions) const;

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Cross-checks between the two MIN implementations (PR 2 satellite):
+ * the standalone offline simulator (simulateMinFixedTrace) and the
+ * oracle-driven BeladyPolicy running inside the production cache must
+ * report identical miss counts on any fixed trace — they differ only in
+ * tie-breaking among never-reused blocks, which cannot change the miss
+ * count. MIN must also lower-bound every online policy on the same
+ * trace (the textbook optimality the paper's §V-B setting violates).
+ */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "cache/policy_belady.hpp"
+#include "cache/replacement.hpp"
+#include "mem/fixed_latency.hpp"
+#include "offline/capture.hpp"
+#include "offline/min_sim.hpp"
+#include "offline/oracle.hpp"
+#include "secmem/controller.hpp"
+#include "util/rng.hpp"
+
+namespace maps {
+namespace {
+
+std::uint64_t
+missesUnderPolicy(const std::vector<Addr> &trace,
+                  const CacheGeometry &geom,
+                  std::unique_ptr<ReplacementPolicy> policy)
+{
+    SetAssociativeCache cache(geom, std::move(policy));
+    for (const Addr addr : trace)
+        cache.access(addr, false);
+    return cache.stats().misses;
+}
+
+std::vector<Addr>
+randomTrace(std::uint64_t refs, std::uint64_t blocks, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Addr> trace;
+    trace.reserve(refs);
+    for (std::uint64_t i = 0; i < refs; ++i)
+        trace.push_back(rng.nextBounded(blocks) * kBlockSize);
+    return trace;
+}
+
+/** A trace with genuine reuse structure: strided scans over a working
+ * set plus random pointer-chase noise. */
+std::vector<Addr>
+mixedTrace(std::uint64_t refs, std::uint64_t blocks, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Addr> trace;
+    trace.reserve(refs);
+    std::uint64_t cursor = 0;
+    for (std::uint64_t i = 0; i < refs; ++i) {
+        if (rng.nextBool(0.7)) {
+            cursor = (cursor + 1) % blocks; // sequential scan
+            trace.push_back(cursor * kBlockSize);
+        } else {
+            trace.push_back(rng.nextBounded(blocks) * kBlockSize);
+        }
+    }
+    return trace;
+}
+
+void
+expectMinEqualsBelady(const std::vector<Addr> &trace,
+                      const CacheGeometry &geom)
+{
+    const FixedTraceResult offline = simulateMinFixedTrace(trace, geom);
+
+    TraceOracle oracle(trace);
+    const std::uint64_t online = missesUnderPolicy(
+        trace, geom, std::make_unique<BeladyPolicy>(oracle));
+
+    EXPECT_EQ(offline.misses, online)
+        << "offline MIN and BeladyPolicy disagree on the same trace";
+    EXPECT_EQ(oracle.divergences(), 0u)
+        << "perfect oracle saw live/recorded divergences on a fixed trace";
+}
+
+TEST(CheckOffline, MinMatchesBeladyOnSyntheticTraces)
+{
+    CacheGeometry geom;
+    geom.sizeBytes = 4_KiB;
+    geom.assoc = 4;
+    for (std::uint64_t seed : {1u, 7u, 19u}) {
+        SCOPED_TRACE("seed=" + std::to_string(seed));
+        expectMinEqualsBelady(randomTrace(20'000, 256, seed), geom);
+        expectMinEqualsBelady(mixedTrace(20'000, 192, seed), geom);
+    }
+}
+
+TEST(CheckOffline, MinMatchesBeladyAcrossGeometries)
+{
+    const auto trace = mixedTrace(20'000, 512, 23);
+    for (std::uint32_t assoc : {2u, 4u, 8u, 16u}) {
+        CacheGeometry geom;
+        geom.sizeBytes = 8_KiB;
+        geom.assoc = assoc;
+        SCOPED_TRACE("assoc=" + std::to_string(assoc));
+        expectMinEqualsBelady(trace, geom);
+    }
+}
+
+// The paper's actual input: a metadata access stream captured from a
+// secure-memory profiling run, replayed through both MIN
+// implementations at the metadata cache's own geometry.
+TEST(CheckOffline, MinMatchesBeladyOnCapturedMetadataTrace)
+{
+    FixedLatencyMemory memory(100);
+    SecureMemoryConfig cfg;
+    cfg.layout.protectedBytes = 16_MiB;
+    cfg.cache.sizeBytes = 4_KiB;
+    cfg.cache.assoc = 4;
+    SecureMemoryController controller(cfg, memory);
+    TraceCapture capture;
+    capture.attach(controller);
+
+    Rng rng(41);
+    for (std::uint64_t i = 0; i < 4'000; ++i) {
+        MemoryRequest req;
+        req.addr = rng.nextBounded(2048) * kBlockSize;
+        req.kind = rng.nextBool(0.4) ? RequestKind::Writeback
+                                     : RequestKind::Read;
+        req.icount = i;
+        controller.handleRequest(req);
+    }
+
+    const std::vector<Addr> trace = capture.addresses();
+    ASSERT_GT(trace.size(), 1'000u);
+
+    CacheGeometry geom;
+    geom.sizeBytes = cfg.cache.sizeBytes;
+    geom.assoc = cfg.cache.assoc;
+    expectMinEqualsBelady(trace, geom);
+}
+
+// MIN is a true lower bound for every online policy on a fixed trace.
+TEST(CheckOffline, MinLowerBoundsOnlinePolicies)
+{
+    CacheGeometry geom;
+    geom.sizeBytes = 4_KiB;
+    geom.assoc = 4;
+    const auto trace = mixedTrace(20'000, 256, 47);
+    const FixedTraceResult min = simulateMinFixedTrace(trace, geom);
+
+    for (const char *policy : {"lru", "plru", "srrip", "random", "drrip"}) {
+        SCOPED_TRACE(policy);
+        const std::uint64_t online = missesUnderPolicy(
+            trace, geom, makeReplacementPolicy(policy, 13));
+        EXPECT_LE(min.misses, online)
+            << "MIN reported more misses than online policy " << policy;
+    }
+
+    // And the dedicated offline LRU agrees with the production cache's
+    // LRU policy exactly.
+    const FixedTraceResult lru = simulateLruFixedTrace(trace, geom);
+    EXPECT_EQ(lru.misses, missesUnderPolicy(trace, geom,
+                                            makeReplacementPolicy("lru")));
+}
+
+} // namespace
+} // namespace maps

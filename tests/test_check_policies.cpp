@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Differential verification of every replacement policy against the
+ * maps::check shadow models (PR 2 satellite).
+ *
+ * For the five policies with brute-force reference implementations
+ * (lru, plru, random, srrip, drrip[-typed]) the shadow runs in predict
+ * mode and must agree with the production cache on every hit/miss AND
+ * every victim choice; for the adaptive policies (eva[-typed],
+ * cost-lru) it mirrors structural state. Either way a 10k-step random
+ * trace across four geometries must complete with zero divergences.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "cache/cache.hpp"
+#include "cache/partition.hpp"
+#include "cache/replacement.hpp"
+#include "check/check.hpp"
+#include "check/shadow_cache.hpp"
+#include "core/runner.hpp"
+#include "trace/record.hpp"
+#include "util/rng.hpp"
+
+namespace maps {
+namespace {
+
+struct Shape
+{
+    std::uint64_t bytes;
+    std::uint32_t assoc;
+};
+
+// Power-of-two associativities from direct-mapped-ish to wide.
+constexpr Shape kShapes[] = {
+    {1_KiB, 2},
+    {4_KiB, 4},
+    {8_KiB, 8},
+    {16_KiB, 16},
+};
+
+// Every name the factory accepts.
+const char *const kPolicies[] = {"lru",  "plru",        "random",
+                                 "srrip", "drrip",      "drrip-typed",
+                                 "eva",  "eva-typed",   "cost-lru"};
+
+bool
+predictivePolicy(const std::string &name)
+{
+    return name == "lru" || name == "plru" || name == "random" ||
+           name == "srrip" || name == "drrip" || name == "drrip-typed";
+}
+
+/** Record-mode maps::check scope for one test body. */
+class CheckGuard
+{
+  public:
+    CheckGuard()
+    {
+        check::setEnabled(true);
+        check::setFailureMode(check::FailureMode::Record);
+        check::clearMutations();
+        check::resetStats();
+    }
+    ~CheckGuard()
+    {
+        check::setEnabled(false);
+        check::resetStats();
+    }
+};
+
+void
+expectNoDivergence()
+{
+    EXPECT_GT(check::checkCount(), 0u) << "shadow never checked anything";
+    EXPECT_EQ(check::failureCount(), 0u);
+    for (const auto &f : check::failures())
+        ADD_FAILURE() << "[" << f.domain << "] " << f.message;
+}
+
+/**
+ * Run one policy/geometry/seed combination with a shadow attached.
+ * The trace mixes reads, writes, invalidates and clean-line operations
+ * over a footprint 4x the cache so misses and evictions are plentiful.
+ */
+void
+driveShadowed(const std::string &policy, const Shape &shape,
+              std::uint64_t seed)
+{
+    CheckGuard guard;
+
+    CacheGeometry geom;
+    geom.sizeBytes = shape.bytes;
+    geom.assoc = shape.assoc;
+    SetAssociativeCache cache(geom, makeReplacementPolicy(policy, seed));
+    auto shadow = check::CacheShadow::attach(cache, policy, seed);
+    EXPECT_EQ(shadow->predictive(), predictivePolicy(policy))
+        << policy << ": unexpected shadow mode";
+
+    const bool typed = policy == "drrip-typed" || policy == "eva-typed";
+    const std::uint64_t blocks = geom.numLines() * 4;
+    Rng rng(seed ^ 0x9E3779B97F4A7C15ull);
+    for (int i = 0; i < 10'000; ++i) {
+        const Addr addr = rng.nextBounded(blocks) * kBlockSize;
+        const std::uint64_t op = rng.nextBounded(64);
+        if (op == 0) {
+            cache.invalidate(addr);
+        } else if (op == 1) {
+            cache.cleanLine(addr);
+        } else {
+            const auto type = static_cast<std::uint8_t>(
+                typed ? rng.nextBounded(kNumMetadataTypes) : 0);
+            cache.access(addr, rng.nextBool(0.3), type);
+        }
+    }
+    shadow->finalAudit();
+    EXPECT_TRUE(shadow->alive()) << policy << ": shadow diverged";
+    expectNoDivergence();
+}
+
+TEST(CheckPolicies, ShadowEquivalenceAcrossGeometries)
+{
+    for (const char *policy : kPolicies) {
+        for (const auto &shape : kShapes) {
+            SCOPED_TRACE(std::string(policy) + " " +
+                         std::to_string(shape.bytes / 1024) + "KB x" +
+                         std::to_string(shape.assoc));
+            driveShadowed(policy, shape, 7);
+        }
+    }
+}
+
+// Seed sweep: the seeded policies (random, drrip's BRRIP throws) must
+// stay in lock-step with the shadow for *every* seed, not just the one
+// the other tests happen to use. Seeds come from the runner's own
+// deterministic derivation so this mirrors what --check sees in a
+// multi-cell experiment.
+TEST(CheckPolicies, SeedSweepViaDeriveCellSeed)
+{
+    for (const char *policy : {"lru", "random", "srrip", "drrip"}) {
+        for (int cell = 0; cell < 4; ++cell) {
+            const std::string id =
+                std::string(policy) + "/cell" + std::to_string(cell);
+            const std::uint64_t seed = runner::deriveCellSeed(3, id);
+            SCOPED_TRACE(id + " seed=" + std::to_string(seed));
+            driveShadowed(policy, kShapes[1], seed);
+        }
+    }
+}
+
+// A partitioned cache forces the shadow into mirror mode and exercises
+// the partition-residency audit on every fill.
+TEST(CheckPolicies, PartitionedCacheMirrorsCleanly)
+{
+    CheckGuard guard;
+
+    CacheGeometry geom;
+    geom.sizeBytes = 4_KiB;
+    geom.assoc = 4;
+    SetAssociativeCache cache(geom, makeReplacementPolicy("lru", 5),
+                              std::make_unique<StaticPartition>(2));
+    auto shadow = check::CacheShadow::attach(cache, "partitioned", 5);
+    EXPECT_FALSE(shadow->predictive());
+
+    Rng rng(29);
+    for (int i = 0; i < 20'000; ++i) {
+        const Addr addr = rng.nextBounded(256) * kBlockSize;
+        const auto type = static_cast<std::uint8_t>(
+            rng.nextBounded(2) == 0
+                ? static_cast<unsigned>(MetadataType::Counter)
+                : static_cast<unsigned>(MetadataType::Hash));
+        cache.access(addr, rng.nextBool(0.3), type);
+    }
+    shadow->finalAudit();
+    expectNoDivergence();
+}
+
+// Tiny direct-set stress: a one-set cache maximizes eviction pressure,
+// the hardest case for victim prediction.
+TEST(CheckPolicies, SingleSetEvictionStress)
+{
+    for (const char *policy : {"lru", "plru", "srrip", "drrip", "random"}) {
+        SCOPED_TRACE(policy);
+        CheckGuard guard;
+        CacheGeometry geom;
+        geom.sizeBytes = 4 * kBlockSize; // one set, 4 ways
+        geom.assoc = 4;
+        SetAssociativeCache cache(geom, makeReplacementPolicy(policy, 11));
+        auto shadow = check::CacheShadow::attach(cache, policy, 11);
+        Rng rng(31);
+        for (int i = 0; i < 5'000; ++i)
+            cache.access(rng.nextBounded(12) * kBlockSize,
+                         rng.nextBool(0.5));
+        shadow->finalAudit();
+        expectNoDivergence();
+    }
+}
+
+} // namespace
+} // namespace maps

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Workload determinism (PR 2 satellite): every registered benchmark
+ * generator must be a pure function of its seed. Same seed => identical
+ * reference stream; distinct seeds => distinct streams; reset() =>
+ * byte-identical replay. The parallel ExperimentRunner and the golden
+ * regressions both stand on this property.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "trace/record.hpp"
+#include "workloads/suite.hpp"
+
+namespace maps {
+namespace {
+
+constexpr int kRefs = 50'000;
+
+bool
+sameRef(const MemRef &a, const MemRef &b)
+{
+    return a.addr == b.addr && a.type == b.type && a.instGap == b.instGap;
+}
+
+TEST(CheckWorkloads, SameSeedSameStream)
+{
+    for (const auto &name : benchmarkNames()) {
+        SCOPED_TRACE(name);
+        auto a = makeBenchmark(name, 42);
+        auto b = makeBenchmark(name, 42);
+        for (int i = 0; i < kRefs; ++i) {
+            const MemRef ra = a->next();
+            const MemRef rb = b->next();
+            ASSERT_TRUE(sameRef(ra, rb))
+                << name << " diverges at ref " << i << ": 0x" << std::hex
+                << ra.addr << " vs 0x" << rb.addr;
+        }
+    }
+}
+
+TEST(CheckWorkloads, DistinctSeedsDistinctStreams)
+{
+    for (const auto &name : benchmarkNames()) {
+        SCOPED_TRACE(name);
+        auto a = makeBenchmark(name, 1);
+        auto b = makeBenchmark(name, 2);
+        bool differs = false;
+        for (int i = 0; i < kRefs && !differs; ++i)
+            differs = !sameRef(a->next(), b->next());
+        EXPECT_TRUE(differs)
+            << name << ": seeds 1 and 2 generate identical streams";
+    }
+}
+
+TEST(CheckWorkloads, ResetReplaysIdentically)
+{
+    for (const auto &name : benchmarkNames()) {
+        SCOPED_TRACE(name);
+        auto gen = makeBenchmark(name, 9);
+        std::vector<MemRef> first;
+        first.reserve(1'000);
+        for (int i = 0; i < 1'000; ++i)
+            first.push_back(gen->next());
+        gen->reset();
+        for (int i = 0; i < 1'000; ++i) {
+            const MemRef r = gen->next();
+            ASSERT_TRUE(sameRef(first[static_cast<std::size_t>(i)], r))
+                << name << " reset() replay diverges at ref " << i;
+        }
+    }
+}
+
+} // namespace
+} // namespace maps
