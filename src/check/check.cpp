@@ -28,6 +28,22 @@ std::atomic<FailureMode> gMode{FailureMode::Abort};
 std::mutex gSampleMu;
 std::vector<Failure> gSample;
 
+std::mutex gExpectedMu;
+std::vector<std::string> gExpectedPrefixes;
+std::vector<Failure> gExpectedSample;
+std::atomic<std::uint64_t> gExpected{0};
+
+bool
+isExpectedDomain(const std::string &domain)
+{
+    const std::lock_guard<std::mutex> lock(gExpectedMu);
+    for (const auto &prefix : gExpectedPrefixes) {
+        if (domain.rfind(prefix, 0) == 0)
+            return true;
+    }
+    return false;
+}
+
 } // namespace
 
 namespace detail {
@@ -62,8 +78,35 @@ setMutations(const Mutations &m)
 }
 
 void
+setExpectedDomains(std::vector<std::string> domain_prefixes)
+{
+    const std::lock_guard<std::mutex> lock(gExpectedMu);
+    gExpectedPrefixes = std::move(domain_prefixes);
+}
+
+std::uint64_t
+expectedCount()
+{
+    return gExpected.load(std::memory_order_relaxed);
+}
+
+std::vector<Failure>
+expectedFailures()
+{
+    const std::lock_guard<std::mutex> lock(gExpectedMu);
+    return gExpectedSample;
+}
+
+void
 fail(const std::string &domain, const std::string &message)
 {
+    if (isExpectedDomain(domain)) {
+        gExpected.fetch_add(1, std::memory_order_relaxed);
+        const std::lock_guard<std::mutex> lock(gExpectedMu);
+        if (gExpectedSample.size() < kMaxFailureSample)
+            gExpectedSample.push_back({domain, message});
+        return;
+    }
     detail::gFailures.fetch_add(1, std::memory_order_relaxed);
     if (failureMode() == FailureMode::Abort)
         panic("maps::check [" + domain + "] " + message);
@@ -96,8 +139,13 @@ resetStats()
 {
     detail::gChecks.store(0, std::memory_order_relaxed);
     detail::gFailures.store(0, std::memory_order_relaxed);
-    const std::lock_guard<std::mutex> lock(gSampleMu);
-    gSample.clear();
+    gExpected.store(0, std::memory_order_relaxed);
+    {
+        const std::lock_guard<std::mutex> lock(gSampleMu);
+        gSample.clear();
+    }
+    const std::lock_guard<std::mutex> lock(gExpectedMu);
+    gExpectedSample.clear();
 }
 
 } // namespace maps::check

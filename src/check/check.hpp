@@ -118,8 +118,32 @@ clearMutations()
 /**
  * Report one divergence. Aborts in Abort mode; in Record mode counts
  * it and keeps the first few messages for the harness report.
+ *
+ * If the failure's domain matches a declared expected-domain prefix
+ * (setExpectedDomains), it is routed to the expected tally instead:
+ * not counted as a failure, never aborts. Fault campaigns use this to
+ * declare that the shadow models *should* diverge for state they
+ * corrupt on purpose — and then assert expectedCount() > 0 to prove
+ * the shadow really is a second detector.
  */
 void fail(const std::string &domain, const std::string &message);
+
+/**
+ * Declare domains (prefix match, e.g. "secmem.shadow") whose failures
+ * an active fault plan expects. Replaces the previous declaration.
+ */
+void setExpectedDomains(std::vector<std::string> domain_prefixes);
+inline void
+clearExpectedDomains()
+{
+    setExpectedDomains({});
+}
+
+/** Failures routed to the expected tally since the last resetStats. */
+std::uint64_t expectedCount();
+
+/** Bounded sample of expected divergences. */
+std::vector<Failure> expectedFailures();
 
 /** Account checks performed (for the --check summary row). */
 inline void

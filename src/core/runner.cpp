@@ -2,15 +2,19 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
+#include <cctype>
 #include <chrono>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <mutex>
+#include <sstream>
 #include <thread>
 
 #ifdef _WIN32
@@ -124,6 +128,14 @@ Options::tryParse(const std::vector<std::string> &args, Options &out,
             out.progress = false;
         } else if (arg == "--check") {
             out.check = true;
+        } else if (arg.rfind("--cell-timeout=", 0) == 0) {
+            if (!parsePositiveDouble(value_of(15), out.cellTimeoutSec))
+                return "invalid --cell-timeout value '" + value_of(15) +
+                       "' (need seconds > 0)";
+        } else if (arg.rfind("--resume=", 0) == 0) {
+            out.resumeDir = value_of(9);
+            if (out.resumeDir.empty())
+                return "--resume needs a directory path";
         } else if (arg.rfind("--", 0) == 0) {
             return "unknown option: " + arg;
         } else if (positionals) {
@@ -150,6 +162,10 @@ Options::usage(std::ostream &os, const std::string &argv0)
        << "  --no-progress                 suppress stderr progress/ETA\n"
        << "  --check                       run maps::check differential"
           " verification (exit 1 on divergence)\n"
+       << "  --cell-timeout=SECS           cancel cells cooperatively"
+          " after SECS seconds\n"
+       << "  --resume=DIR                  checkpoint finished cells in"
+          " DIR; restart skips them\n"
        << "  --help                        this message\n";
 }
 
@@ -557,8 +573,281 @@ makeSink(const Options &opts)
 }
 
 // ---------------------------------------------------------------------------
+// Checkpoint serialization (--resume).
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+namespace {
+
+/**
+ * Length-prefixed strings ("<len>:<bytes>") sidestep escaping entirely,
+ * so the round trip is exact for any cell id / section / text content.
+ */
+void
+putString(std::ostream &os, const std::string &s)
+{
+    os << s.size() << ':' << s;
+}
+
+/** Strict cursor over a checkpoint file's contents. */
+class Cursor
+{
+  public:
+    explicit Cursor(const std::string &text) : text_(text) {}
+
+    bool literal(const char *lit)
+    {
+        const std::size_t n = std::char_traits<char>::length(lit);
+        if (text_.compare(pos_, n, lit) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    bool uint(std::uint64_t &out)
+    {
+        if (pos_ >= text_.size() || !std::isdigit(
+                static_cast<unsigned char>(text_[pos_])))
+            return false;
+        out = 0;
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+            out = out * 10 + static_cast<std::uint64_t>(text_[pos_] - '0');
+            ++pos_;
+        }
+        return true;
+    }
+
+    bool hexU64(std::uint64_t &out)
+    {
+        if (pos_ >= text_.size() || !std::isxdigit(
+                static_cast<unsigned char>(text_[pos_])))
+            return false;
+        out = 0;
+        unsigned digits = 0;
+        while (pos_ < text_.size() &&
+               std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+            const char c = text_[pos_];
+            const std::uint64_t nibble =
+                c <= '9' ? static_cast<std::uint64_t>(c - '0')
+                         : static_cast<std::uint64_t>(
+                               (c | 0x20) - 'a' + 10);
+            out = (out << 4) | nibble;
+            ++pos_;
+            if (++digits > 16)
+                return false;
+        }
+        return true;
+    }
+
+    bool string(std::string &out)
+    {
+        std::uint64_t len = 0;
+        if (!uint(len) || !literal(":"))
+            return false;
+        if (pos_ + len > text_.size())
+            return false;
+        out = text_.substr(pos_, len);
+        pos_ += len;
+        return true;
+    }
+
+    bool done() const { return pos_ == text_.size(); }
+
+  private:
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+std::string
+serializeCellOutput(const CellOutput &out)
+{
+    std::ostringstream os;
+    os << "maps-cell-v1 " << out.rows.size() << '\n';
+    for (const auto &sr : out.rows) {
+        os << "row " << sr.row.cols.size() << ' ';
+        putString(os, sr.section);
+        os << '\n';
+        for (const auto &[key, value] : sr.row.cols) {
+            switch (value.kind()) {
+              case Value::Kind::Text:
+                os << "t ";
+                putString(os, key);
+                os << ' ';
+                putString(os, value.rawText());
+                break;
+              case Value::Kind::Real:
+                // Bit pattern, not decimal: the restored double must be
+                // the exact value so re-rendered output is byte-equal.
+                os << "r ";
+                putString(os, key);
+                {
+                    char buf[32];
+                    std::snprintf(buf, sizeof(buf), " %016" PRIx64 " %d",
+                                  std::bit_cast<std::uint64_t>(
+                                      value.rawReal()),
+                                  value.precision());
+                    os << buf;
+                }
+                break;
+              case Value::Kind::Int:
+                os << "i ";
+                putString(os, key);
+                os << ' ' << value.rawInt();
+                break;
+            }
+            os << '\n';
+        }
+    }
+    os << "done\n";
+    return os.str();
+}
+
+bool
+parseCellOutput(const std::string &text, CellOutput &out)
+{
+    Cursor cur(text);
+    std::uint64_t rows = 0;
+    if (!cur.literal("maps-cell-v1 ") || !cur.uint(rows) ||
+        !cur.literal("\n"))
+        return false;
+    CellOutput parsed;
+    for (std::uint64_t r = 0; r < rows; ++r) {
+        std::uint64_t cols = 0;
+        std::string section;
+        if (!cur.literal("row ") || !cur.uint(cols) ||
+            !cur.literal(" ") || !cur.string(section) ||
+            !cur.literal("\n"))
+            return false;
+        Row row;
+        for (std::uint64_t c = 0; c < cols; ++c) {
+            std::string key;
+            if (cur.literal("t ")) {
+                std::string value;
+                if (!cur.string(key) || !cur.literal(" ") ||
+                    !cur.string(value) || !cur.literal("\n"))
+                    return false;
+                row.add(std::move(key), Value(std::move(value)));
+            } else if (cur.literal("r ")) {
+                std::uint64_t bits = 0;
+                std::uint64_t precision = 0;
+                if (!cur.string(key) || !cur.literal(" ") ||
+                    !cur.hexU64(bits) || !cur.literal(" ") ||
+                    !cur.uint(precision) || !cur.literal("\n") ||
+                    precision > 32)
+                    return false;
+                row.add(std::move(key),
+                        Value::num(std::bit_cast<double>(bits),
+                                   static_cast<int>(precision)));
+            } else if (cur.literal("i ")) {
+                std::uint64_t value = 0;
+                if (!cur.string(key) || !cur.literal(" ") ||
+                    !cur.uint(value) || !cur.literal("\n"))
+                    return false;
+                row.add(std::move(key), Value::integer(value));
+            } else {
+                return false;
+            }
+        }
+        parsed.add(std::move(section), std::move(row));
+    }
+    if (!cur.literal("done\n") || !cur.done())
+        return false;
+    out = std::move(parsed);
+    return true;
+}
+
+std::string
+checkpointFileName(const std::string &phase, const Cell &cell,
+                   double scale)
+{
+    // The hash keys everything the result depends on (phase, id, the
+    // derived seed, the sweep scale) so a checkpoint from a different
+    // configuration can never be mistaken for this cell's.
+    std::uint64_t h = 0xCBF29CE484222325ull;
+    const auto fold = [&h](const void *data, std::size_t n) {
+        const auto *bytes = static_cast<const unsigned char *>(data);
+        for (std::size_t i = 0; i < n; ++i) {
+            h ^= bytes[i];
+            h *= 0x100000001B3ull;
+        }
+    };
+    fold(phase.data(), phase.size());
+    fold("\0", 1);
+    fold(cell.id.data(), cell.id.size());
+    fold("\0", 1);
+    fold(&cell.seed, sizeof(cell.seed));
+    const std::uint64_t scale_bits = std::bit_cast<std::uint64_t>(scale);
+    fold(&scale_bits, sizeof(scale_bits));
+
+    std::string stem;
+    for (const char c : cell.id) {
+        const bool keep = std::isalnum(static_cast<unsigned char>(c)) ||
+                          c == '.' || c == '_' || c == '-';
+        stem += keep ? c : '_';
+        if (stem.size() >= 40)
+            break;
+    }
+    if (stem.empty())
+        stem = "cell";
+    char suffix[32];
+    std::snprintf(suffix, sizeof(suffix), "-%016" PRIx64 ".cell",
+                  h);
+    return stem + suffix;
+}
+
+} // namespace detail
+
+// ---------------------------------------------------------------------------
 // Runner.
 // ---------------------------------------------------------------------------
+
+namespace {
+
+/**
+ * Cooperative cancellation slot, one per worker thread. The watchdog
+ * stamps cancelStamp with the slot's current cell serial; heartbeat()
+ * only honors a stamp matching the cell it is called from, so a cell
+ * finishing at the same moment can never cancel its successor.
+ */
+struct WorkerSlot
+{
+    std::atomic<std::uint64_t> stamp{0}; ///< 0 = idle, else cell index+1
+    std::atomic<std::int64_t> startedAtMs{0};
+    std::atomic<std::uint64_t> cancelStamp{0};
+    double timeoutSec = 0.0;
+};
+
+thread_local WorkerSlot *tlsSlot = nullptr;
+thread_local std::uint64_t tlsStamp = 0;
+
+std::int64_t
+nowMs()
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+void
+heartbeat()
+{
+    WorkerSlot *slot = tlsSlot;
+    if (!slot)
+        return;
+    if (slot->cancelStamp.load(std::memory_order_relaxed) != tlsStamp)
+        return;
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "cell exceeded --cell-timeout=%gs and was cancelled",
+                  slot->timeoutSec);
+    throw CellTimedOut(buf);
+}
 
 namespace {
 
@@ -627,46 +916,159 @@ ExperimentRunner::run(const std::vector<Cell> &cells,
         panicIf(!cell.work, "cell '" + cell.id + "' has no work function");
     }
 
+    const std::string phase_name = phase.empty() ? "run" : phase;
     std::vector<CellOutput> out(work.size());
-    Progress progress(phase.empty() ? "run" : phase, work.size(),
-                      opts_.progress);
+
+    // --resume: load checkpoints written by a previous (possibly killed)
+    // run of the same configuration; loaded cells are never re-run.
+    std::vector<char> loaded(work.size(), 0);
+    std::filesystem::path ckdir;
+    const bool checkpointing = !opts_.resumeDir.empty();
+    if (checkpointing) {
+        ckdir = opts_.resumeDir;
+        std::error_code ec;
+        std::filesystem::create_directories(ckdir, ec);
+        fatalIf(static_cast<bool>(ec), "cannot create --resume directory '" +
+                                           opts_.resumeDir + "': " +
+                                           ec.message());
+        for (std::size_t i = 0; i < work.size(); ++i) {
+            const auto path = ckdir / detail::checkpointFileName(
+                                          phase_name, work[i], opts_.scale);
+            std::ifstream in(path, std::ios::binary);
+            if (!in)
+                continue;
+            std::ostringstream text;
+            text << in.rdbuf();
+            // A malformed checkpoint (e.g. torn by a crash before the
+            // atomic rename existed) is simply re-run.
+            if (detail::parseCellOutput(text.str(), out[i])) {
+                loaded[i] = 1;
+                ++resumedCells_;
+            }
+        }
+    }
+
+    std::size_t pending = 0;
+    for (const char l : loaded)
+        pending += l ? 0 : 1;
+    Progress progress(phase_name, pending, opts_.progress);
 
     const unsigned jobs = static_cast<unsigned>(std::min<std::size_t>(
-        opts_.effectiveJobs(), work.size()));
+        opts_.effectiveJobs(), std::max<std::size_t>(pending, 1)));
 
     std::atomic<std::size_t> next{0};
-    std::mutex error_mu;
-    std::exception_ptr error;
+    std::mutex fail_mu;
+    std::vector<CellFailure> failures;
 
-    const auto worker = [&] {
+    std::vector<std::unique_ptr<WorkerSlot>> slots;
+    for (unsigned t = 0; t < jobs; ++t) {
+        slots.push_back(std::make_unique<WorkerSlot>());
+        slots.back()->timeoutSec = opts_.cellTimeoutSec;
+    }
+
+    const auto worker = [&](WorkerSlot *slot) {
+        tlsSlot = slot;
         for (;;) {
             const std::size_t i = next.fetch_add(1);
             if (i >= work.size())
-                return;
+                break;
+            if (loaded[i])
+                continue;
+            tlsStamp = static_cast<std::uint64_t>(i) + 1;
+            slot->startedAtMs.store(nowMs(), std::memory_order_relaxed);
+            slot->stamp.store(tlsStamp, std::memory_order_release);
+            bool ok = true;
+            std::string error;
             try {
                 out[i] = work[i].work(work[i]);
+            } catch (const std::exception &e) {
+                ok = false;
+                error = e.what();
             } catch (...) {
-                const std::lock_guard<std::mutex> lock(error_mu);
-                if (!error)
-                    error = std::current_exception();
-                return;
+                ok = false;
+                error = "unknown exception";
+            }
+            slot->stamp.store(0, std::memory_order_release);
+            if (!ok) {
+                out[i] = CellOutput{};
+                const std::lock_guard<std::mutex> lock(fail_mu);
+                failures.push_back({i, phase_name, work[i].id,
+                                    work[i].seed, error});
+            } else if (checkpointing) {
+                const auto path =
+                    ckdir / detail::checkpointFileName(phase_name, work[i],
+                                                       opts_.scale);
+                // Atomic publish: a kill can leave a stale .tmp around
+                // but never a torn checkpoint under the final name.
+                const auto tmp = path.string() + ".tmp";
+                std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+                os << detail::serializeCellOutput(out[i]);
+                os.flush();
+                if (os) {
+                    os.close();
+                    std::error_code ec;
+                    std::filesystem::rename(tmp, path, ec);
+                    if (ec)
+                        std::filesystem::remove(tmp, ec);
+                } else {
+                    std::error_code ec;
+                    std::filesystem::remove(tmp, ec);
+                }
             }
             progress.completed(work[i].id);
         }
+        tlsSlot = nullptr;
     };
 
+    // Cooperative watchdog: flags a slot whose current cell has been
+    // running past --cell-timeout; the cell observes the flag at its
+    // next runner::heartbeat() call and unwinds as a recorded failure.
+    std::atomic<bool> stop_watchdog{false};
+    std::thread watchdog;
+    if (opts_.cellTimeoutSec > 0.0) {
+        const auto timeout_ms =
+            static_cast<std::int64_t>(opts_.cellTimeoutSec * 1000.0);
+        watchdog = std::thread([&, timeout_ms] {
+            while (!stop_watchdog.load(std::memory_order_relaxed)) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(25));
+                const std::int64_t now = nowMs();
+                for (const auto &slot : slots) {
+                    const std::uint64_t stamp =
+                        slot->stamp.load(std::memory_order_acquire);
+                    if (!stamp)
+                        continue;
+                    const std::int64_t started =
+                        slot->startedAtMs.load(std::memory_order_relaxed);
+                    if (now - started > timeout_ms)
+                        slot->cancelStamp.store(
+                            stamp, std::memory_order_relaxed);
+                }
+            }
+        });
+    }
+
     if (jobs <= 1) {
-        worker();
+        worker(slots[0].get());
     } else {
         std::vector<std::thread> threads;
         threads.reserve(jobs);
         for (unsigned t = 0; t < jobs; ++t)
-            threads.emplace_back(worker);
+            threads.emplace_back(worker, slots[t].get());
         for (auto &t : threads)
             t.join();
     }
-    if (error)
-        std::rethrow_exception(error);
+    if (watchdog.joinable()) {
+        stop_watchdog.store(true, std::memory_order_relaxed);
+        watchdog.join();
+    }
+
+    // Deterministic failure order regardless of which worker hit what.
+    std::sort(failures.begin(), failures.end(),
+              [](const CellFailure &a, const CellFailure &b) {
+                  return a.index < b.index;
+              });
+    failures_.insert(failures_.end(), failures.begin(), failures.end());
     return out;
 }
 
@@ -732,11 +1134,16 @@ int
 Experiment::finish()
 {
     const bool checking = runner_.options().check;
+    const auto &failed = runner_.failures();
     if (!finished_) {
         if (checking) {
             Row row;
             row.add("checks", check::checkCount());
             row.add("divergences", check::failureCount());
+            // Only fault campaigns declare expected domains; the column
+            // stays absent (and goldens unchanged) everywhere else.
+            if (check::expectedCount() != 0)
+                row.add("expected divergences", check::expectedCount());
             row.add("verdict",
                     check::failureCount() == 0 ? "ok" : "DIVERGED");
             emit("maps::check", std::move(row));
@@ -745,10 +1152,23 @@ Experiment::finish()
                      failure.message);
             }
         }
+        for (const auto &f : failed) {
+            Row row;
+            row.add("cell", f.id);
+            row.add("phase", f.phase);
+            row.add("seed", f.seed);
+            row.add("error", f.error);
+            emit("failed cells", std::move(row));
+        }
         sink_->end();
         finished_ = true;
     }
-    return checking && check::failureCount() != 0 ? 1 : 0;
+    int code = 0;
+    if (checking && check::failureCount() != 0)
+        code = 1;
+    if (!failed.empty())
+        code = 1;
+    return code;
 }
 
 } // namespace maps::runner

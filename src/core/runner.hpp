@@ -30,6 +30,7 @@
 #include <functional>
 #include <memory>
 #include <ostream>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -56,6 +57,9 @@ const char *formatName(OutputFormat f);
  *   --no-progress                  suppress the stderr progress reporter
  *   --check                        run the maps::check differential
  *                                  verification layer and report
+ *   --cell-timeout=SECS            cancel cells cooperatively after SECS
+ *   --resume=DIR                   checkpoint finished cells in DIR and
+ *                                  skip them on restart
  *   --help                         usage
  *
  * Unknown flags, malformed values, and non-positive scales are errors.
@@ -76,6 +80,19 @@ struct Options
      * Experiment::finish(), which then returns exit code 1.
      */
     bool check = false;
+    /**
+     * Cooperative per-cell watchdog: a cell running longer than this
+     * many seconds is cancelled at its next runner::heartbeat() call
+     * and recorded as a failed cell. 0 disables the watchdog.
+     */
+    double cellTimeoutSec = 0.0;
+    /**
+     * Checkpoint directory: every completed cell's output is persisted
+     * here (atomic write) and a restarted run with the same options
+     * skips the cells whose checkpoints parse, making a killed sweep
+     * resumable with byte-identical final output. Empty disables.
+     */
+    std::string resumeDir;
 
     /**
      * Strict parse. On --help prints usage and exits 0; on any error
@@ -111,6 +128,28 @@ struct Options
  */
 std::uint64_t deriveCellSeed(std::uint64_t base, std::string_view cell_id);
 
+/**
+ * Thrown out of runner::heartbeat() when the running cell exceeded
+ * --cell-timeout; the runner records it like any other cell failure.
+ */
+class CellTimedOut : public std::runtime_error
+{
+  public:
+    explicit CellTimedOut(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/**
+ * Cooperative cancellation point for cell work functions. Long-running
+ * simulation loops call this periodically (SecureMemorySim does, every
+ * few ten-thousand references); when the cell's --cell-timeout expired,
+ * it throws CellTimedOut. A no-op outside runner workers and when no
+ * timeout is configured.
+ */
+void heartbeat();
+
 // ---------------------------------------------------------------------------
 // Values, rows, cells.
 // ---------------------------------------------------------------------------
@@ -140,8 +179,17 @@ class Value
     /** Raw numeric value (0 for text). */
     double asDouble() const;
 
-  private:
+    /// @name Exact-representation access (checkpoint serialization)
+    /// @{
     enum class Kind : std::uint8_t { Text, Real, Int };
+    Kind kind() const { return kind_; }
+    const std::string &rawText() const { return text_; }
+    double rawReal() const { return real_; }
+    std::uint64_t rawInt() const { return int_; }
+    int precision() const { return precision_; }
+    /// @}
+
+  private:
     Kind kind_ = Kind::Text;
     std::string text_;
     double real_ = 0.0;
@@ -199,6 +247,21 @@ struct Cell
     std::uint64_t seed = 0;
     /** Runs on a worker thread; must only touch cell-local state. */
     std::function<CellOutput(const Cell &)> work;
+};
+
+/**
+ * One isolated cell failure. The runner records the failure, leaves the
+ * cell's output empty, and keeps running the remaining cells; the
+ * harness reports every failure and turns them into a non-zero exit.
+ */
+struct CellFailure
+{
+    /** Index of the failed cell within its run() call. */
+    std::size_t index = 0;
+    std::string phase;
+    std::string id;
+    std::uint64_t seed = 0;
+    std::string error;
 };
 
 /** Identity of an experiment, shown in banners and records. */
@@ -296,14 +359,40 @@ class ExperimentRunner
   public:
     explicit ExperimentRunner(Options opts) : opts_(std::move(opts)) {}
 
+    /**
+     * Run the cells. A throwing cell does not abort the grid: its
+     * failure is recorded (see failures()) and its output stays empty
+     * while every other cell still runs to completion.
+     */
     std::vector<CellOutput> run(const std::vector<Cell> &cells,
                                 const std::string &phase = "");
 
     const Options &options() const { return opts_; }
 
+    /** Failures recorded across every run() call, in cell order. */
+    const std::vector<CellFailure> &failures() const { return failures_; }
+
+    /** Cells skipped because a --resume checkpoint was loaded. */
+    std::uint64_t resumedCells() const { return resumedCells_; }
+
   private:
     Options opts_;
+    std::vector<CellFailure> failures_;
+    std::uint64_t resumedCells_ = 0;
 };
+
+/// @name Checkpoint internals (exposed for tests)
+/// @{
+namespace detail {
+/** Exact, self-contained serialization of one cell's output. */
+std::string serializeCellOutput(const CellOutput &out);
+/** Strict inverse of serializeCellOutput; false on any mismatch. */
+bool parseCellOutput(const std::string &text, CellOutput &out);
+/** Checkpoint file name for a cell (phase + id + seed + scale keyed). */
+std::string checkpointFileName(const std::string &phase, const Cell &cell,
+                               double scale);
+} // namespace detail
+/// @}
 
 /**
  * The per-driver harness: banner + runner + sink. Typical driver:

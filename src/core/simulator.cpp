@@ -1,5 +1,6 @@
 #include "core/simulator.hpp"
 
+#include "core/runner.hpp"
 #include "util/logging.hpp"
 
 namespace maps {
@@ -95,10 +96,17 @@ SecureMemorySim::serviceRequest(const MemoryRequest &req)
 RunReport
 SecureMemorySim::run()
 {
+    // Cancellation cadence for --cell-timeout: cheap relative to the
+    // work between calls, frequent enough to bound overshoot.
+    constexpr std::uint64_t kHeartbeatRefs = 32 * 1024;
+
     // Warmup: fill caches, then discard statistics.
     measuring_ = false;
-    for (std::uint64_t i = 0; i < cfg_.warmupRefs; ++i)
+    for (std::uint64_t i = 0; i < cfg_.warmupRefs; ++i) {
+        if (i % kHeartbeatRefs == 0)
+            runner::heartbeat();
         hierarchy_->access(generator_->next());
+    }
 
     hierarchy_->clearStats();
     memory_->clearStats();
@@ -108,6 +116,8 @@ SecureMemorySim::run()
     measuring_ = true;
 
     for (std::uint64_t i = 0; i < cfg_.measureRefs; ++i) {
+        if (i % kHeartbeatRefs == 0)
+            runner::heartbeat();
         const MemRef ref = generator_->next();
         cycles_ += ref.instGap; // unit-IPC core
         hierarchy_->access(ref);

@@ -1,0 +1,851 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "check/check.hpp"
+#include "util/logging.hpp"
+
+namespace maps::fault {
+
+namespace {
+
+/** Seed for the counter-block digest fold (same idiom as SecmemShadow). */
+constexpr std::uint64_t kBlockFoldSeed = 0xC0FFEE5EC0DE5EEDull;
+
+/** Seed for the functional data-MAC. */
+constexpr std::uint64_t kMacSeed = 0x5EC0FDA7A4AC5EEDull;
+
+std::string
+hex(Addr addr)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << addr;
+    return os.str();
+}
+
+} // namespace
+
+const char *
+faultKindName(FaultKind k)
+{
+    switch (k) {
+      case FaultKind::BitFlip:
+        return "flip";
+      case FaultKind::StaleReplay:
+        return "replay";
+    }
+    return "?";
+}
+
+const char *
+faultSurfaceName(FaultSurface s)
+{
+    switch (s) {
+      case FaultSurface::Data:
+        return "data";
+      case FaultSurface::CounterMinor:
+        return "counter-minor";
+      case FaultSurface::CounterMajor:
+        return "counter-major";
+      case FaultSurface::Mac:
+        return "mac";
+      case FaultSurface::TreeNode:
+        return "tree";
+      case FaultSurface::MdCacheLine:
+        return "mdcache";
+    }
+    return "?";
+}
+
+bool
+surfaceCovered(FaultSurface s, bool mac_check_enabled)
+{
+    switch (s) {
+      case FaultSurface::CounterMinor:
+      case FaultSurface::CounterMajor:
+      case FaultSurface::TreeNode:
+        return true;
+      case FaultSurface::Data:
+      case FaultSurface::Mac:
+        return mac_check_enabled;
+      case FaultSurface::MdCacheLine:
+        return false;
+    }
+    return false;
+}
+
+std::string
+FaultSpec::classId() const
+{
+    return std::string(faultKindName(kind)) + ":" +
+           faultSurfaceName(surface);
+}
+
+std::string
+FaultPlan::parseSpec(const std::string &text, FaultSpec &out)
+{
+    const auto colon = text.find(':');
+    const auto at = text.find('@');
+    if (colon == std::string::npos || at == std::string::npos ||
+        at < colon) {
+        return "fault spec '" + text +
+               "' is not of the form kind:surface@trigger";
+    }
+    const std::string kind = text.substr(0, colon);
+    const std::string surface = text.substr(colon + 1, at - colon - 1);
+    const std::string trigger = text.substr(at + 1);
+
+    FaultSpec spec;
+    if (kind == "flip") {
+        spec.kind = FaultKind::BitFlip;
+    } else if (kind == "replay") {
+        spec.kind = FaultKind::StaleReplay;
+    } else {
+        return "unknown fault kind '" + kind + "' (flip|replay)";
+    }
+
+    if (surface == "data") {
+        spec.surface = FaultSurface::Data;
+    } else if (surface == "counter-minor") {
+        spec.surface = FaultSurface::CounterMinor;
+    } else if (surface == "counter-major") {
+        spec.surface = FaultSurface::CounterMajor;
+    } else if (surface == "mac") {
+        spec.surface = FaultSurface::Mac;
+    } else if (surface == "tree") {
+        spec.surface = FaultSurface::TreeNode;
+    } else if (surface == "mdcache") {
+        spec.surface = FaultSurface::MdCacheLine;
+    } else {
+        return "unknown fault surface '" + surface +
+               "' (data|counter-minor|counter-major|mac|tree|mdcache)";
+    }
+
+    if (trigger.rfind("req=", 0) == 0) {
+        spec.trigger.kind = FaultTrigger::Kind::AtRequest;
+        char *end = nullptr;
+        spec.trigger.request =
+            std::strtoull(trigger.c_str() + 4, &end, 10);
+        if (!end || *end != '\0')
+            return "bad request number in trigger '" + trigger + "'";
+    } else if (trigger.rfind("addr=", 0) == 0) {
+        spec.trigger.kind = FaultTrigger::Kind::AtAddress;
+        char *end = nullptr;
+        spec.trigger.addr = std::strtoull(trigger.c_str() + 5, &end, 0);
+        if (!end || *end != '\0')
+            return "bad address in trigger '" + trigger + "'";
+    } else if (trigger.rfind("p=", 0) == 0) {
+        spec.trigger.kind = FaultTrigger::Kind::PerRequest;
+        char *end = nullptr;
+        spec.trigger.probability = std::strtod(trigger.c_str() + 2, &end);
+        if (!end || *end != '\0' || spec.trigger.probability <= 0.0 ||
+            spec.trigger.probability > 1.0) {
+            return "bad probability in trigger '" + trigger +
+                   "' (need 0 < p <= 1)";
+        }
+    } else {
+        return "unknown trigger '" + trigger +
+               "' (req=<N>|addr=<A>|p=<P>)";
+    }
+
+    out = spec;
+    return "";
+}
+
+std::string
+FaultPlan::add(const std::string &text)
+{
+    FaultSpec spec;
+    const std::string err = parseSpec(text, spec);
+    if (!err.empty())
+        return err;
+    if (spec.trigger.kind == FaultTrigger::Kind::PerRequest)
+        spec.limit = defaultProbLimit;
+    specs.push_back(spec);
+    return "";
+}
+
+const FaultClassStats *
+FaultReport::find(const std::string &class_id) const
+{
+    for (const auto &[id, stats] : classes) {
+        if (id == class_id)
+            return &stats;
+    }
+    return nullptr;
+}
+
+FaultClassStats
+FaultReport::totals() const
+{
+    FaultClassStats acc;
+    for (const auto &[id, stats] : classes) {
+        acc.injected += stats.injected;
+        acc.detected += stats.detected;
+        acc.silent += stats.silent;
+        acc.masked += stats.masked;
+        acc.dormant += stats.dormant;
+        acc.latencySum += stats.latencySum;
+        acc.latencyMax = std::max(acc.latencyMax, stats.latencyMax);
+    }
+    return acc;
+}
+
+FaultInjector::FaultInjector(SecureMemoryController &controller,
+                             FaultPlan plan)
+    : ctl_(controller),
+      layout_(controller.layout()),
+      plan_(std::move(plan)),
+      rng_(plan_.seed * 0x9E3779B97F4A7C15ull + 0xFA017ull),
+      mirror_(layout_),
+      tree_(layout_)
+{
+    specs_.reserve(plan_.specs.size());
+    for (const auto &spec : plan_.specs) {
+        specs_.push_back(SpecState{spec, 0, false});
+        registerClass(spec.classId());
+    }
+    if (plan_.tamperLiveCounters) {
+        // Live tampering makes the maps::check shadow diverge on
+        // purpose; declare those domains expected so the campaign's
+        // second detector is tallied instead of failing the run.
+        check::setExpectedDomains({"secmem.shadow", "secmem.tap"});
+    }
+}
+
+void
+FaultInjector::registerClass(const std::string &class_id)
+{
+    if (std::find(classOrder_.begin(), classOrder_.end(), class_id) ==
+        classOrder_.end()) {
+        classOrder_.push_back(class_id);
+    }
+}
+
+std::uint64_t
+FaultInjector::committedDigest(std::uint64_t ctr_index) const
+{
+    const auto it = ctrDigest_.find(ctr_index);
+    return it != ctrDigest_.end() ? it->second
+                                  : IntegrityTree::kDefaultCounterDigest;
+}
+
+std::uint64_t
+FaultInjector::cleanDigest(Addr counter_block_addr) const
+{
+    const std::uint64_t coverage = layout_.counterBlockCoverage();
+    const Addr base =
+        MetadataLayout::indexOf(counter_block_addr) * coverage;
+    std::uint64_t h = kBlockFoldSeed;
+    for (Addr blk = base; blk < base + coverage; blk += kBlockSize) {
+        const CounterValue value = mirror_.read(blk);
+        h = IntegrityTree::mix(h, value.major);
+        h = IntegrityTree::mix(h, value.minor);
+    }
+    return h;
+}
+
+std::uint64_t
+FaultInjector::corruptDigest(Addr counter_block_addr, Addr victim_blk,
+                             FaultSurface surface,
+                             std::uint64_t mask) const
+{
+    const std::uint64_t coverage = layout_.counterBlockCoverage();
+    const Addr base =
+        MetadataLayout::indexOf(counter_block_addr) * coverage;
+    const Addr victim = blockAlign(victim_blk);
+    std::uint64_t h = kBlockFoldSeed;
+    for (Addr blk = base; blk < base + coverage; blk += kBlockSize) {
+        CounterValue value = mirror_.read(blk);
+        if (blk == victim) {
+            if (surface == FaultSurface::CounterMinor)
+                value.minor ^= static_cast<std::uint32_t>(mask);
+            else
+                value.major ^= mask;
+        }
+        h = IntegrityTree::mix(h, value.major);
+        h = IntegrityTree::mix(h, value.minor);
+    }
+    return h;
+}
+
+std::uint64_t
+FaultInjector::macFn(std::uint64_t block_index, std::uint64_t version,
+                     const CounterValue &ctr) const
+{
+    std::uint64_t h = IntegrityTree::mix(kMacSeed, block_index);
+    h = IntegrityTree::mix(h, version);
+    h = IntegrityTree::mix(h, ctr.major);
+    h = IntegrityTree::mix(h, ctr.minor);
+    return h;
+}
+
+std::uint64_t
+FaultInjector::dataStored(std::uint64_t block_index) const
+{
+    const auto it = dataOf_.find(block_index);
+    return it != dataOf_.end() ? it->second : 0;
+}
+
+std::uint64_t
+FaultInjector::storedMac(std::uint64_t block_index) const
+{
+    const auto it = macOf_.find(block_index);
+    if (it != macOf_.end())
+        return it->second;
+    return macFn(block_index, 0, CounterValue{});
+}
+
+void
+FaultInjector::resolve(Injected &f, Outcome outcome)
+{
+    f.outcome = outcome;
+    f.armed = false;
+    f.resolvedAt = requestIndex_;
+}
+
+void
+FaultInjector::repair(Injected &f)
+{
+    switch (f.surface) {
+      case FaultSurface::CounterMinor:
+      case FaultSurface::CounterMajor:
+        ctrDigest_[f.target] = f.savedValue;
+        if (f.tamperedLive) {
+            ctl_.tamperCounter(f.liveAddr, f.savedLive);
+            f.tamperedLive = false;
+        }
+        break;
+      case FaultSurface::TreeNode:
+        tree_.tamperNode(static_cast<Addr>(f.target), f.savedValue);
+        break;
+      case FaultSurface::Data:
+        dataOf_[f.target] = f.savedValue;
+        break;
+      case FaultSurface::Mac:
+        macOf_[f.target] = f.savedValue;
+        break;
+      case FaultSurface::MdCacheLine:
+        break; // no functional state was touched
+    }
+}
+
+void
+FaultInjector::onRequest(const MemoryRequest &req)
+{
+    // A fault that was fetched from memory during the previous request
+    // and never resolved by a verification is silent corruption: the
+    // controller consumed attacker-controlled state unchecked.
+    for (auto &f : faults_) {
+        if (f.outcome == Outcome::Active && f.armed) {
+            resolve(f, Outcome::Silent);
+            repair(f); // keep later injections attributable
+        }
+    }
+
+    current_ = req;
+    inRequest_ = true;
+    maybeInject(req);
+    ++requestIndex_;
+}
+
+void
+FaultInjector::maybeInject(const MemoryRequest &req)
+{
+    for (auto &state : specs_) {
+        if (state.fired >= state.spec.limit)
+            continue;
+        bool fire = false;
+        switch (state.spec.trigger.kind) {
+          case FaultTrigger::Kind::AtRequest:
+            // >= so a spec that could not apply at exactly N (e.g. a
+            // replay of never-written state) retries until it lands.
+            fire = requestIndex_ >= state.spec.trigger.request;
+            break;
+          case FaultTrigger::Kind::AtAddress:
+            fire = blockAlign(req.addr) ==
+                   blockAlign(state.spec.trigger.addr);
+            break;
+          case FaultTrigger::Kind::PerRequest:
+            fire = rng_.nextBool(state.spec.trigger.probability);
+            break;
+        }
+        if (fire)
+            inject(state, req);
+    }
+}
+
+void
+FaultInjector::inject(SpecState &state, const MemoryRequest &req)
+{
+    const FaultSurface surface = state.spec.surface;
+
+    if (surface == FaultSurface::MdCacheLine) {
+        // Corrupting trusted on-chip SRAM: wait for a resident line and
+        // install on its next hit (see onMetadataAccess).
+        state.armedForResident = true;
+        ++state.fired;
+        return;
+    }
+
+    Injected f;
+    f.id = faults_.size();
+    f.kind = state.spec.kind;
+    f.surface = surface;
+    f.classId = state.spec.classId();
+    f.atRequest = requestIndex_;
+
+    const Addr blk = blockAlign(req.addr);
+    const std::uint64_t blk_index = blockIndex(blk);
+    const Addr ctr_addr = layout_.counterBlockAddr(req.addr);
+    const std::uint64_t ctr_index = MetadataLayout::indexOf(ctr_addr);
+
+    switch (surface) {
+      case FaultSurface::Data: {
+        std::uint64_t victim = blk_index;
+        std::uint64_t corrupted;
+        if (f.kind == FaultKind::BitFlip) {
+            f.savedValue = dataStored(victim);
+            corrupted = f.savedValue ^ (1ull << rng_.nextBounded(64));
+        } else {
+            // Replay needs history. Streaming workloads rarely rewrite
+            // the triggering block, so fall back to any block with a
+            // previous committed version (smallest index, for
+            // determinism across map iteration orders).
+            auto it = dataPrev_.find(victim);
+            if (it == dataPrev_.end()) {
+                it = dataPrev_.begin();
+                for (auto scan = dataPrev_.begin();
+                     scan != dataPrev_.end(); ++scan) {
+                    if (scan->first < it->first)
+                        it = scan;
+                }
+                if (it == dataPrev_.end())
+                    return; // nothing written twice yet: retry later
+                victim = it->first;
+            }
+            f.savedValue = dataStored(victim);
+            corrupted = it->second;
+        }
+        f.target = victim;
+        if (corrupted == f.savedValue)
+            return; // replay of identical state: nothing to observe
+        dataOf_[victim] = corrupted;
+        break;
+      }
+      case FaultSurface::Mac: {
+        std::uint64_t victim = blk_index;
+        std::uint64_t corrupted;
+        if (f.kind == FaultKind::BitFlip) {
+            f.savedValue = storedMac(victim);
+            corrupted = f.savedValue ^ (1ull << rng_.nextBounded(64));
+        } else {
+            auto it = macPrev_.find(victim);
+            if (it == macPrev_.end()) {
+                it = macPrev_.begin();
+                for (auto scan = macPrev_.begin(); scan != macPrev_.end();
+                     ++scan) {
+                    if (scan->first < it->first)
+                        it = scan;
+                }
+                if (it == macPrev_.end())
+                    return; // no previous MAC committed yet: retry later
+                victim = it->first;
+            }
+            f.savedValue = storedMac(victim);
+            corrupted = it->second;
+        }
+        f.target = victim;
+        if (corrupted == f.savedValue)
+            return;
+        macOf_[victim] = corrupted;
+        break;
+      }
+      case FaultSurface::CounterMinor:
+      case FaultSurface::CounterMajor: {
+        f.target = ctr_index;
+        f.probeCtr = ctr_addr;
+        f.savedValue = committedDigest(ctr_index);
+        std::uint64_t corrupted;
+        if (f.kind == FaultKind::BitFlip) {
+            const std::uint64_t mask =
+                surface == FaultSurface::CounterMinor
+                    ? (1ull << rng_.nextBounded(7))
+                    : (1ull << rng_.nextBounded(64));
+            corrupted = corruptDigest(ctr_addr, blk, surface, mask);
+            if (plan_.tamperLiveCounters) {
+                f.liveAddr = blk;
+                f.savedLive = ctl_.counters().read(blk);
+                CounterValue tampered = f.savedLive;
+                if (surface == FaultSurface::CounterMinor)
+                    tampered.minor ^= static_cast<std::uint32_t>(mask);
+                else
+                    tampered.major ^= mask;
+                ctl_.tamperCounter(blk, tampered);
+                f.tamperedLive = true;
+            }
+        } else {
+            const auto it = ctrDigestPrev_.find(ctr_index);
+            // Before the first overwrite the "stale" image is the
+            // never-written default.
+            corrupted = it != ctrDigestPrev_.end()
+                            ? it->second
+                            : IntegrityTree::kDefaultCounterDigest;
+        }
+        if (corrupted == f.savedValue)
+            return;
+        ctrDigest_[ctr_index] = corrupted;
+        break;
+      }
+      case FaultSurface::TreeNode: {
+        const auto path = layout_.treePathForCounter(ctr_addr);
+        if (path.empty())
+            return;
+        const Addr node = path[rng_.nextBounded(path.size())];
+        f.target = node;
+        f.probeCtr = ctr_addr;
+        f.savedValue = tree_.nodeDigest(node);
+        std::uint64_t corrupted;
+        if (f.kind == FaultKind::BitFlip) {
+            corrupted = f.savedValue ^ (1ull << rng_.nextBounded(64));
+        } else {
+            const auto it = treePrev_.find(node);
+            if (it == treePrev_.end())
+                return; // node never updated: no stale image to replay
+            corrupted = it->second;
+        }
+        if (corrupted == f.savedValue)
+            return;
+        tree_.tamperNode(node, corrupted);
+        break;
+      }
+      case FaultSurface::MdCacheLine:
+        return; // handled above
+    }
+
+    ++state.fired;
+    registerClass(f.classId);
+    faults_.push_back(std::move(f));
+}
+
+void
+FaultInjector::onMetadataAccess(Addr addr, MetadataType type, bool write,
+                                bool hit, bool fetched)
+{
+    // Arming: corrupted state brought on chip from attackable memory.
+    if (fetched) {
+        if (type == MetadataType::Counter) {
+            const std::uint64_t idx = MetadataLayout::indexOf(addr);
+            for (auto &f : faults_) {
+                if (f.outcome == Outcome::Active &&
+                    (f.surface == FaultSurface::CounterMinor ||
+                     f.surface == FaultSurface::CounterMajor) &&
+                    f.target == idx) {
+                    f.armed = true;
+                }
+            }
+        } else if (type == MetadataType::TreeNode && !write) {
+            for (auto &f : faults_) {
+                if (f.outcome == Outcome::Active &&
+                    f.surface == FaultSurface::TreeNode &&
+                    f.target == addr) {
+                    f.armed = true;
+                }
+            }
+        }
+    }
+
+    // A tree-node write (immediate path update or a dirty-eviction
+    // writeback) overwrites the stored node: pending corruption there
+    // is masked, never consumed.
+    if (type == MetadataType::TreeNode && write) {
+        for (auto &f : faults_) {
+            if (f.outcome == Outcome::Active &&
+                f.surface == FaultSurface::TreeNode && f.target == addr) {
+                resolve(f, Outcome::Masked);
+                repair(f); // the writeback installs the clean node
+            }
+        }
+    }
+
+    if (!hit)
+        return;
+
+    // Resident-line consumption first: a corrupted cached line read is
+    // silent by construction (the cache is inside the trust boundary —
+    // nothing re-verifies it); a write overwrites the corruption.
+    for (auto &f : faults_) {
+        if (f.outcome == Outcome::Active &&
+            f.surface == FaultSurface::MdCacheLine && f.target == addr) {
+            resolve(f, write ? Outcome::Masked : Outcome::Silent);
+        }
+    }
+
+    // Then install pending metadata-cache faults on this resident line.
+    for (auto &state : specs_) {
+        if (!state.armedForResident)
+            continue;
+        state.armedForResident = false;
+        Injected f;
+        f.id = faults_.size();
+        f.kind = state.spec.kind;
+        f.surface = FaultSurface::MdCacheLine;
+        f.classId = state.spec.classId();
+        f.atRequest = requestIndex_ ? requestIndex_ - 1 : 0;
+        f.target = addr;
+        registerClass(f.classId);
+        faults_.push_back(std::move(f));
+    }
+}
+
+void
+FaultInjector::onCounterVerify(Addr counter_block_addr)
+{
+    ++verifies_;
+    const std::uint64_t idx = MetadataLayout::indexOf(counter_block_addr);
+    if (tree_.verifyCounter(counter_block_addr, committedDigest(idx)))
+        return;
+
+    // The real verify path flagged a mismatch: every active fault whose
+    // corruption lies on this path is detected. The latency is measured
+    // against the request counter, which already advanced past the
+    // injection request (same-request detection = 0).
+    const auto path = layout_.treePathForCounter(counter_block_addr);
+    const std::uint64_t now =
+        requestIndex_ ? requestIndex_ - 1 : 0;
+    for (auto &f : faults_) {
+        if (f.outcome != Outcome::Active)
+            continue;
+        bool on_path = false;
+        if ((f.surface == FaultSurface::CounterMinor ||
+             f.surface == FaultSurface::CounterMajor) &&
+            f.target == idx) {
+            on_path = true;
+        } else if (f.surface == FaultSurface::TreeNode) {
+            on_path = std::find(path.begin(), path.end(),
+                                static_cast<Addr>(f.target)) != path.end();
+        }
+        if (!on_path)
+            continue;
+        resolve(f, Outcome::Detected);
+        f.resolvedAt = now;
+        repair(f);
+    }
+}
+
+void
+FaultInjector::onDataMacCheck(Addr data_addr)
+{
+    ++macChecks_;
+    const std::uint64_t blk = blockIndex(blockAlign(data_addr));
+    const std::uint64_t recomputed =
+        macFn(blk, dataStored(blk), mirror_.read(data_addr));
+    const bool mismatch = recomputed != storedMac(blk);
+
+    for (auto &f : faults_) {
+        if (f.outcome != Outcome::Active || f.target != blk)
+            continue;
+        if (f.surface != FaultSurface::Data &&
+            f.surface != FaultSurface::Mac) {
+            continue;
+        }
+        if (plan_.macCheckEnabled && mismatch) {
+            resolve(f, Outcome::Detected);
+            f.resolvedAt = requestIndex_ ? requestIndex_ - 1 : 0;
+            repair(f);
+        } else {
+            // Consumed without an effective check; silent at the next
+            // request boundary.
+            f.armed = true;
+        }
+    }
+}
+
+void
+FaultInjector::commitCounterBlock(Addr counter_block_addr)
+{
+    const std::uint64_t idx = MetadataLayout::indexOf(counter_block_addr);
+    const auto path = layout_.treePathForCounter(counter_block_addr);
+
+    // The write overwrites pending corruption of this counter block and
+    // of every tree node on its update path.
+    for (auto &f : faults_) {
+        if (f.outcome != Outcome::Active)
+            continue;
+        if ((f.surface == FaultSurface::CounterMinor ||
+             f.surface == FaultSurface::CounterMajor) &&
+            f.target == idx) {
+            resolve(f, Outcome::Masked);
+        } else if (f.surface == FaultSurface::TreeNode &&
+                   std::find(path.begin(), path.end(),
+                             static_cast<Addr>(f.target)) != path.end()) {
+            resolve(f, Outcome::Masked);
+        }
+    }
+
+    for (const Addr node : path)
+        treePrev_[node] = tree_.nodeDigest(node);
+    ctrDigestPrev_[idx] = committedDigest(idx);
+    const std::uint64_t digest = cleanDigest(counter_block_addr);
+    ctrDigest_[idx] = digest;
+    tree_.updateCounter(counter_block_addr, digest);
+}
+
+void
+FaultInjector::onWriteCommitted(const MemoryRequest &req)
+{
+    const std::uint64_t blk = blockIndex(blockAlign(req.addr));
+
+    for (auto &f : faults_) {
+        if (f.outcome == Outcome::Active && f.target == blk &&
+            (f.surface == FaultSurface::Data ||
+             f.surface == FaultSurface::Mac)) {
+            resolve(f, Outcome::Masked);
+        }
+    }
+
+    dataPrev_[blk] = dataStored(blk);
+    macPrev_[blk] = storedMac(blk);
+    const std::uint64_t version = ++dataClean_[blk];
+    dataOf_[blk] = version;
+    mirror_.onBlockWrite(req.addr);
+    macOf_[blk] = macFn(blk, version, mirror_.read(req.addr));
+
+    commitCounterBlock(layout_.counterBlockAddr(req.addr));
+}
+
+void
+FaultInjector::finalScrub()
+{
+    // Faults consumed by the tail request resolve as silent first.
+    for (auto &f : faults_) {
+        if (f.outcome == Outcome::Active && f.armed) {
+            resolve(f, Outcome::Silent);
+            repair(f);
+        }
+    }
+
+    for (auto &f : faults_) {
+        if (f.outcome != Outcome::Active)
+            continue;
+        switch (f.surface) {
+          case FaultSurface::CounterMinor:
+          case FaultSurface::CounterMajor: {
+            ++verifies_;
+            const Addr ctr = MetadataLayout::encode(
+                MetadataType::Counter, 0, f.target);
+            if (!tree_.verifyCounter(ctr, committedDigest(f.target))) {
+                resolve(f, Outcome::Detected);
+                repair(f);
+            } else {
+                resolve(f, Outcome::Dormant);
+            }
+            break;
+          }
+          case FaultSurface::TreeNode: {
+            ++verifies_;
+            const std::uint64_t idx =
+                MetadataLayout::indexOf(f.probeCtr);
+            if (!tree_.verifyCounter(f.probeCtr, committedDigest(idx))) {
+                resolve(f, Outcome::Detected);
+                repair(f);
+            } else {
+                resolve(f, Outcome::Dormant);
+            }
+            break;
+          }
+          case FaultSurface::Data:
+          case FaultSurface::Mac: {
+            if (!plan_.macCheckEnabled) {
+                resolve(f, Outcome::Dormant);
+                break;
+            }
+            ++macChecks_;
+            const Addr addr = static_cast<Addr>(f.target) * kBlockSize;
+            const std::uint64_t recomputed =
+                macFn(f.target, dataStored(f.target), mirror_.read(addr));
+            if (recomputed != storedMac(f.target)) {
+                resolve(f, Outcome::Detected);
+                repair(f);
+            } else {
+                resolve(f, Outcome::Dormant);
+            }
+            break;
+          }
+          case FaultSurface::MdCacheLine:
+            resolve(f, Outcome::Dormant);
+            break;
+        }
+    }
+}
+
+FaultReport
+FaultInjector::report() const
+{
+    FaultReport rep;
+    rep.requests = requestIndex_;
+    rep.verifies = verifies_;
+    rep.macChecks = macChecks_;
+    for (const auto &id : classOrder_)
+        rep.classes.emplace_back(id, FaultClassStats{});
+    for (const auto &f : faults_) {
+        FaultClassStats *stats = nullptr;
+        for (auto &[id, s] : rep.classes) {
+            if (id == f.classId) {
+                stats = &s;
+                break;
+            }
+        }
+        if (!stats)
+            continue;
+        ++stats->injected;
+        switch (f.outcome) {
+          case Outcome::Detected: {
+            ++stats->detected;
+            const std::uint64_t latency =
+                f.resolvedAt >= f.atRequest ? f.resolvedAt - f.atRequest
+                                            : 0;
+            stats->latencySum += latency;
+            stats->latencyMax = std::max(stats->latencyMax, latency);
+            break;
+          }
+          case Outcome::Silent:
+            ++stats->silent;
+            break;
+          case Outcome::Masked:
+            ++stats->masked;
+            break;
+          case Outcome::Dormant:
+          case Outcome::Active: // defensive: scrub resolves everything
+            ++stats->dormant;
+            break;
+        }
+    }
+    return rep;
+}
+
+std::string
+FaultInjector::auditMirror(const std::vector<Addr> &probe_addrs) const
+{
+    for (const Addr addr : probe_addrs) {
+        const CounterValue live = ctl_.counters().read(addr);
+        const CounterValue mine = mirror_.read(addr);
+        if (!(live == mine)) {
+            return "counter mismatch at " + hex(addr) + ": controller (" +
+                   std::to_string(live.major) + "," +
+                   std::to_string(live.minor) + ") vs mirror (" +
+                   std::to_string(mine.major) + "," +
+                   std::to_string(mine.minor) + ")";
+        }
+    }
+    if (ctl_.counters().pageOverflows() != mirror_.pageOverflows()) {
+        return "page-overflow tallies diverge: controller " +
+               std::to_string(ctl_.counters().pageOverflows()) +
+               " vs mirror " + std::to_string(mirror_.pageOverflows());
+    }
+    return "";
+}
+
+} // namespace maps::fault

@@ -1,0 +1,346 @@
+/**
+ * @file
+ * maps::fault — deterministic fault-injection campaigns against the
+ * secure-memory model.
+ *
+ * MAPS reproduces a *secure* memory simulator; this layer is the proof
+ * that the modeled protection actually protects. A FaultPlan declares
+ * seeded, trigger-based injections (at request N, at data address A, or
+ * with probability p per request) of bit-flips and stale replays into
+ * every metadata surface: data blocks, minor/major encryption counters,
+ * data-MAC lines, integrity-tree nodes, and metadata-cache contents.
+ * A FaultInjector attaches to a SecureMemoryController as its
+ * SecureMemoryFaultObserver, applies the corruptions to a functional
+ * tamper model (mirror counters, a real IntegrityTree, MAC and data
+ * images), and classifies every injected fault by what the controller's
+ * *real verify path* subsequently does with it:
+ *
+ *   detected  — a tree verification or MAC check flagged the mismatch
+ *               (the fault is then "repaired" so the campaign can keep
+ *               counting later injections);
+ *   silent    — the corrupted state was fetched and consumed by a
+ *               request without any verification catching it (for
+ *               covered surfaces this indicates a broken verify path —
+ *               e.g. the check_mutants skip-tree-verify bug);
+ *   masked    — the corruption was overwritten by a later write before
+ *               anything consumed it;
+ *   dormant   — never consumed nor overwritten by the end of the run
+ *               (finalScrub() resolves these through one last sweep of
+ *               the verifiable surfaces).
+ *
+ * Detection latency is measured in requests between injection and the
+ * verify failure. Everything is seeded: a campaign at a fixed seed and
+ * scale reproduces its coverage matrix byte for byte.
+ *
+ * Modeling notes (see docs/FAULTS.md): verification is path-complete
+ * (a functional verify walks leaf to root even when the timing walk
+ * stops at a cached ancestor), and write commits refresh the functional
+ * image immediately (the timing model's lazy writeback is approximated
+ * at commit time). Metadata-cache faults corrupt trusted on-chip SRAM,
+ * which tree+MAC verification can never detect — the class exists to
+ * demonstrate exactly that trust boundary.
+ */
+#ifndef MAPS_FAULT_FAULT_HPP
+#define MAPS_FAULT_FAULT_HPP
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "secmem/controller.hpp"
+#include "secmem/counter_store.hpp"
+#include "secmem/fault_hooks.hpp"
+#include "secmem/integrity_tree.hpp"
+#include "util/rng.hpp"
+
+namespace maps::fault {
+
+/** How a fault perturbs its target. */
+enum class FaultKind : std::uint8_t
+{
+    BitFlip = 0,     ///< flip bits in the stored value
+    StaleReplay = 1, ///< replay the previous (stale) stored value
+};
+
+/** Which stored state the fault lands in. */
+enum class FaultSurface : std::uint8_t
+{
+    Data = 0,         ///< a protected data block in memory
+    CounterMinor = 1, ///< a per-block (minor) encryption counter
+    CounterMajor = 2, ///< a per-page (major) encryption counter
+    Mac = 3,          ///< a stored data-MAC entry
+    TreeNode = 4,     ///< a stored integrity-tree node
+    MdCacheLine = 5,  ///< a metadata-cache line (trusted on-chip SRAM)
+};
+inline constexpr unsigned kNumFaultSurfaces = 6;
+
+const char *faultKindName(FaultKind k);
+const char *faultSurfaceName(FaultSurface s);
+
+/**
+ * Is the surface covered by the modeled protection? Tree-covered
+ * surfaces (counters, tree nodes) and MAC-covered surfaces (data, MAC
+ * lines — when MAC checking is enabled) must never be consumed
+ * silently; MdCacheLine is on-chip and by design uncovered.
+ */
+bool surfaceCovered(FaultSurface s, bool mac_check_enabled);
+
+/** When a fault spec fires. */
+struct FaultTrigger
+{
+    enum class Kind : std::uint8_t
+    {
+        AtRequest = 0,   ///< on the Nth request entering the controller
+        AtAddress = 1,   ///< on the first request touching data block A
+        PerRequest = 2,  ///< Bernoulli(p) draw on every request
+    };
+    Kind kind = Kind::AtRequest;
+    std::uint64_t request = 0; ///< AtRequest: N (0-based request index)
+    Addr addr = 0;             ///< AtAddress: data block address
+    double probability = 0.0;  ///< PerRequest: p per request
+};
+
+/** One declared injection. */
+struct FaultSpec
+{
+    FaultKind kind = FaultKind::BitFlip;
+    FaultSurface surface = FaultSurface::Data;
+    FaultTrigger trigger;
+    /** Stop injecting from this spec after this many injections. */
+    std::uint32_t limit = 1;
+
+    /** Campaign class id, e.g. "flip:counter-minor". */
+    std::string classId() const;
+};
+
+/**
+ * A full campaign declaration.
+ *
+ * Spec grammar (one spec per string; see docs/FAULTS.md):
+ *
+ *   <kind>:<surface>@<trigger>
+ *   kind    := flip | replay
+ *   surface := data | counter-minor | counter-major | mac | tree | mdcache
+ *   trigger := req=<N> | addr=<hex-or-dec> | p=<0..1>
+ *
+ * e.g. "flip:tree@req=120", "replay:counter-minor@p=0.001".
+ */
+struct FaultPlan
+{
+    std::vector<FaultSpec> specs;
+    /** Base seed for every randomized decision in the injector. */
+    std::uint64_t seed = 1;
+    /**
+     * Model the data-MAC check on the read path. Disabling it creates
+     * the demonstrably *uncovered* data-tamper class the coverage
+     * campaign reports.
+     */
+    bool macCheckEnabled = true;
+    /**
+     * Counter faults additionally corrupt the controller's live
+     * CounterStore, so the maps::check shadow (when --check is active)
+     * acts as a second, independent detector. The injector declares the
+     * resulting shadow divergences as expected with maps::check.
+     */
+    bool tamperLiveCounters = false;
+    /** Default injection limit for p= triggers parsed from strings. */
+    std::uint32_t defaultProbLimit = 8;
+
+    /**
+     * Parse one spec string into @p out. Returns "" on success, the
+     * error message otherwise.
+     */
+    static std::string parseSpec(const std::string &text, FaultSpec &out);
+    /** Parse and append; fatal-free, returns error or "". */
+    std::string add(const std::string &text);
+};
+
+/** Aggregate outcome counts for one fault class. */
+struct FaultClassStats
+{
+    std::uint64_t injected = 0;
+    std::uint64_t detected = 0;
+    std::uint64_t silent = 0;
+    std::uint64_t masked = 0;
+    std::uint64_t dormant = 0;
+    /** Sum/max of detection latencies (requests), over detected. */
+    std::uint64_t latencySum = 0;
+    std::uint64_t latencyMax = 0;
+
+    double avgLatency() const
+    {
+        return detected ? static_cast<double>(latencySum) /
+                              static_cast<double>(detected)
+                        : 0.0;
+    }
+    /** Detection coverage over consumed-or-scrubbed faults. */
+    double coverage() const
+    {
+        const std::uint64_t attributable = injected - masked;
+        return attributable ? static_cast<double>(detected) /
+                                  static_cast<double>(attributable)
+                            : 1.0;
+    }
+};
+
+/** End-of-campaign report. */
+struct FaultReport
+{
+    /** Keyed by FaultSpec::classId(), first-injection order. */
+    std::vector<std::pair<std::string, FaultClassStats>> classes;
+    std::uint64_t requests = 0;
+    std::uint64_t verifies = 0;
+    std::uint64_t macChecks = 0;
+
+    const FaultClassStats *find(const std::string &class_id) const;
+    FaultClassStats totals() const;
+};
+
+/**
+ * The injector. Construct over a controller, attach with
+ * `controller.setFaultObserver(&injector)`, run the workload, then call
+ * finalScrub() and read report().
+ *
+ * Thread-safety: an injector belongs to one simulation (one experiment
+ * cell); it is not shared across threads.
+ */
+class FaultInjector final : public SecureMemoryFaultObserver
+{
+  public:
+    FaultInjector(SecureMemoryController &controller, FaultPlan plan);
+
+    // SecureMemoryFaultObserver
+    void onRequest(const MemoryRequest &req) override;
+    void onMetadataAccess(Addr addr, MetadataType type, bool write,
+                          bool hit, bool fetched) override;
+    void onCounterVerify(Addr counter_block_addr) override;
+    void onDataMacCheck(Addr data_addr) override;
+    void onWriteCommitted(const MemoryRequest &req) override;
+
+    /**
+     * End-of-run integrity sweep: one functional verify per still-active
+     * fault on a verifiable surface, resolving it to detected; faults on
+     * unverifiable surfaces stay dormant. Mirrors a memory scrubber.
+     */
+    void finalScrub();
+
+    FaultReport report() const;
+
+    /**
+     * Self-audit: with live tampering off, the controller's functional
+     * counters must equal the injector's clean mirror at all times.
+     * Returns "" or a description of the first mismatch found over the
+     * touched pages of @p probe_addrs.
+     */
+    std::string auditMirror(const std::vector<Addr> &probe_addrs) const;
+
+    const FaultPlan &plan() const { return plan_; }
+
+  private:
+    enum class Outcome : std::uint8_t
+    {
+        Active = 0,
+        Detected,
+        Silent,
+        Masked,
+        Dormant,
+    };
+
+    struct Injected
+    {
+        std::uint64_t id = 0;
+        FaultKind kind = FaultKind::BitFlip;
+        FaultSurface surface = FaultSurface::Data;
+        std::string classId;
+        Outcome outcome = Outcome::Active;
+        std::uint64_t atRequest = 0;
+        /** Data block for Data/Mac; counter index for counters;
+         * node address for TreeNode; metadata addr for MdCacheLine. */
+        std::uint64_t target = 0;
+        /** Counter block whose verify path covers the fault. */
+        Addr probeCtr = kInvalidAddr;
+        /** Pre-corruption value, for repair-on-detection. */
+        std::uint64_t savedValue = 0;
+        /** Data address whose live counter was tampered. */
+        Addr liveAddr = kInvalidAddr;
+        /** Live CounterStore value saved before tampering. */
+        CounterValue savedLive{};
+        bool tamperedLive = false;
+        /** Fetched-from-memory this request, awaiting verification. */
+        bool armed = false;
+        /** Request index at resolution (latency = resolvedAt - atRequest). */
+        std::uint64_t resolvedAt = 0;
+    };
+
+    struct SpecState
+    {
+        FaultSpec spec;
+        std::uint32_t fired = 0;
+        /** MdCacheLine: trigger observed, waiting for a resident line. */
+        bool armedForResident = false;
+    };
+
+    SecureMemoryController &ctl_;
+    const MetadataLayout &layout_;
+    FaultPlan plan_;
+    Rng rng_;
+
+    /** Clean functional mirror (what the state *should* be). */
+    CounterStore mirror_;
+    /** Tree over the committed (possibly corrupted) counter digests. */
+    IntegrityTree tree_;
+    /** Committed digest per counter-block index. */
+    std::unordered_map<std::uint64_t, std::uint64_t> ctrDigest_;
+    /** Previous committed digest (stale-replay source). */
+    std::unordered_map<std::uint64_t, std::uint64_t> ctrDigestPrev_;
+    /** Pre-update digest of each tree node (stale-replay source). */
+    std::unordered_map<Addr, std::uint64_t> treePrev_;
+    /** Stored MAC per data block index. */
+    std::unordered_map<std::uint64_t, std::uint64_t> macOf_;
+    /** Previous committed MAC (stale-replay source). */
+    std::unordered_map<std::uint64_t, std::uint64_t> macPrev_;
+    /** Stored data "content" (version) per data block index. */
+    std::unordered_map<std::uint64_t, std::uint64_t> dataOf_;
+    /** Clean write-version per data block index. */
+    std::unordered_map<std::uint64_t, std::uint64_t> dataClean_;
+    /** Previous clean version (data stale-replay source). */
+    std::unordered_map<std::uint64_t, std::uint64_t> dataPrev_;
+
+    std::vector<SpecState> specs_;
+    std::vector<Injected> faults_;
+    std::vector<std::string> classOrder_;
+
+    std::uint64_t requestIndex_ = 0;
+    std::uint64_t verifies_ = 0;
+    std::uint64_t macChecks_ = 0;
+    MemoryRequest current_{};
+    bool inRequest_ = false;
+
+    void maybeInject(const MemoryRequest &req);
+    void inject(SpecState &state, const MemoryRequest &req);
+    void injectAt(SpecState &state, FaultSurface surface, Addr data_addr,
+                  Addr md_target);
+    void resolve(Injected &f, Outcome outcome);
+    void repair(Injected &f);
+
+    std::uint64_t committedDigest(std::uint64_t ctr_index) const;
+    std::uint64_t cleanDigest(Addr counter_block_addr) const;
+    /** Digest with one counter value perturbed (minor or major flip). */
+    std::uint64_t corruptDigest(Addr counter_block_addr, Addr victim_blk,
+                                FaultSurface surface,
+                                std::uint64_t mask) const;
+    /** Stored (possibly corrupted) data version / MAC for a block. */
+    std::uint64_t dataStored(std::uint64_t block_index) const;
+    std::uint64_t storedMac(std::uint64_t block_index) const;
+    /** MAC over (block, data version, counter) — the functional HMAC. */
+    std::uint64_t macFn(std::uint64_t block_index, std::uint64_t version,
+                        const CounterValue &ctr) const;
+    void commitCounterBlock(Addr counter_block_addr);
+
+    void registerClass(const std::string &class_id);
+};
+
+} // namespace maps::fault
+
+#endif // MAPS_FAULT_FAULT_HPP

@@ -4,6 +4,7 @@
 #include <deque>
 
 #include "check/check.hpp"
+#include "secmem/fault_hooks.hpp"
 #include "util/logging.hpp"
 
 namespace maps {
@@ -194,6 +195,8 @@ SecureMemoryController::handleRequest(const MemoryRequest &req, Cycles now)
 {
     panicIf(req.addr >= cfg_.layout.protectedBytes,
             "request outside the protected region");
+    if (faultObs_)
+        faultObs_->onRequest(req);
     if (req.kind == RequestKind::Read) {
         ++stats_.readRequests;
         return handleRead(req, now);
@@ -212,6 +215,10 @@ SecureMemoryController::traverseTree(Addr counter_block_addr,
         // authenticating them against the tree.
         return 0;
     }
+    // After the mutation gate on purpose: a skipped verification must
+    // not announce itself, so fault campaigns classify it as silent.
+    if (faultObs_)
+        faultObs_->onCounterVerify(counter_block_addr);
     Cycles verify = 0;
     Addr node = layout_.treeLeafForCounter(counter_block_addr);
     while (node != kInvalidAddr) {
@@ -221,6 +228,10 @@ SecureMemoryController::traverseTree(Addr counter_block_addr,
         const auto md =
             mdCache_->access(node, MetadataType::TreeNode, false);
         settleEviction(md, icount, now, outcome);
+        if (faultObs_) {
+            faultObs_->onMetadataAccess(node, MetadataType::TreeNode,
+                                        false, md.hit, !md.hit);
+        }
         if (md.hit) {
             // A cached node was verified when it was brought on chip:
             // the chain of trust ends here (one compare).
@@ -258,6 +269,8 @@ SecureMemoryController::prefetchNeighbor(Addr md_addr, MetadataType type,
     memAccess(type == MetadataType::Counter ? MemCategory::Counter
                                             : MemCategory::Hash,
               next, false, now, outcome);
+    if (faultObs_)
+        faultObs_->onMetadataAccess(next, type, false, false, true);
     // A prefetched counter must be verified before use; the walk runs
     // in the background alongside the demand verification.
     if (type == MetadataType::Counter)
@@ -279,6 +292,10 @@ SecureMemoryController::handleRead(const MemoryRequest &req, Cycles now)
     const auto ctr_md =
         mdCache_->access(ctr_addr, MetadataType::Counter, false);
     settleEviction(ctr_md, req.icount, now, outcome);
+    if (faultObs_) {
+        faultObs_->onMetadataAccess(ctr_addr, MetadataType::Counter,
+                                    false, ctr_md.hit, !ctr_md.hit);
+    }
     Cycles ctr_lat = 0;
     Cycles verify = 0;
     outcome.counterHit = ctr_md.hit;
@@ -311,6 +328,10 @@ SecureMemoryController::handleRead(const MemoryRequest &req, Cycles now)
     const auto hash_md =
         mdCache_->access(hash_addr, MetadataType::Hash, false, sub_index);
     settleEviction(hash_md, req.icount, now, outcome);
+    if (faultObs_) {
+        faultObs_->onMetadataAccess(hash_addr, MetadataType::Hash, false,
+                                    hash_md.hit, !hash_md.hit);
+    }
     Cycles hash_lat = 0;
     outcome.hashHit = hash_md.hit && hash_md.completionReads == 0;
     if (!hash_md.hit) {
@@ -325,6 +346,10 @@ SecureMemoryController::handleRead(const MemoryRequest &req, Cycles now)
         hash_lat =
             memAccess(MemCategory::Hash, hash_addr, false, now, outcome);
     }
+
+    // The data-hash (MAC) check over the fetched block.
+    if (faultObs_)
+        faultObs_->onDataMacCheck(req.addr);
 
     // Timing (§II-A): pad generation overlaps the data fetch; the XOR
     // costs one cycle. Without speculation, counter verification and the
@@ -354,6 +379,10 @@ SecureMemoryController::treeNodeWrite(Addr node_addr, InstCount icount,
     emitTap(node_addr, MetadataType::TreeNode, true, level, icount);
     const auto md = mdCache_->access(node_addr, MetadataType::TreeNode,
                                      true);
+    if (faultObs_) {
+        faultObs_->onMetadataAccess(node_addr, MetadataType::TreeNode,
+                                    true, md.hit, !md.hit);
+    }
     if (md.bypassed) {
         memAccess(MemCategory::Tree, node_addr, true, now, outcome);
     } else if (!md.hit) {
@@ -487,6 +516,10 @@ SecureMemoryController::handleWrite(const MemoryRequest &req, Cycles now)
     const auto ctr_md =
         mdCache_->access(ctr_addr, MetadataType::Counter, true);
     settleEviction(ctr_md, req.icount, now, outcome);
+    if (faultObs_) {
+        faultObs_->onMetadataAccess(ctr_addr, MetadataType::Counter,
+                                    true, ctr_md.hit, !ctr_md.hit);
+    }
     outcome.counterHit = ctr_md.hit;
     if (ctr_md.bypassed) {
         // Uncached counters: read-modify-write, and the fetched value
@@ -527,6 +560,13 @@ SecureMemoryController::handleWrite(const MemoryRequest &req, Cycles now)
     const auto hash_md =
         mdCache_->access(hash_addr, MetadataType::Hash, true, sub_index);
     settleEviction(hash_md, req.icount, now, outcome);
+    if (faultObs_) {
+        const bool fetched =
+            hash_md.bypassed ||
+            (!hash_md.hit && !hash_md.placeholderInserted);
+        faultObs_->onMetadataAccess(hash_addr, MetadataType::Hash, true,
+                                    hash_md.hit, fetched);
+    }
     outcome.hashHit = hash_md.hit;
     if (hash_md.bypassed) {
         memAccess(MemCategory::Hash, hash_addr, false, now, outcome);
@@ -537,6 +577,10 @@ SecureMemoryController::handleWrite(const MemoryRequest &req, Cycles now)
 
     // 5. The data block itself.
     memAccess(MemCategory::Data, req.addr, true, now, outcome);
+
+    // The write is now functionally committed (counter, MAC, data).
+    if (faultObs_)
+        faultObs_->onWriteCommitted(req);
 
     // Writebacks are posted; they do not stall the core.
     stats_.totalVerifyLatency += outcome.verifyLatency;

@@ -32,6 +32,8 @@
 
 namespace maps {
 
+class SecureMemoryFaultObserver;
+
 /** Categories of DRAM traffic for the energy/overhead breakdowns. */
 enum class MemCategory : std::uint8_t
 {
@@ -132,6 +134,27 @@ class SecureMemoryController
     using MetadataTap = std::function<void(const MetadataAccess &)>;
     void setMetadataTap(MetadataTap tap) { tap_ = std::move(tap); }
 
+    /**
+     * Attach a fault-injection observer (maps::fault). The observer sees
+     * every request, metadata-cache access outcome, tree verification
+     * and functional write commit, in hardware order (fault_hooks.hpp).
+     * Pass nullptr to detach. Must outlive the attachment.
+     */
+    void setFaultObserver(SecureMemoryFaultObserver *obs)
+    {
+        faultObs_ = obs;
+    }
+
+    /**
+     * Corrupt the live counter state for a data block (fault injection
+     * only; see CounterStore::tamper). Under --check the shadow model
+     * will — by design — diverge on the next write to the block.
+     */
+    void tamperCounter(Addr data_addr, const CounterValue &value)
+    {
+        counters_.tamper(data_addr, value);
+    }
+
     const ControllerStats &stats() const { return stats_; }
     void clearStats();
 
@@ -148,6 +171,7 @@ class SecureMemoryController
     CounterStore counters_;
     std::unique_ptr<MetadataCache> mdCache_;
     MetadataTap tap_;
+    SecureMemoryFaultObserver *faultObs_ = nullptr;
     ControllerStats stats_;
 
     /** Physical DRAM base of each metadata region. */

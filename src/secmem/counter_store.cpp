@@ -89,6 +89,19 @@ CounterStore::onBlockWrite(Addr data_addr)
     return result;
 }
 
+void
+CounterStore::tamper(Addr data_addr, const CounterValue &value)
+{
+    if (layout_.config().counterMode == CounterMode::MonolithicSgx) {
+        sgxCounters_[blockIndex(data_addr)] = value.major;
+        return;
+    }
+    PageCounters &page = pages_[pageIndex(data_addr)];
+    page.major = value.major;
+    page.minors[blockIndex(data_addr) % kBlocksPerPage] =
+        static_cast<std::uint8_t>(value.minor & minorLimit_);
+}
+
 CounterValue
 CounterStore::read(Addr data_addr) const
 {

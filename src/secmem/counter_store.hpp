@@ -55,6 +55,14 @@ class CounterStore
     /** Current counter value for a data block (zero if never written). */
     CounterValue read(Addr data_addr) const;
 
+    /**
+     * Overwrite a block's counter with an arbitrary value, bypassing the
+     * monotonic-bump bookkeeping. Fault injection only (maps::fault):
+     * models an attacker (or soft error) corrupting counter state. Minor
+     * values are truncated to the storage width.
+     */
+    void tamper(Addr data_addr, const CounterValue &value);
+
     /** Total per-page (major) overflows seen. */
     std::uint64_t pageOverflows() const { return pageOverflows_; }
 

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Observer interface the SecureMemoryController reports its
+ * security-relevant events through — the attachment point for the
+ * maps::fault injection layer (src/fault/).
+ *
+ * The controller is a timing model; tamper detection is demonstrated by
+ * a *functional* model (mirror counters + integrity tree + MAC image)
+ * that an observer maintains on the side. For that model to prove the
+ * controller's verify path actually covers what it claims, the observer
+ * must see, in hardware order:
+ *
+ *  - every request entering the controller (injection trigger points),
+ *  - every metadata-cache access with its hit/bypass outcome (a miss or
+ *    bypass is a fetch from attackable memory — the moment corrupted
+ *    state is *consumed*),
+ *  - every counter verification the controller performs (the real
+ *    verify path: traverseTree), so a fetch without a matching verify
+ *    is observable as silent corruption,
+ *  - every data-MAC check on the read path,
+ *  - every functional write commit (counter bump + MAC/data update —
+ *    the moment pending corruption of those locations is overwritten).
+ *
+ * The interface lives in secmem (not fault) so the controller does not
+ * depend on the fault library; a null observer costs one branch per
+ * event site.
+ */
+#ifndef MAPS_SECMEM_FAULT_HOOKS_HPP
+#define MAPS_SECMEM_FAULT_HOOKS_HPP
+
+#include "trace/record.hpp"
+
+namespace maps {
+
+class SecureMemoryFaultObserver
+{
+  public:
+    virtual ~SecureMemoryFaultObserver() = default;
+
+    /** A request is entering the controller (before any processing). */
+    virtual void onRequest(const MemoryRequest &req) = 0;
+
+    /**
+     * One metadata-cache access was performed. @p fetched is true when
+     * the block came from (attackable) memory — a miss or a bypass.
+     */
+    virtual void onMetadataAccess(Addr addr, MetadataType type, bool write,
+                                  bool hit, bool fetched) = 0;
+
+    /**
+     * The controller ran the integrity-tree verification for a counter
+     * block fetched from memory (the real verify path).
+     */
+    virtual void onCounterVerify(Addr counter_block_addr) = 0;
+
+    /** The read path checked the data MAC for a data block. */
+    virtual void onDataMacCheck(Addr data_addr) = 0;
+
+    /**
+     * A write request committed functionally: counter bumped, data and
+     * MAC images updated (and, lazily or not, the tree path refreshed).
+     */
+    virtual void onWriteCommitted(const MemoryRequest &req) = 0;
+};
+
+} // namespace maps
+
+#endif // MAPS_SECMEM_FAULT_HOOKS_HPP

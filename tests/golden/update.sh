@@ -1,0 +1,33 @@
+#!/bin/sh
+# Regenerate the golden-output JSON snapshots at the canonical operating
+# point (--scale=0.01 --seed=3 --format=json --no-progress --jobs=1).
+#
+# Only run this when an intentional change alters simulation results;
+# never to paper over nondeterminism. After regenerating, re-run
+# `ctest -R golden` and commit the new .jsonl files together with the
+# change that motivated them.
+#
+# Usage: tests/golden/update.sh [build-dir]   (default: ./build)
+set -eu
+
+golden_dir=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
+build_dir=${1:-"$golden_dir/../../build"}
+
+if [ ! -d "$build_dir/bench" ]; then
+    echo "error: '$build_dir/bench' not found; pass the build dir" >&2
+    echo "usage: $0 [build-dir]" >&2
+    exit 2
+fi
+
+for b in fig3_reuse_cdf fig6_eviction_policies tab2_data_protected; do
+    bin="$build_dir/bench/$b"
+    if [ ! -x "$bin" ]; then
+        echo "error: '$bin' missing; build the bench targets first" >&2
+        exit 2
+    fi
+    echo "regenerating $b.jsonl"
+    "$bin" --scale=0.01 --seed=3 --format=json --no-progress \
+        --jobs=1 --out="$golden_dir/$b.jsonl"
+done
+
+echo "done; verify with: ctest --test-dir $build_dir -R golden"

@@ -1,0 +1,324 @@
+/**
+ * @file
+ * Tests for maps::fault: spec-grammar parsing, the coverage matrix of
+ * surfaceCovered(), end-to-end detection through the controller's real
+ * verify path, the demonstrably uncovered data-without-MAC class, the
+ * maps::check expected-divergence contract for live counter tampering,
+ * and counter-overflow stress under injection.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "check/check.hpp"
+#include "core/simulator.hpp"
+#include "fault/fault.hpp"
+#include "mem/fixed_latency.hpp"
+#include "secmem/controller.hpp"
+
+namespace maps {
+namespace {
+
+using fault::FaultInjector;
+using fault::FaultKind;
+using fault::FaultPlan;
+using fault::FaultReport;
+using fault::FaultSpec;
+using fault::FaultSurface;
+using fault::FaultTrigger;
+
+// ---------------------------------------------------------------------
+// Spec grammar
+// ---------------------------------------------------------------------
+
+TEST(FaultSpecParsing, AcceptsEveryKindSurfaceAndTrigger)
+{
+    FaultSpec spec;
+
+    EXPECT_EQ(FaultPlan::parseSpec("flip:tree@req=120", spec), "");
+    EXPECT_EQ(spec.kind, FaultKind::BitFlip);
+    EXPECT_EQ(spec.surface, FaultSurface::TreeNode);
+    EXPECT_EQ(spec.trigger.kind, FaultTrigger::Kind::AtRequest);
+    EXPECT_EQ(spec.trigger.request, 120u);
+
+    EXPECT_EQ(FaultPlan::parseSpec("replay:counter-minor@p=0.001", spec),
+              "");
+    EXPECT_EQ(spec.kind, FaultKind::StaleReplay);
+    EXPECT_EQ(spec.surface, FaultSurface::CounterMinor);
+    EXPECT_EQ(spec.trigger.kind, FaultTrigger::Kind::PerRequest);
+    EXPECT_DOUBLE_EQ(spec.trigger.probability, 0.001);
+
+    EXPECT_EQ(FaultPlan::parseSpec("flip:data@addr=0x1000", spec), "");
+    EXPECT_EQ(spec.surface, FaultSurface::Data);
+    EXPECT_EQ(spec.trigger.kind, FaultTrigger::Kind::AtAddress);
+    EXPECT_EQ(spec.trigger.addr, 0x1000u);
+
+    EXPECT_EQ(FaultPlan::parseSpec("flip:counter-major@addr=4096", spec),
+              "");
+    EXPECT_EQ(spec.surface, FaultSurface::CounterMajor);
+    EXPECT_EQ(spec.trigger.addr, 4096u);
+
+    EXPECT_EQ(FaultPlan::parseSpec("replay:mac@req=3", spec), "");
+    EXPECT_EQ(spec.surface, FaultSurface::Mac);
+
+    EXPECT_EQ(FaultPlan::parseSpec("flip:mdcache@p=0.5", spec), "");
+    EXPECT_EQ(spec.surface, FaultSurface::MdCacheLine);
+}
+
+TEST(FaultSpecParsing, RejectsMalformedSpecs)
+{
+    FaultSpec spec;
+    EXPECT_NE(FaultPlan::parseSpec("", spec), "");
+    EXPECT_NE(FaultPlan::parseSpec("zap:data@req=1", spec), "");
+    EXPECT_NE(FaultPlan::parseSpec("flip:bogus@req=1", spec), "");
+    EXPECT_NE(FaultPlan::parseSpec("flip:data", spec), "");
+    EXPECT_NE(FaultPlan::parseSpec("flip:data@when=now", spec), "");
+    EXPECT_NE(FaultPlan::parseSpec("flip:data@req=abc", spec), "");
+    EXPECT_NE(FaultPlan::parseSpec("flip:data@p=1.5", spec), "");
+    EXPECT_NE(FaultPlan::parseSpec("flip:data@p=-0.1", spec), "");
+}
+
+TEST(FaultSpecParsing, PlanAddCollectsSpecsAndReportsErrors)
+{
+    FaultPlan plan;
+    EXPECT_EQ(plan.add("flip:tree@req=7"), "");
+    EXPECT_EQ(plan.add("replay:data@p=0.01"), "");
+    EXPECT_NE(plan.add("nonsense"), "");
+    ASSERT_EQ(plan.specs.size(), 2u);
+    EXPECT_EQ(plan.specs[0].classId(), "flip:tree");
+    EXPECT_EQ(plan.specs[1].classId(), "replay:data");
+}
+
+TEST(FaultSpec, ClassIdNamesKindAndSurface)
+{
+    FaultSpec spec;
+    spec.kind = FaultKind::BitFlip;
+    spec.surface = FaultSurface::CounterMinor;
+    EXPECT_EQ(spec.classId(), "flip:counter-minor");
+    spec.kind = FaultKind::StaleReplay;
+    spec.surface = FaultSurface::TreeNode;
+    EXPECT_EQ(spec.classId(), "replay:tree");
+}
+
+// ---------------------------------------------------------------------
+// Coverage matrix
+// ---------------------------------------------------------------------
+
+TEST(FaultSurfaceCovered, TreeCoveredSurfacesAreAlwaysCovered)
+{
+    for (bool mac : {false, true}) {
+        EXPECT_TRUE(
+            fault::surfaceCovered(FaultSurface::CounterMinor, mac));
+        EXPECT_TRUE(
+            fault::surfaceCovered(FaultSurface::CounterMajor, mac));
+        EXPECT_TRUE(fault::surfaceCovered(FaultSurface::TreeNode, mac));
+    }
+}
+
+TEST(FaultSurfaceCovered, MacCoveredSurfacesDependOnMacCheck)
+{
+    EXPECT_TRUE(fault::surfaceCovered(FaultSurface::Data, true));
+    EXPECT_TRUE(fault::surfaceCovered(FaultSurface::Mac, true));
+    EXPECT_FALSE(fault::surfaceCovered(FaultSurface::Data, false));
+    EXPECT_FALSE(fault::surfaceCovered(FaultSurface::Mac, false));
+}
+
+TEST(FaultSurfaceCovered, MdCacheIsNeverCovered)
+{
+    EXPECT_FALSE(fault::surfaceCovered(FaultSurface::MdCacheLine, true));
+    EXPECT_FALSE(
+        fault::surfaceCovered(FaultSurface::MdCacheLine, false));
+}
+
+// ---------------------------------------------------------------------
+// End-to-end campaigns on a tiny simulation
+// ---------------------------------------------------------------------
+
+SimConfig
+tinySimConfig(std::uint64_t seed)
+{
+    SimConfig cfg;
+    cfg.benchmark = "libquantum";
+    cfg.seed = seed;
+    // Tiny caches so a short trace produces real metadata traffic.
+    cfg.hierarchy.l1Bytes = 2_KiB;
+    cfg.hierarchy.l2Bytes = 4_KiB;
+    cfg.hierarchy.llcBytes = 8_KiB;
+    cfg.warmupRefs = 2'000;
+    cfg.measureRefs = 20'000;
+    return cfg;
+}
+
+FaultReport
+runPlan(const FaultPlan &plan, std::uint64_t seed)
+{
+    SimConfig cfg = tinySimConfig(seed);
+    SecureMemorySim sim(cfg);
+    FaultInjector injector(sim.controller(), plan);
+    sim.controller().setFaultObserver(&injector);
+    sim.run();
+    injector.finalScrub();
+    return injector.report();
+}
+
+TEST(FaultCampaign, CoveredSurfacesDetectEverythingNotMasked)
+{
+    FaultPlan plan;
+    plan.seed = 42;
+    for (const char *spec : {
+             "flip:counter-minor@req=5",
+             "replay:counter-minor@p=0.01",
+             "flip:counter-major@req=9",
+             "flip:tree@req=13",
+             "replay:tree@p=0.01",
+             "flip:mac@req=17",
+             "replay:mac@p=0.01",
+             "flip:data@req=21",
+             "replay:data@p=0.01",
+         }) {
+        ASSERT_EQ(plan.add(spec), "") << spec;
+    }
+
+    const FaultReport report = runPlan(plan, plan.seed);
+    EXPECT_GT(report.requests, 0u);
+    EXPECT_GT(report.verifies, 0u);
+    EXPECT_GT(report.macChecks, 0u);
+    EXPECT_FALSE(report.classes.empty());
+
+    for (const auto &[class_id, stats] : report.classes) {
+        EXPECT_GT(stats.injected, 0u) << class_id;
+        EXPECT_EQ(stats.silent, 0u) << class_id;
+        EXPECT_EQ(stats.dormant, 0u) << class_id;
+        EXPECT_EQ(stats.detected, stats.injected - stats.masked)
+            << class_id;
+        EXPECT_DOUBLE_EQ(stats.coverage(), 1.0) << class_id;
+    }
+}
+
+TEST(FaultCampaign, DataTamperingUndetectedWithoutMacCheck)
+{
+    FaultPlan plan;
+    plan.seed = 7;
+    plan.macCheckEnabled = false;
+    ASSERT_EQ(plan.add("flip:data@req=7"), "");
+    ASSERT_EQ(plan.add("flip:data@p=0.02"), "");
+
+    const FaultReport report = runPlan(plan, plan.seed);
+    const auto *stats = report.find("flip:data");
+    ASSERT_NE(stats, nullptr);
+    EXPECT_GT(stats->injected, 0u);
+    EXPECT_EQ(stats->detected, 0u)
+        << "data faults must sail through with the MAC check off";
+    EXPECT_EQ(stats->silent + stats->masked + stats->dormant,
+              stats->injected);
+}
+
+TEST(FaultCampaign, ReportIsDeterministicPerSeed)
+{
+    FaultPlan plan;
+    plan.seed = 99;
+    ASSERT_EQ(plan.add("flip:counter-minor@req=5"), "");
+    ASSERT_EQ(plan.add("replay:tree@p=0.01"), "");
+
+    const FaultReport a = runPlan(plan, plan.seed);
+    const FaultReport b = runPlan(plan, plan.seed);
+    ASSERT_EQ(a.classes.size(), b.classes.size());
+    for (std::size_t i = 0; i < a.classes.size(); ++i) {
+        EXPECT_EQ(a.classes[i].first, b.classes[i].first);
+        EXPECT_EQ(a.classes[i].second.injected,
+                  b.classes[i].second.injected);
+        EXPECT_EQ(a.classes[i].second.detected,
+                  b.classes[i].second.detected);
+        EXPECT_EQ(a.classes[i].second.latencySum,
+                  b.classes[i].second.latencySum);
+    }
+}
+
+TEST(FaultCampaign, LiveTamperDivergesShadowAsExpectedOnly)
+{
+    // Satellite of the coverage campaign: with maps::check active and
+    // live counter tampering on, the shadow MUST diverge for injected
+    // corruptions — and every divergence must be routed to the expected
+    // tally (declared by the injector), never to a check failure.
+    check::setEnabled(true);
+    check::setFailureMode(check::FailureMode::Record);
+    check::resetStats();
+
+    {
+        FaultPlan plan;
+        plan.seed = 11;
+        plan.tamperLiveCounters = true;
+        ASSERT_EQ(plan.add("flip:counter-minor@req=11"), "");
+        ASSERT_EQ(plan.add("flip:counter-major@req=23"), "");
+
+        SimConfig cfg = tinySimConfig(plan.seed);
+        SecureMemorySim sim(cfg);
+        FaultInjector injector(sim.controller(), plan);
+        sim.controller().setFaultObserver(&injector);
+        sim.run();
+        injector.finalScrub();
+
+        EXPECT_GT(injector.report().totals().injected, 0u);
+    }
+
+    EXPECT_GT(check::expectedCount(), 0u)
+        << "shadow must diverge for live-tampered counters";
+    EXPECT_EQ(check::failureCount(), 0u)
+        << "plan-declared divergences must not count as failures";
+
+    check::clearExpectedDomains();
+    check::resetStats();
+    check::setEnabled(false);
+}
+
+// ---------------------------------------------------------------------
+// Counter-overflow stress under injection
+// ---------------------------------------------------------------------
+
+TEST(FaultCampaign, CounterOverflowStressStaysConsistentUnderInjection)
+{
+    // Hammer one page with writebacks until the 7-bit split-PI minors
+    // wrap (page overflow -> re-encryption) while counter faults fire.
+    // The injector's clean mirror must track the controller's functional
+    // counters exactly across the overflows, and nothing may be silent.
+    SecureMemoryConfig cfg;
+    cfg.layout.protectedBytes = 16_MiB;
+    cfg.cache = MetadataCacheConfig::allTypes(16_KiB);
+    FixedLatencyMemory mem(100);
+    SecureMemoryController ctrl(cfg, mem);
+
+    FaultPlan plan;
+    plan.seed = 5;
+    ASSERT_EQ(plan.add("flip:counter-minor@req=20"), "");
+    ASSERT_EQ(plan.add("replay:counter-minor@p=0.005"), "");
+    ASSERT_EQ(plan.add("flip:counter-major@req=150"), "");
+    FaultInjector injector(ctrl, plan);
+    ctrl.setFaultObserver(&injector);
+
+    std::vector<Addr> probes;
+    for (Addr a = 0; a < 8; ++a)
+        probes.push_back(0x1000 + a * kBlockSize);
+    for (int round = 0; round < 200; ++round) {
+        for (const Addr addr : probes) {
+            ctrl.handleRequest({addr, RequestKind::Writeback, 0});
+            ctrl.handleRequest({addr, RequestKind::Read, 0});
+        }
+    }
+    injector.finalScrub();
+
+    EXPECT_GT(ctrl.stats().pageOverflows, 0u)
+        << "stress must actually wrap the 7-bit minors";
+
+    const FaultReport report = injector.report();
+    EXPECT_GT(report.totals().injected, 0u);
+    EXPECT_EQ(report.totals().silent, 0u);
+    EXPECT_EQ(report.totals().dormant, 0u);
+
+    // The clean mirror agrees with the live store even across page
+    // re-encryptions interleaved with (repaired) injections.
+    EXPECT_EQ(injector.auditMirror(probes), "");
+}
+
+} // namespace
+} // namespace maps

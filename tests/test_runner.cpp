@@ -5,8 +5,16 @@
  */
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
+
+#include <unistd.h>
 
 #include "core/runner.hpp"
 #include "core/simulator.hpp"
@@ -65,6 +73,12 @@ TEST(RunnerOptions, ParsesEveryFlag)
     EXPECT_DOUBLE_EQ(opts.scale, 4.0);
     EXPECT_EQ(Options::tryParse({"--format=json"}, opts), "");
     EXPECT_EQ(opts.format, OutputFormat::Jsonl);
+
+    EXPECT_EQ(Options::tryParse({"--cell-timeout=2.5", "--resume=/tmp/ck"},
+                                opts),
+              "");
+    EXPECT_DOUBLE_EQ(opts.cellTimeoutSec, 2.5);
+    EXPECT_EQ(opts.resumeDir, "/tmp/ck");
 }
 
 TEST(RunnerOptions, RejectsUnknownFlags)
@@ -92,6 +106,9 @@ TEST(RunnerOptions, RejectsBadValues)
     EXPECT_NE(Options::tryParse({"--jobs=0"}, opts), "");
     EXPECT_NE(Options::tryParse({"--jobs=many"}, opts), "");
     EXPECT_NE(Options::tryParse({"--format=xml"}, opts), "");
+    EXPECT_NE(Options::tryParse({"--cell-timeout=0"}, opts), "");
+    EXPECT_NE(Options::tryParse({"--cell-timeout=abc"}, opts), "");
+    EXPECT_NE(Options::tryParse({"--resume="}, opts), "");
     EXPECT_EQ(Options::tryParse({"--help"}, opts), "help");
 }
 
@@ -190,17 +207,248 @@ TEST(Runner, FillsPerCellSeedsDeterministically)
     EXPECT_NE(seen[0], seen[1]);
 }
 
-TEST(Runner, PropagatesWorkerExceptions)
+// ---------------------------------------------------------------------------
+// Failure isolation, watchdog, resume.
+// ---------------------------------------------------------------------------
+
+TEST(Runner, IsolatesWorkerFailures)
+{
+    // One poisoned cell in a grid of eight: the other seven must still
+    // produce their rows, the failure is recorded with the cell's id
+    // and seed, and nothing throws out of run().
+    std::vector<Cell> cells;
+    for (int i = 0; i < 8; ++i) {
+        const std::string id = "cell" + std::to_string(i);
+        if (i == 3) {
+            cells.push_back({id, 0, [](const Cell &) -> CellOutput {
+                throw std::runtime_error("poisoned");
+            }});
+        } else {
+            cells.push_back({id, 0, [id](const Cell &) {
+                return CellOutput{}.add(Row{}.add("id", id));
+            }});
+        }
+    }
+    Options opts;
+    opts.jobs = 4;
+    opts.progress = false;
+    ExperimentRunner r(opts);
+    const auto out = r.run(cells, "grid");
+
+    ASSERT_EQ(out.size(), 8u);
+    for (int i = 0; i < 8; ++i) {
+        if (i == 3) {
+            EXPECT_TRUE(out[i].rows.empty());
+        } else {
+            ASSERT_EQ(out[i].rows.size(), 1u);
+            EXPECT_EQ(out[i].rows[0].row.find("id")->text(),
+                      "cell" + std::to_string(i));
+        }
+    }
+    ASSERT_EQ(r.failures().size(), 1u);
+    EXPECT_EQ(r.failures()[0].id, "cell3");
+    EXPECT_EQ(r.failures()[0].index, 3u);
+    EXPECT_EQ(r.failures()[0].phase, "grid");
+    EXPECT_EQ(r.failures()[0].error, "poisoned");
+    EXPECT_EQ(r.failures()[0].seed,
+              runner::deriveCellSeed(opts.seed, "cell3"));
+}
+
+TEST(Runner, RecordsNonStdExceptionsToo)
 {
     std::vector<Cell> cells;
-    cells.push_back({"ok", 0, [](const Cell &) { return CellOutput{}; }});
-    cells.push_back({"boom", 0, [](const Cell &) -> CellOutput {
-        throw std::runtime_error("cell failed");
+    cells.push_back({"weird", 0, [](const Cell &) -> CellOutput {
+        throw 42; // not derived from std::exception
+    }});
+    Options opts;
+    opts.jobs = 1;
+    opts.progress = false;
+    ExperimentRunner r(opts);
+    r.run(cells);
+    ASSERT_EQ(r.failures().size(), 1u);
+    EXPECT_EQ(r.failures()[0].error, "unknown exception");
+}
+
+TEST(Runner, HeartbeatIsNoOpOutsideWorkers)
+{
+    EXPECT_NO_THROW(runner::heartbeat());
+}
+
+TEST(Runner, CellTimeoutCancelsCooperatively)
+{
+    std::vector<Cell> cells;
+    cells.push_back({"slow", 0, [](const Cell &) -> CellOutput {
+        const auto start = std::chrono::steady_clock::now();
+        for (;;) {
+            runner::heartbeat();
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+            if (std::chrono::steady_clock::now() - start >
+                std::chrono::seconds(30)) {
+                return CellOutput{}; // watchdog failed: finish anyway
+            }
+        }
+    }});
+    cells.push_back({"fast", 0, [](const Cell &) {
+        return CellOutput{}.add(Row{}.add("ok", "yes"));
     }});
     Options opts;
     opts.jobs = 2;
     opts.progress = false;
-    EXPECT_THROW(ExperimentRunner(opts).run(cells), std::runtime_error);
+    opts.cellTimeoutSec = 0.1;
+    ExperimentRunner r(opts);
+    const auto out = r.run(cells);
+    ASSERT_EQ(r.failures().size(), 1u);
+    EXPECT_EQ(r.failures()[0].id, "slow");
+    EXPECT_NE(r.failures()[0].error.find("--cell-timeout"),
+              std::string::npos);
+    ASSERT_EQ(out[1].rows.size(), 1u) << "fast cell unaffected";
+}
+
+CellOutput
+sampleOutput()
+{
+    CellOutput out;
+    out.add("sec one", Row{}
+                           .add("name", "weird \"chars\"\n\t:,{}")
+                           .add("pi", 3.14159265358979, 7)
+                           .add("count", std::uint64_t{0xFFFFFFFFFFFFFFFFull}));
+    out.add(Row{}.add("empty", "").add("neg", -0.0, 3));
+    return out;
+}
+
+TEST(RunnerCheckpoint, SerializationRoundTripsExactly)
+{
+    const auto original = sampleOutput();
+    const auto text = runner::detail::serializeCellOutput(original);
+    CellOutput parsed;
+    ASSERT_TRUE(runner::detail::parseCellOutput(text, parsed));
+    ASSERT_EQ(parsed.rows.size(), original.rows.size());
+    for (std::size_t r = 0; r < original.rows.size(); ++r) {
+        EXPECT_EQ(parsed.rows[r].section, original.rows[r].section);
+        const auto &a = original.rows[r].row.cols;
+        const auto &b = parsed.rows[r].row.cols;
+        ASSERT_EQ(a.size(), b.size());
+        for (std::size_t c = 0; c < a.size(); ++c) {
+            EXPECT_EQ(a[c].first, b[c].first);
+            EXPECT_EQ(a[c].second.kind(), b[c].second.kind());
+            // Byte-exact rendering in every sink format.
+            EXPECT_EQ(a[c].second.text(), b[c].second.text());
+            EXPECT_EQ(a[c].second.json(), b[c].second.json());
+        }
+    }
+    // Re-serializing the parse is the identity.
+    EXPECT_EQ(runner::detail::serializeCellOutput(parsed), text);
+}
+
+TEST(RunnerCheckpoint, ParserRejectsCorruptInput)
+{
+    const auto text = runner::detail::serializeCellOutput(sampleOutput());
+    CellOutput out;
+    EXPECT_FALSE(runner::detail::parseCellOutput("", out));
+    EXPECT_FALSE(runner::detail::parseCellOutput("garbage", out));
+    // Truncation at every prefix length must be rejected, never crash.
+    for (std::size_t n = 0; n < text.size(); n += 7)
+        EXPECT_FALSE(runner::detail::parseCellOutput(
+            text.substr(0, n), out))
+            << "accepted a " << n << "-byte truncation";
+    std::string flipped = text;
+    flipped[flipped.size() / 2] ^= 0x20;
+    CellOutput dummy;
+    // A flipped byte either fails parse or changes content; it must
+    // never be silently accepted as the original.
+    if (runner::detail::parseCellOutput(flipped, dummy)) {
+        EXPECT_NE(runner::detail::serializeCellOutput(dummy), text);
+    }
+}
+
+TEST(RunnerCheckpoint, FileNameKeyedOnConfiguration)
+{
+    Cell cell{"canneal/64KB", 7, nullptr};
+    const auto base = runner::detail::checkpointFileName("p", cell, 1.0);
+    EXPECT_EQ(base, runner::detail::checkpointFileName("p", cell, 1.0));
+    EXPECT_NE(base, runner::detail::checkpointFileName("q", cell, 1.0));
+    EXPECT_NE(base, runner::detail::checkpointFileName("p", cell, 2.0));
+    Cell other = cell;
+    other.seed = 8;
+    EXPECT_NE(base, runner::detail::checkpointFileName("p", other, 1.0));
+    // The id is sanitized into a portable file name.
+    EXPECT_EQ(base.find('/'), std::string::npos);
+}
+
+TEST(RunnerResume, SkipsCheckpointedCellsAndMatchesUninterrupted)
+{
+    namespace fs = std::filesystem;
+    const auto dir = fs::temp_directory_path() /
+                     ("maps_resume_test_" +
+                      std::to_string(::getpid()));
+    fs::remove_all(dir);
+
+    std::atomic<int> executions{0};
+    const auto make_cells = [&executions] {
+        std::vector<Cell> cells;
+        for (int i = 0; i < 6; ++i) {
+            const std::string id = "cell" + std::to_string(i);
+            cells.push_back({id, 0, [id, &executions](const Cell &cell) {
+                ++executions;
+                return CellOutput{}.add(
+                    Row{}.add("id", id).add("seed", cell.seed).add(
+                        "x", 0.1 * static_cast<double>(cell.seed % 97),
+                        6));
+            }});
+        }
+        return cells;
+    };
+
+    Options opts;
+    opts.jobs = 2;
+    opts.progress = false;
+    opts.resumeDir = dir.string();
+
+    // First (uninterrupted) run writes one checkpoint per cell.
+    ExperimentRunner first(opts);
+    const auto baseline = first.run(make_cells(), "phase");
+    EXPECT_EQ(executions.load(), 6);
+    EXPECT_EQ(first.resumedCells(), 0u);
+
+    // Simulate a crash that lost some checkpoints: delete two files.
+    std::vector<fs::path> files;
+    for (const auto &e : fs::directory_iterator(dir))
+        files.push_back(e.path());
+    ASSERT_EQ(files.size(), 6u);
+    std::sort(files.begin(), files.end());
+    fs::remove(files[1]);
+    fs::remove(files[4]);
+
+    executions = 0;
+    ExperimentRunner second(opts);
+    const auto resumed = second.run(make_cells(), "phase");
+    EXPECT_EQ(executions.load(), 2) << "only the lost cells re-ran";
+    EXPECT_EQ(second.resumedCells(), 4u);
+
+    // The resumed outputs must be byte-identical to the uninterrupted
+    // run in every rendered format.
+    ASSERT_EQ(resumed.size(), baseline.size());
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+        EXPECT_EQ(runner::detail::serializeCellOutput(resumed[i]),
+                  runner::detail::serializeCellOutput(baseline[i]));
+    }
+
+    // A torn checkpoint (partial write) is re-run, not trusted.
+    {
+        std::ifstream in(files[0], std::ios::binary);
+        std::stringstream ss;
+        ss << in.rdbuf();
+        const auto full = ss.str();
+        std::ofstream torn(files[0],
+                           std::ios::binary | std::ios::trunc);
+        torn << full.substr(0, full.size() / 2);
+    }
+    executions = 0;
+    ExperimentRunner third(opts);
+    third.run(make_cells(), "phase");
+    EXPECT_EQ(executions.load(), 1) << "torn checkpoint re-executed";
+
+    fs::remove_all(dir);
 }
 
 // ---------------------------------------------------------------------------
