@@ -117,7 +117,7 @@ main(int argc, char **argv)
     std::vector<Cell> cells;
     for (const std::string bench :
          {"perl", "gcc", "libquantum", "canneal"}) {
-        cells.push_back({bench, 0, [=](const Cell &) {
+        cells.push_back({bench, 0, [=](const Cell &cell) {
             auto cfg = defaultConfig(bench, opts, 300'000, 100'000);
             cfg.secure.cacheEnabled = false; // capture the raw stream
             SecureMemorySim sim(cfg);
@@ -125,7 +125,7 @@ main(int argc, char **argv)
             sim.setMetadataTap([&stream](const MetadataAccess &a) {
                 stream.push_back(a);
             });
-            sim.run();
+            const auto report = sim.run();
             if (stream.size() > trace_cap)
                 stream.resize(trace_cap);
 
@@ -161,6 +161,7 @@ main(int argc, char **argv)
                 .add("exact", csopt.exact ? "yes" : "no (beam)");
             CellOutput out;
             out.add(std::move(row));
+            addMetricsRows(out, cell.id, report);
             return out;
         }});
     }

@@ -31,7 +31,7 @@ main(int argc, char **argv)
              {CounterMode::SplitPi, CounterMode::MonolithicSgx}) {
             const std::string id =
                 bench + "/" + counterModeName(mode);
-            cells.push_back({id, 0, [=](const Cell &) {
+            cells.push_back({id, 0, [=](const Cell &cell) {
                 auto cfg = defaultConfig(bench, opts, 1'200'000,
                                          250'000);
                 cfg.measureRefs = std::max<std::uint64_t>(
@@ -70,6 +70,7 @@ main(int argc, char **argv)
                          report.memAccessesPerRequest, 2);
                 CellOutput out;
                 out.add(std::move(row));
+                addMetricsRows(out, cell.id, report);
                 return out;
             }});
         }

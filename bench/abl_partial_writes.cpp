@@ -25,7 +25,7 @@ main(int argc, char **argv)
     std::vector<Cell> cells;
     for (const std::string bench :
          {"fft", "lbm", "leslie3d", "radix", "libquantum", "canneal"}) {
-        cells.push_back({bench, 0, [=](const Cell &) {
+        cells.push_back({bench, 0, [=](const Cell &cell) {
             auto cfg = defaultConfig(bench, opts, 1'200'000, 250'000);
             // Hash writes require dirty LLC evictions; keep enough refs
             // to generate them even at --quick.
@@ -71,6 +71,8 @@ main(int argc, char **argv)
                 .add("md MPKI on", on.metadataMpki, 1);
             CellOutput out;
             out.add(std::move(row));
+            addMetricsRows(out, cell.id + "/off", off);
+            addMetricsRows(out, cell.id + "/on", on);
             return out;
         }});
     }

@@ -39,29 +39,32 @@ main(int argc, char **argv)
         for (const auto size : sizes) {
             const std::string id =
                 bench + "/" + TextTable::fmtSize(size);
-            cells.push_back({id, 0, [=](const Cell &) {
+            cells.push_back({id, 0, [=](const Cell &cell) {
                 Row row;
                 row.add("md cache", Value::size(size));
+                std::vector<std::pair<std::string, RunReport>> reports;
                 for (const auto &policy : policies) {
                     auto cfg = defaultConfig(bench, opts, 600'000,
                                              200'000);
                     cfg.secure.cache.sizeBytes = size;
                     cfg.secure.cache.policy = policy;
-                    const auto report = runBenchmark(cfg);
+                    auto report = runBenchmark(cfg);
                     row.add(policy,
-                            1000.0 *
-                                static_cast<double>(
-                                    report.controller
-                                        .metadataMemAccesses()) /
-                                static_cast<double>(
-                                    report.instructions),
+                            metrics::perKiloInstructions(
+                                report.controller
+                                    .metadataMemAccesses(),
+                                report.instructions),
                             1);
+                    reports.emplace_back(cell.id + "/" + policy,
+                                         std::move(report));
                 }
                 CellOutput out;
                 out.add("benchmark: " + bench +
                             " (metadata *memory traffic* per "
                             "kilo-instruction)",
                         std::move(row));
+                for (const auto &[label, report] : reports)
+                    addMetricsRows(out, label, report);
                 return out;
             }});
         }

@@ -24,7 +24,7 @@ main(int argc, char **argv)
     for (const std::string bench :
          {"libquantum", "streamcluster", "fft", "leslie3d", "canneal",
           "mcf"}) {
-        cells.push_back({bench, 0, [=](const Cell &) {
+        cells.push_back({bench, 0, [=](const Cell &cell) {
             auto cfg = defaultConfig(bench, opts, 600'000, 200'000);
             cfg.secure.prefetchNextMetadata = false;
             const auto off = runBenchmark(cfg);
@@ -56,6 +56,8 @@ main(int argc, char **argv)
                              off.controller.metadataMemAccesses())));
             CellOutput out;
             out.add(std::move(row));
+            addMetricsRows(out, cell.id + "/off", off);
+            addMetricsRows(out, cell.id + "/on", on);
             return out;
         }});
     }

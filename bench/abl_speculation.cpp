@@ -25,7 +25,7 @@ main(int argc, char **argv)
     std::vector<Cell> cells;
     for (const std::string bench :
          {"canneal", "libquantum", "fft", "mcf", "leslie3d"}) {
-        cells.push_back({bench, 0, [=](const Cell &) {
+        cells.push_back({bench, 0, [=](const Cell &cell) {
             auto cfg = defaultConfig(bench, opts, 500'000, 150'000);
             cfg.secure.speculation = true;
             const auto spec = runBenchmark(cfg);
@@ -46,6 +46,8 @@ main(int argc, char **argv)
                 .add("ED^2 ratio", nospec.ed2 / spec.ed2, 2);
             CellOutput out;
             out.add(std::move(row));
+            addMetricsRows(out, cell.id + "/spec", spec);
+            addMetricsRows(out, cell.id + "/nospec", nospec);
             return out;
         }});
     }
@@ -53,7 +55,7 @@ main(int argc, char **argv)
     // bigger metadata cache for the average; reversed for canneal)
     // survive without speculation?
     for (const std::string bench : {"libquantum", "canneal"}) {
-        cells.push_back({"trend/" + bench, 0, [=](const Cell &) {
+        cells.push_back({"trend/" + bench, 0, [=](const Cell &cell) {
             auto big_llc = defaultConfig(bench, opts, 400'000, 150'000);
             big_llc.secure.speculation = false;
             big_llc.hierarchy.llcBytes = 1_MiB;
@@ -72,6 +74,8 @@ main(int argc, char **argv)
                                              : "big md cache");
             CellOutput out;
             out.add(trend_section, std::move(row));
+            addMetricsRows(out, cell.id + "/big-llc", a);
+            addMetricsRows(out, cell.id + "/big-md", b);
             return out;
         }});
     }

@@ -54,6 +54,74 @@ defaultConfig(const std::string &benchmark, const Options &opts,
     return cfg;
 }
 
+/**
+ * Append the run's metrics-registry export to a cell's output, honoring
+ * the process --metrics level (runner::metricsLevel()):
+ *
+ *   off      nothing — the default bench output (and every golden) is
+ *            byte-identical to a build without the registry;
+ *   summary  one "maps::metrics" row per derived metric;
+ *   full     summary plus one "maps::metrics counters" row per raw
+ *            counter (warmup/measure/total windows) and one
+ *            "maps::metrics histograms" row per distribution.
+ *
+ * The rows ride the normal CellOutput, so ordering, --resume
+ * checkpoints and --jobs independence all hold for them automatically.
+ * Call once per simulation run, from the cell's work function.
+ */
+inline void
+addMetricsRows(CellOutput &out, const std::string &cell,
+               const RunReport &report)
+{
+    const auto level = runner::metricsLevel();
+    if (level == runner::MetricsLevel::Off)
+        return;
+    const auto &ex = report.metricsExport;
+    for (const auto &d : ex.derived) {
+        Row row;
+        row.add("schema", ex.schema)
+            .add("cell", cell)
+            .add("name", d.name)
+            .add("value", d.value, d.precision);
+        out.add("maps::metrics", std::move(row));
+    }
+    if (level != runner::MetricsLevel::Full)
+        return;
+    for (const auto &c : ex.counters) {
+        Row row;
+        row.add("schema", ex.schema)
+            .add("cell", cell)
+            .add("name", c.name)
+            .add("warmup", c.warmup)
+            .add("measure", c.measure)
+            .add("total", c.total);
+        out.add("maps::metrics counters", std::move(row));
+    }
+    const auto bucketText = [](const std::vector<std::uint64_t> &buckets) {
+        // Sparse "bucket_index:count" pairs; buckets are log2 latency
+        // bins (see util/histogram.hpp).
+        std::string text;
+        for (std::size_t i = 0; i < buckets.size(); ++i) {
+            if (!buckets[i])
+                continue;
+            if (!text.empty())
+                text += ' ';
+            text += std::to_string(i) + ":" + std::to_string(buckets[i]);
+        }
+        return text.empty() ? std::string("-") : text;
+    };
+    for (const auto &h : ex.histograms) {
+        Row row;
+        row.add("schema", ex.schema)
+            .add("cell", cell)
+            .add("name", h.name)
+            .add("total_count", h.totalCount)
+            .add("warmup_buckets", bucketText(h.warmupBuckets))
+            .add("measure_buckets", bucketText(h.measureBuckets));
+        out.add("maps::metrics histograms", std::move(row));
+    }
+}
+
 } // namespace maps::bench
 
 #endif // MAPS_BENCH_COMMON_HPP

@@ -48,9 +48,11 @@ main(int argc, char **argv)
         for (const auto size : sizes) {
             const std::string id =
                 benchmark + "/" + TextTable::fmtSize(size);
-            cells.push_back({id, 0, [=](const Cell &) {
+            cells.push_back({id, 0, [=](const Cell &cell) {
+                CellOutput out;
                 Row row;
                 row.add("md cache", Value::size(size));
+                std::vector<std::pair<std::string, RunReport>> reports;
                 for (const auto &c : contents) {
                     // libquantum's wrap-around reuse (the 4MB array)
                     // only shows after multiple full passes, so run
@@ -60,11 +62,14 @@ main(int argc, char **argv)
                     cfg.measureRefs = std::max<std::uint64_t>(
                         cfg.measureRefs, 1'200'000);
                     cfg.secure.cache = c.make(size);
-                    const auto report = runBenchmark(cfg);
+                    auto report = runBenchmark(cfg);
                     row.add(c.label, report.metadataMpki, 1);
+                    reports.emplace_back(cell.id + "/" + c.label,
+                                         std::move(report));
                 }
-                CellOutput out;
                 out.add("benchmark: " + benchmark, std::move(row));
+                for (const auto &[label, report] : reports)
+                    addMetricsRows(out, label, report);
                 return out;
             }});
         }

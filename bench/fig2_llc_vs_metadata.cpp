@@ -52,11 +52,12 @@ main(int argc, char **argv)
     std::vector<Cell> baseline_cells;
     for (const auto &bench : baseline_set) {
         baseline_cells.push_back(
-            {"baseline/" + bench, 0, [=](const Cell &) {
+            {"baseline/" + bench, 0, [=](const Cell &cell) {
                 const auto rep =
                     runBenchmark(make_cfg(bench, 2_MiB, 16_KiB, false));
                 CellOutput out;
                 out.add(Row{}.add("ed2", rep.ed2, 9));
+                addMetricsRows(out, cell.id, rep);
                 return out;
             }});
     }
@@ -75,18 +76,24 @@ main(int argc, char **argv)
         for (const auto md : md_sizes) {
             const std::string id = TextTable::fmtSize(llc) + "+" +
                                    TextTable::fmtSize(md);
-            grid.push_back({id, 0, [=](const Cell &) {
+            grid.push_back({id, 0, [=](const Cell &cell) {
+                CellOutput out;
                 std::vector<double> ratios;
+                std::vector<std::pair<std::string, RunReport>> reports;
                 for (const auto &bench : avg_set) {
-                    const auto rep =
+                    auto rep =
                         runBenchmark(make_cfg(bench, llc, md, true));
                     ratios.push_back(rep.ed2 / baseline_ed2->at(bench));
+                    reports.emplace_back(cell.id + "/" + bench,
+                                         std::move(rep));
                 }
                 const double avg = geometricMean(ratios);
-                const auto canneal_rep = runBenchmark(
+                auto canneal_rep = runBenchmark(
                     make_cfg("canneal", llc, md, true));
                 const double canneal =
                     canneal_rep.ed2 / baseline_ed2->at("canneal");
+                reports.emplace_back(cell.id + "/canneal",
+                                     std::move(canneal_rep));
 
                 Row row;
                 row.add("LLC", Value::size(llc))
@@ -94,8 +101,9 @@ main(int argc, char **argv)
                     .add("total SRAM", Value::size(llc + md))
                     .add("avg ED^2 (norm)", avg, 3)
                     .add("canneal ED^2 (norm)", canneal, 3);
-                CellOutput out;
                 out.add(std::move(row));
+                for (const auto &[label, report] : reports)
+                    addMetricsRows(out, label, report);
                 return out;
             }});
         }

@@ -29,7 +29,7 @@ main(int argc, char **argv)
 
     std::vector<Cell> cells;
     for (const std::string &benchmark : figure3Benchmarks()) {
-        cells.push_back({benchmark, 0, [=](const Cell &) {
+        cells.push_back({benchmark, 0, [=](const Cell &cell) {
             auto cfg = defaultConfig(benchmark, opts, 1'500'000,
                                      300'000);
             cfg.secure.cacheEnabled = false; // paper: no metadata cache
@@ -59,6 +59,7 @@ main(int argc, char **argv)
                 }
                 out.add(section, std::move(row));
             }
+            addMetricsRows(out, cell.id, report);
             return out;
         }});
     }

@@ -25,7 +25,7 @@ main(int argc, char **argv)
 
     std::vector<Cell> cells;
     for (const auto &benchmark : benchmarkNames()) {
-        cells.push_back({benchmark, 0, [benchmark, opts](const Cell &) {
+        cells.push_back({benchmark, 0, [benchmark, opts](const Cell &cell) {
             auto cfg = defaultConfig(benchmark, opts, 1'000'000, 250'000);
             cfg.secure.cacheEnabled = false;
             SecureMemorySim sim(cfg);
@@ -34,7 +34,7 @@ main(int argc, char **argv)
                 [&analyzer](const MetadataAccess &a) {
                     analyzer.observe(a);
                 });
-            sim.run();
+            const auto report = sim.run();
 
             ExactHistogram workload_driven;
             workload_driven.merge(
@@ -52,6 +52,7 @@ main(int argc, char **argv)
                 .add("bimodality", bimodalityScore(workload_driven), 3);
             CellOutput out;
             out.add(std::move(row));
+            addMetricsRows(out, cell.id, report);
             return out;
         }});
     }

@@ -33,7 +33,7 @@ main(int argc, char **argv)
 
     std::vector<Cell> cells;
     for (const std::string benchmark : {"fft", "leslie3d"}) {
-        cells.push_back({benchmark, 0, [=](const Cell &) {
+        cells.push_back({benchmark, 0, [=](const Cell &cell) {
             auto cfg = defaultConfig(benchmark, opts, 1'500'000,
                                      300'000);
             // Metadata *writes* only exist once dirty lines leave the
@@ -47,7 +47,7 @@ main(int argc, char **argv)
                 [&analyzer](const MetadataAccess &a) {
                     analyzer.observe(a);
                 });
-            sim.run();
+            const auto report = sim.run();
 
             CellOutput out;
             for (const auto type :
@@ -76,6 +76,7 @@ main(int argc, char **argv)
                     out.add(section, std::move(row));
                 }
             }
+            addMetricsRows(out, cell.id, report);
             return out;
         }});
     }

@@ -42,7 +42,8 @@ struct PolicyRun
 
 PolicyRun
 runPolicy(const SimConfig &base, std::unique_ptr<ReplacementPolicy> policy,
-          std::vector<Addr> *trace_out)
+          std::vector<Addr> *trace_out, CellOutput *metrics_out = nullptr,
+          const std::string &metrics_label = "")
 {
     SimConfig cfg = base;
     SecureMemorySim sim(cfg, std::move(policy));
@@ -54,6 +55,8 @@ runPolicy(const SimConfig &base, std::unique_ptr<ReplacementPolicy> policy,
             /*include_warmup=*/true);
     }
     const auto report = sim.run();
+    if (metrics_out)
+        addMetricsRows(*metrics_out, metrics_label, report);
     return {report.mdCache.totalMisses(),
             report.controller.metadataMemAccesses(),
             report.instructions};
@@ -87,23 +90,29 @@ main(int argc, char **argv)
     // whole policy set stays inside the cell.
     std::vector<Cell> cells;
     for (const auto &benchmark : benchmarks) {
-        cells.push_back({benchmark, 0, [=](const Cell &) {
+        cells.push_back({benchmark, 0, [=](const Cell &cell) {
             auto base = defaultConfig(benchmark, opts, 1'000'000,
                                       300'000);
             base.secure.cache.sizeBytes = 64_KiB; // paper's Fig. 6 point
 
+            // Registry rows per policy run, appended after the figure
+            // rows so consumers can keep using rows.front().
+            CellOutput metrics;
             const auto plru =
-                runPolicy(base, makeReplacementPolicy("plru"), nullptr);
+                runPolicy(base, makeReplacementPolicy("plru"), nullptr,
+                          &metrics, cell.id + "/plru");
             const auto eva =
-                runPolicy(base, makeReplacementPolicy("eva"), nullptr);
+                runPolicy(base, makeReplacementPolicy("eva"), nullptr,
+                          &metrics, cell.id + "/eva");
             const auto lru =
-                runPolicy(base, makeReplacementPolicy("lru"), nullptr);
+                runPolicy(base, makeReplacementPolicy("lru"), nullptr,
+                          &metrics, cell.id + "/lru");
             const auto srrip =
-                runPolicy(base, makeReplacementPolicy("srrip"),
-                          nullptr);
+                runPolicy(base, makeReplacementPolicy("srrip"), nullptr,
+                          &metrics, cell.id + "/srrip");
             const auto eva_typed =
                 runPolicy(base, makeReplacementPolicy("eva-typed"),
-                          nullptr);
+                          nullptr, &metrics, cell.id + "/eva-typed");
 
             // MIN and iterMIN via the fixed-point driver: iteration 0
             // is the true-LRU profiling run, iteration 1 is the paper's
@@ -113,8 +122,10 @@ main(int argc, char **argv)
             const auto simulate =
                 [&](std::unique_ptr<ReplacementPolicy> policy,
                     std::vector<Addr> &trace_out) -> std::uint64_t {
-                const auto run = runPolicy(base, std::move(policy),
-                                           &trace_out);
+                const auto run = runPolicy(
+                    base, std::move(policy), &trace_out, &metrics,
+                    cell.id + "/min.iter" +
+                        std::to_string(iterations.size()));
                 iterations.push_back(run);
                 return run.misses;
             };
@@ -151,6 +162,8 @@ main(int argc, char **argv)
             CellOutput out;
             out.add(kCountSection, std::move(counts));
             out.add(kTrafficSection, std::move(traffic));
+            for (auto &r : metrics.rows)
+                out.rows.push_back(std::move(r));
             return out;
         }});
     }

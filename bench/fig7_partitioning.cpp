@@ -39,11 +39,14 @@ main(int argc, char **argv)
 
     const auto scheme_row = [make_cfg](const std::string &bench,
                                        PartitionScheme scheme,
-                                       std::uint32_t split) {
+                                       std::uint32_t split,
+                                       const Cell &cell,
+                                       CellOutput &metrics) {
         auto cfg = make_cfg(bench, true);
         cfg.secure.cache.partition = scheme;
         cfg.secure.cache.staticCounterWays = split;
         const auto rep = runBenchmark(cfg);
+        addMetricsRows(metrics, cell.id, rep);
         return Row{}
             .add("ed2", rep.ed2, 9)
             .add("mpki", rep.metadataMpki, 6);
@@ -56,35 +59,55 @@ main(int argc, char **argv)
     struct Variant
     {
         std::string name;
-        std::function<Row(const std::string &)> run;
+        std::function<Row(const std::string &, const Cell &,
+                          CellOutput &)>
+            run;
     };
     std::vector<Variant> variants;
-    variants.push_back({"baseline", [make_cfg](const std::string &b) {
-        return Row{}.add("ed2", runBenchmark(make_cfg(b, false)).ed2, 9);
-    }});
-    variants.push_back({"none", [scheme_row](const std::string &b) {
-        return scheme_row(b, PartitionScheme::None, 0);
-    }});
+    variants.push_back(
+        {"baseline", [make_cfg](const std::string &b, const Cell &cell,
+                                CellOutput &metrics) {
+            const auto rep = runBenchmark(make_cfg(b, false));
+            addMetricsRows(metrics, cell.id, rep);
+            return Row{}.add("ed2", rep.ed2, 9);
+        }});
+    variants.push_back(
+        {"none", [scheme_row](const std::string &b, const Cell &cell,
+                              CellOutput &metrics) {
+            return scheme_row(b, PartitionScheme::None, 0, cell,
+                              metrics);
+        }});
     for (std::uint32_t split = 1; split < assoc; ++split) {
         variants.push_back(
             {"static" + std::to_string(split),
-             [scheme_row, split](const std::string &b) {
-                 return scheme_row(b, PartitionScheme::Static, split);
+             [scheme_row, split](const std::string &b, const Cell &cell,
+                                 CellOutput &metrics) {
+                 return scheme_row(b, PartitionScheme::Static, split,
+                                   cell, metrics);
              }});
     }
-    variants.push_back({"dueling", [scheme_row](const std::string &b) {
-        return scheme_row(b, PartitionScheme::Dueling, 0);
-    }});
+    variants.push_back(
+        {"dueling", [scheme_row](const std::string &b, const Cell &cell,
+                                 CellOutput &metrics) {
+            return scheme_row(b, PartitionScheme::Dueling, 0, cell,
+                              metrics);
+        }});
 
     std::vector<Cell> cells;
     for (const auto &bench : benchmarks) {
         for (const auto &variant : variants) {
-            cells.push_back({bench + "/" + variant.name, 0,
-                             [bench, variant](const Cell &) {
-                                 CellOutput out;
-                                 out.add(variant.run(bench));
-                                 return out;
-                             }});
+            cells.push_back(
+                {bench + "/" + variant.name, 0,
+                 [bench, variant](const Cell &cell) {
+                     // Metrics rows ride behind the figure row so the
+                     // grid consumers below keep using rows.front().
+                     CellOutput out;
+                     CellOutput metrics;
+                     out.add(variant.run(bench, cell, metrics));
+                     for (auto &r : metrics.rows)
+                         out.rows.push_back(std::move(r));
+                     return out;
+                 }});
         }
     }
     const auto outputs = exp.run(cells, "fig7/sweep");

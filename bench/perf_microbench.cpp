@@ -12,6 +12,7 @@
 #include "hierarchy/hierarchy.hpp"
 #include "mem/dram.hpp"
 #include "mem/fixed_latency.hpp"
+#include "metrics/metrics.hpp"
 #include "secmem/controller.hpp"
 #include "util/rng.hpp"
 #include "workloads/suite.hpp"
@@ -112,6 +113,51 @@ BM_HierarchyAccess(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_HierarchyAccess);
+
+// ---------------------------------------------------------------------------
+// Registry-overhead pairs. Each *Registered bench is its plain
+// counterpart with every counter attached to a metrics::Registry and the
+// measure phase open — the claimed zero-overhead configuration. The CI
+// guard (scripts/perf_guard.sh) compares each pair within one run and
+// fails on >3% overhead; pairing makes the check machine-independent.
+// ---------------------------------------------------------------------------
+
+void
+BM_HierarchyAccessRegistered(benchmark::State &state)
+{
+    CacheHierarchy hierarchy;
+    metrics::Registry registry;
+    hierarchy.attachMetrics(registry);
+    registry.beginPhase(metrics::Phase::Measure);
+    auto gen = makeBenchmark("fft", 1);
+    for (auto _ : state)
+        hierarchy.access(gen->next());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HierarchyAccessRegistered);
+
+void
+BM_ControllerReadRegistered(benchmark::State &state)
+{
+    SecureMemoryConfig cfg;
+    cfg.layout.protectedBytes = 256_MiB;
+    FixedLatencyMemory mem(150);
+    SecureMemoryController ctrl(cfg, mem);
+    metrics::Registry registry;
+    ctrl.attachMetrics(registry);
+    registry.attach(mem.name(), mem.statsMut());
+    registry.beginPhase(metrics::Phase::Measure);
+    Rng rng(3);
+    for (auto _ : state) {
+        MemoryRequest req;
+        req.addr = rng.nextBounded(256_MiB / kBlockSize) * kBlockSize;
+        req.kind = rng.nextBool(0.2) ? RequestKind::Writeback
+                                     : RequestKind::Read;
+        benchmark::DoNotOptimize(ctrl.handleRequest(req));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ControllerReadRegistered);
 
 } // namespace
 

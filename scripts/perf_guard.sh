@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Registry-overhead guard for the maps::metrics refactor.
+#
+# Runs the hot-path microbenchmark pairs (plain vs *Registered — the
+# same loop with every counter attached to a metrics::Registry and the
+# measure phase open), writes the google-benchmark JSON to
+# bench/BENCH_micro.json, and fails if any registered variant's median
+# cpu time exceeds its plain counterpart by more than 3%.
+#
+# The comparison is paired WITHIN one run on one machine, so the guard
+# is independent of absolute nanoseconds and safe to run in CI.
+#
+# usage: scripts/perf_guard.sh [path/to/perf_microbench] [out.json]
+#   PERF_GUARD_LIMIT  overhead ratio limit (default 1.03)
+set -euo pipefail
+
+BIN="${1:-build/bench/perf_microbench}"
+OUT="${2:-bench/BENCH_micro.json}"
+LIMIT="${PERF_GUARD_LIMIT:-1.03}"
+
+command -v jq >/dev/null || { echo "perf_guard: jq not found" >&2; exit 1; }
+[ -x "$BIN" ] || { echo "perf_guard: $BIN not built" >&2; exit 1; }
+
+"$BIN" \
+    --benchmark_filter='BM_(HierarchyAccess|ControllerRead)' \
+    --benchmark_repetitions=7 \
+    --benchmark_min_time=0.05 \
+    --benchmark_report_aggregates_only=true \
+    --benchmark_format=json \
+    --benchmark_out="$OUT" >/dev/null
+
+median_of() {
+    jq -r --arg n "${1}_median" \
+        '.benchmarks[] | select(.name == $n) | .cpu_time' "$OUT"
+}
+
+fail=0
+for pair in \
+    "BM_HierarchyAccess BM_HierarchyAccessRegistered" \
+    "BM_ControllerRead BM_ControllerReadRegistered"; do
+    set -- $pair
+    plain=$(median_of "$1")
+    registered=$(median_of "$2")
+    if [ -z "$plain" ] || [ -z "$registered" ]; then
+        echo "perf_guard: missing results for pair $1 / $2 in $OUT" >&2
+        fail=1
+        continue
+    fi
+    ratio=$(jq -n --argjson a "$registered" --argjson b "$plain" \
+        '$a / $b')
+    ok=$(jq -n --argjson r "$ratio" --argjson l "$LIMIT" '$r <= $l')
+    printf '%-20s plain=%.1fns registered=%.1fns ratio=%.4f (limit %s)\n' \
+        "$1" "$plain" "$registered" "$ratio" "$LIMIT"
+    if [ "$ok" != "true" ]; then
+        echo "perf_guard: $2 exceeds the ${LIMIT}x overhead limit" >&2
+        fail=1
+    fi
+done
+
+exit "$fail"

@@ -10,11 +10,14 @@
 #include <array>
 #include <functional>
 #include <memory>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "cache/geometry.hpp"
 #include "cache/partition.hpp"
 #include "cache/replacement.hpp"
+#include "metrics/derived.hpp"
 
 namespace maps {
 
@@ -46,7 +49,12 @@ struct CacheAccessEvent
     bool found = false;
 };
 
-/** Aggregate counters; per-typeClass breakdowns sized for MetadataType. */
+/**
+ * Aggregate counters; per-typeClass breakdowns sized for MetadataType.
+ * Monotonic for the whole lifetime of the cache — never reset. Windowed
+ * readings (warmup vs measure) come from metrics::Registry phase
+ * snapshots.
+ */
 struct CacheStats
 {
     std::uint64_t hits = 0;
@@ -59,12 +67,24 @@ struct CacheStats
     std::uint64_t accesses() const { return hits + misses; }
     double missRate() const
     {
-        return accesses()
-                   ? static_cast<double>(misses) /
-                         static_cast<double>(accesses())
-                   : 0.0;
+        return metrics::ratioOrZero(misses, accesses());
     }
 };
+
+/** metrics::Registry enumeration protocol (attach / measureView). */
+template <typename Fn>
+void
+forEachCounter(CacheStats &s, Fn &&fn)
+{
+    fn("hits", s.hits);
+    fn("misses", s.misses);
+    fn("evictions", s.evictions);
+    fn("evictions.dirty", s.dirtyEvictions);
+    for (std::size_t i = 0; i < s.hitsByType.size(); ++i)
+        fn("hits.class" + std::to_string(i), s.hitsByType[i]);
+    for (std::size_t i = 0; i < s.missesByType.size(); ++i)
+        fn("misses.class" + std::to_string(i), s.missesByType[i]);
+}
 
 /**
  * A set-associative, write-back, write-allocate cache with a pluggable
@@ -111,7 +131,8 @@ class SetAssociativeCache
 
     const CacheGeometry &geometry() const { return geom_; }
     const CacheStats &stats() const { return stats_; }
-    void clearStats() { stats_ = CacheStats{}; }
+    /** Mutable counters (metrics::Registry attachment only). */
+    CacheStats &statsMut() { return stats_; }
     ReplacementPolicy &policy() { return *policy_; }
     const ReplacementPolicy &policy() const { return *policy_; }
     WayPartition *partition() { return partition_.get(); }

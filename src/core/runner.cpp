@@ -136,6 +136,30 @@ Options::tryParse(const std::vector<std::string> &args, Options &out,
             out.resumeDir = value_of(9);
             if (out.resumeDir.empty())
                 return "--resume needs a directory path";
+        } else if (arg.rfind("--metrics=", 0) == 0) {
+            const auto level = value_of(10);
+            if (level == "off")
+                out.metrics = MetricsLevel::Off;
+            else if (level == "summary")
+                out.metrics = MetricsLevel::Summary;
+            else if (level == "full")
+                out.metrics = MetricsLevel::Full;
+            else
+                return "invalid --metrics value '" + level +
+                       "' (off, summary, or full)";
+        } else if (arg.rfind("--trace-events=", 0) == 0) {
+            out.traceEventsPath = value_of(15);
+            if (out.traceEventsPath.empty())
+                return "--trace-events needs a file path";
+        } else if (arg.rfind("--trace-sample=", 0) == 0) {
+            if (!parseUint(value_of(15), out.traceSample) ||
+                out.traceSample == 0)
+                return "invalid --trace-sample value '" + value_of(15) +
+                       "' (need an integer >= 1)";
+        } else if (arg.rfind("--trace-cell=", 0) == 0) {
+            out.traceCell = value_of(13);
+            if (out.traceCell.empty())
+                return "--trace-cell needs a cell id";
         } else if (arg.rfind("--", 0) == 0) {
             return "unknown option: " + arg;
         } else if (positionals) {
@@ -166,6 +190,14 @@ Options::usage(std::ostream &os, const std::string &argv0)
           " after SECS seconds\n"
        << "  --resume=DIR                  checkpoint finished cells in"
           " DIR; restart skips them\n"
+       << "  --metrics=off|summary|full    append maps::metrics registry"
+          " rows per cell (default off)\n"
+       << "  --trace-events=FILE           write a sampled chrome://tracing"
+          " JSON for one cell\n"
+       << "  --trace-sample=N              trace every N-th measured"
+          " request (default 4096)\n"
+       << "  --trace-cell=ID               cell that claims --trace-events"
+          " (default: first to start)\n"
        << "  --help                        this message\n";
 }
 
@@ -218,6 +250,91 @@ deriveCellSeed(std::uint64_t base, std::string_view cell_id)
     h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ull;
     h = (h ^ (h >> 27)) * 0x94D049BB133111EBull;
     return h ^ (h >> 31);
+}
+
+// ---------------------------------------------------------------------------
+// Process-wide observability state.
+// ---------------------------------------------------------------------------
+
+const char *
+metricsLevelName(MetricsLevel level)
+{
+    switch (level) {
+      case MetricsLevel::Off:
+        return "off";
+      case MetricsLevel::Summary:
+        return "summary";
+      case MetricsLevel::Full:
+        return "full";
+    }
+    return "?";
+}
+
+namespace {
+
+std::atomic<MetricsLevel> g_metricsLevel{MetricsLevel::Off};
+
+// Trace configuration is written once (Experiment construction, before
+// any worker starts) and claimed at most once; the mutex covers the
+// read-and-claim against a concurrent re-arm from tests.
+std::mutex g_traceMu;
+std::string g_tracePath;
+std::uint64_t g_traceSample = 4096;
+std::string g_traceCellFilter;
+std::atomic<bool> g_traceClaimed{false};
+
+thread_local std::string tlsCellId;
+
+} // namespace
+
+MetricsLevel
+metricsLevel()
+{
+    return g_metricsLevel.load(std::memory_order_relaxed);
+}
+
+void
+setMetricsLevel(MetricsLevel level)
+{
+    g_metricsLevel.store(level, std::memory_order_relaxed);
+}
+
+void
+setTraceEvents(std::string path, std::uint64_t sample_every,
+               std::string cell)
+{
+    const std::lock_guard<std::mutex> lock(g_traceMu);
+    g_tracePath = std::move(path);
+    g_traceSample = sample_every ? sample_every : 1;
+    g_traceCellFilter = std::move(cell);
+    g_traceClaimed.store(false, std::memory_order_relaxed);
+}
+
+std::optional<TraceClaim>
+claimTraceEvents()
+{
+    // Fast path once somebody holds the claim (or tracing is off and
+    // nothing was ever configured).
+    if (g_traceClaimed.load(std::memory_order_acquire))
+        return std::nullopt;
+    const std::lock_guard<std::mutex> lock(g_traceMu);
+    if (g_tracePath.empty())
+        return std::nullopt;
+    if (!g_traceCellFilter.empty() && tlsCellId != g_traceCellFilter)
+        return std::nullopt;
+    if (g_traceClaimed.exchange(true, std::memory_order_acq_rel))
+        return std::nullopt;
+    TraceClaim claim;
+    claim.path = g_tracePath;
+    claim.sampleEvery = g_traceSample;
+    claim.cell = tlsCellId.empty() ? std::string("run") : tlsCellId;
+    return claim;
+}
+
+const std::string &
+currentCellId()
+{
+    return tlsCellId;
 }
 
 // ---------------------------------------------------------------------------
@@ -975,6 +1092,7 @@ ExperimentRunner::run(const std::vector<Cell> &cells,
             if (loaded[i])
                 continue;
             tlsStamp = static_cast<std::uint64_t>(i) + 1;
+            tlsCellId = work[i].id;
             slot->startedAtMs.store(nowMs(), std::memory_order_relaxed);
             slot->stamp.store(tlsStamp, std::memory_order_release);
             bool ok = true;
@@ -1018,6 +1136,7 @@ ExperimentRunner::run(const std::vector<Cell> &cells,
             progress.completed(work[i].id);
         }
         tlsSlot = nullptr;
+        tlsCellId.clear();
     };
 
     // Cooperative watchdog: flags a slot whose current cell has been
@@ -1086,6 +1205,11 @@ Experiment::Experiment(ExperimentMeta meta, const Options &opts)
         check::setFailureMode(check::FailureMode::Record);
         check::resetStats();
     }
+    // Publish the observability options process-wide before any cell
+    // runs; the simulator and bench helpers read them from there.
+    setMetricsLevel(opts.metrics);
+    setTraceEvents(opts.traceEventsPath, opts.traceSample,
+                   opts.traceCell);
     sink_->begin(meta_, opts);
 }
 

@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <ostream>
 #include <stdexcept>
 #include <string>
@@ -47,6 +48,18 @@ enum class OutputFormat : std::uint8_t { Table, Jsonl, Csv };
 const char *formatName(OutputFormat f);
 
 /**
+ * How much of the maps::metrics registry the benches append to their
+ * result stream (schema metrics::kSchemaVersion):
+ *   Off      nothing beyond the figure's own rows (the default)
+ *   Summary  the derived metrics (MPKI, ED², energy, ...) per cell
+ *   Full     Summary plus every raw counter (warmup/measure/total
+ *            windows) and histogram
+ */
+enum class MetricsLevel : std::uint8_t { Off, Summary, Full };
+
+const char *metricsLevelName(MetricsLevel level);
+
+/**
  * Options shared by every experiment driver.
  *
  *   --quick | --full | --scale=X   sweep size (X > 0)
@@ -60,6 +73,14 @@ const char *formatName(OutputFormat f);
  *   --cell-timeout=SECS            cancel cells cooperatively after SECS
  *   --resume=DIR                   checkpoint finished cells in DIR and
  *                                  skip them on restart
+ *   --metrics=off|summary|full     append maps::metrics registry rows to
+ *                                  the result stream
+ *   --trace-events=FILE            emit a sampled chrome://tracing JSON
+ *                                  for one cell of the run
+ *   --trace-sample=N               trace every N-th measured request
+ *                                  (default 4096)
+ *   --trace-cell=ID                which cell claims the trace (default:
+ *                                  first to start)
  *   --help                         usage
  *
  * Unknown flags, malformed values, and non-positive scales are errors.
@@ -93,6 +114,23 @@ struct Options
      * resumable with byte-identical final output. Empty disables.
      */
     std::string resumeDir;
+    /**
+     * Registry emission level; Summary/Full make every cell append
+     * "maps::metrics ..." sections to its output (see
+     * bench/common.hpp addMetricsRows).
+     */
+    MetricsLevel metrics = MetricsLevel::Off;
+    /**
+     * When non-empty, exactly one cell of the run claims the trace and
+     * writes a sampled chrome://tracing event file here (schema
+     * metrics::kTraceSchemaVersion). Which cell: --trace-cell when
+     * given, otherwise the first cell that starts a simulation.
+     */
+    std::string traceEventsPath;
+    /** Trace every N-th measured request (>= 1). */
+    std::uint64_t traceSample = 4096;
+    /** Cell id that claims --trace-events; empty = first come. */
+    std::string traceCell;
 
     /**
      * Strict parse. On --help prints usage and exits 0; on any error
@@ -149,6 +187,51 @@ class CellTimedOut : public std::runtime_error
  * timeout is configured.
  */
 void heartbeat();
+
+// ---------------------------------------------------------------------------
+// Process-wide observability state.
+//
+// The Experiment harness publishes the parsed --metrics / --trace-*
+// options here once, before any cell runs; cells (and the simulator
+// beneath them) read the state without threading new parameters through
+// every driver. Setters are exposed for tests.
+// ---------------------------------------------------------------------------
+
+/** Registry emission level for this process (from --metrics). */
+MetricsLevel metricsLevel();
+void setMetricsLevel(MetricsLevel level);
+
+/**
+ * Publish --trace-events configuration (empty @p path disables); also
+ * re-arms the once-per-process claim, so tests can reuse it.
+ */
+void setTraceEvents(std::string path, std::uint64_t sample_every,
+                    std::string cell);
+
+/** A granted --trace-events claim: where and how to write the trace. */
+struct TraceClaim
+{
+    std::string path;
+    std::uint64_t sampleEvery = 4096;
+    /** Id of the claiming cell (recorded in the trace metadata). */
+    std::string cell;
+};
+
+/**
+ * Try to claim the process's --trace-events output for the calling
+ * cell. At most one claim is granted per configuration: the cell whose
+ * id matches --trace-cell, or — without a filter — the first caller.
+ * Returns nullopt when tracing is off, filtered to another cell, or
+ * already claimed. SecureMemorySim::run() calls this automatically.
+ */
+std::optional<TraceClaim> claimTraceEvents();
+
+/**
+ * Id of the cell the calling worker thread is currently executing
+ * (empty outside runner workers). Stable for the duration of one cell's
+ * work function.
+ */
+const std::string &currentCellId();
 
 // ---------------------------------------------------------------------------
 // Values, rows, cells.

@@ -1,6 +1,7 @@
 #include "core/simulator.hpp"
 
 #include "core/runner.hpp"
+#include "metrics/derived.hpp"
 #include "util/logging.hpp"
 
 namespace maps {
@@ -27,6 +28,14 @@ SecureMemorySim::SecureMemorySim(SimConfig cfg,
     hierarchy_ = std::make_unique<CacheHierarchy>(cfg_.hierarchy);
     hierarchy_->setRequestSink(
         [this](const MemoryRequest &req) { serviceRequest(req); });
+
+    // Every counter in the simulation registers here, in a fixed order
+    // (the export order). Registration stores pointers only — hot-path
+    // increments are unchanged.
+    hierarchy_->attachMetrics(registry_);
+    registry_.attach(memory_->name(), memory_->statsMut());
+    if (controller_)
+        controller_->attachMetrics(registry_);
 
     if (check::enabled()) {
         // The hierarchy builds its policies with the factory default
@@ -59,13 +68,25 @@ SecureMemorySim::setMetadataTap(SecureMemoryController::MetadataTap tap,
 }
 
 void
+SecureMemorySim::enableTraceEvents(const std::string &path,
+                                   std::uint64_t sample_every,
+                                   const std::string &cell)
+{
+    traceWriter_ = std::make_unique<metrics::TraceEventWriter>(
+        path, sample_every, cell);
+    installTap();
+}
+
+void
 SecureMemorySim::installTap()
 {
-    if (!controller_ || (!userTap_ && !secmemShadow_))
+    if (!controller_ || (!userTap_ && !secmemShadow_ && !traceWriter_))
         return;
     controller_->setMetadataTap([this](const MetadataAccess &acc) {
         if (secmemShadow_)
             secmemShadow_->onTap(acc);
+        if (traceWriter_ && measuring_)
+            traceWriter_->metadataAccess(acc);
         if (userTap_ && (measuring_ || tapIncludeWarmup_))
             userTap_(acc);
     });
@@ -74,6 +95,9 @@ SecureMemorySim::installTap()
 void
 SecureMemorySim::serviceRequest(const MemoryRequest &req)
 {
+    const bool tracing = traceWriter_ && measuring_;
+    if (tracing)
+        traceWriter_->beginRequest(req);
     if (controller_) {
         if (secmemShadow_)
             secmemShadow_->beginRequest(req);
@@ -81,6 +105,9 @@ SecureMemorySim::serviceRequest(const MemoryRequest &req)
             controller_->handleRequest(req, cycles_);
         if (secmemShadow_)
             secmemShadow_->endRequest();
+        if (tracing)
+            traceWriter_->endRequest(outcome.latency,
+                                     outcome.memAccesses);
         // Reads stall the core; posted writes do not (write buffers).
         if (req.kind == RequestKind::Read)
             cycles_ += outcome.latency;
@@ -89,6 +116,8 @@ SecureMemorySim::serviceRequest(const MemoryRequest &req)
     // Insecure baseline: a plain block transfer.
     const auto result =
         memory_->access(req.addr, req.isWrite(), cycles_);
+    if (tracing)
+        traceWriter_->endRequest(result.latency, 1);
     if (req.kind == RequestKind::Read)
         cycles_ += result.latency;
 }
@@ -100,7 +129,17 @@ SecureMemorySim::run()
     // work between calls, frequent enough to bound overshoot.
     constexpr std::uint64_t kHeartbeatRefs = 32 * 1024;
 
-    // Warmup: fill caches, then discard statistics.
+    // Wire the sampled event trace when this cell was selected by
+    // --trace-events (at most one cell per process claims it).
+    if (!traceWriter_) {
+        if (auto claim = runner::claimTraceEvents())
+            enableTraceEvents(claim->path, claim->sampleEvery,
+                              claim->cell);
+    }
+
+    // Warmup: fill caches. Counters keep counting — the warmup window
+    // is separated from measurement by the registry phase snapshot, not
+    // by resets.
     measuring_ = false;
     for (std::uint64_t i = 0; i < cfg_.warmupRefs; ++i) {
         if (i % kHeartbeatRefs == 0)
@@ -108,10 +147,10 @@ SecureMemorySim::run()
         hierarchy_->access(generator_->next());
     }
 
-    hierarchy_->clearStats();
-    memory_->clearStats();
-    if (controller_)
-        controller_->clearStats();
+    // The one statistics boundary of a run: snapshot every counter.
+    registry_.beginPhase(metrics::Phase::Measure);
+    // Timing state (not a statistic) restarts with measurement: request
+    // latencies depend on absolute cycle arithmetic in the DRAM model.
     cycles_ = 0;
     measuring_ = true;
 
@@ -124,29 +163,32 @@ SecureMemorySim::run()
     }
     measuring_ = false;
 
-    // End-of-run structural audit of every shadowed cache array.
+    // End-of-run structural audit of every shadowed cache array, plus
+    // the registry-level cross-component accounting audit.
     for (auto &shadow : cacheShadows_)
         shadow->finalAudit();
+    if (check::enabled())
+        auditAccounting();
 
     RunReport report;
     report.benchmark = cfg_.benchmark;
-    report.hierarchy = hierarchy_->stats();
+    report.hierarchy =
+        registry_.measureView("hierarchy", hierarchy_->stats());
     report.instructions = report.hierarchy.instructions;
     report.refs = report.hierarchy.refs;
-    report.memory = memory_->stats();
+    report.memory =
+        registry_.measureView(memory_->name(), memory_->stats());
     report.llcMpki = report.hierarchy.llcMpki();
 
     if (controller_) {
-        report.controller = controller_->stats();
-        report.mdCache = controller_->metadataCache().stats();
-        report.metadataMpki =
-            controller_->metadataCache().mpki(report.instructions);
-        const auto requests = report.controller.requests();
-        report.memAccessesPerRequest =
-            requests ? static_cast<double>(
-                           report.controller.totalMemAccesses()) /
-                           static_cast<double>(requests)
-                     : 0.0;
+        report.controller =
+            registry_.measureView("secmem", controller_->stats());
+        report.mdCache = registry_.measureView(
+            "secmem.mdcache", controller_->metadataCache().stats());
+        report.metadataMpki = report.mdCache.mpki(report.instructions);
+        report.memAccessesPerRequest = metrics::ratioOrZero(
+            report.controller.totalMemAccesses(),
+            report.controller.requests());
     }
 
     // Timing: unit-IPC core plus read-request stalls, both folded into
@@ -154,7 +196,11 @@ SecureMemorySim::run()
     report.cycles = cycles_;
     report.seconds = energyModel_.secondsOf(report.cycles);
 
-    // Energy: dynamic per level + DRAM + SRAM leakage.
+    // Energy: dynamic per level + DRAM + SRAM leakage. The documented
+    // window convention: l1/l2/llc dynamic energy spans BOTH phases
+    // (whole-run totals — caches are warmed by real accesses that cost
+    // energy), while the metadata cache and DRAM terms are
+    // measure-window (they scale the measured traffic).
     const auto &h = *hierarchy_;
     report.energy.l1Pj = energyModel_.cacheDynamicPj(
         cfg_.hierarchy.l1Bytes, h.l1().stats().accesses());
@@ -167,10 +213,10 @@ SecureMemorySim::run()
                                cfg_.hierarchy.l2Bytes +
                                cfg_.hierarchy.llcBytes;
     if (controller_) {
-        const auto &md = controller_->metadataCache();
         std::uint64_t md_accesses = 0;
         for (unsigned t = 0; t < kNumMetadataTypes; ++t) {
-            md_accesses += md.stats().accesses[t] - md.stats().bypasses[t];
+            md_accesses +=
+                report.mdCache.accesses[t] - report.mdCache.bypasses[t];
         }
         if (cfg_.secure.cacheEnabled) {
             report.energy.mdCachePj = energyModel_.cacheDynamicPj(
@@ -186,7 +232,84 @@ SecureMemorySim::run()
 
     report.ed2 =
         energyDelaySquared(report.energy.totalPj(), report.seconds);
+
+    exportMetrics(report);
+    if (traceWriter_)
+        traceWriter_->finish();
     return report;
+}
+
+void
+SecureMemorySim::auditAccounting() const
+{
+    check::countChecks();
+    const auto expect = [](std::uint64_t got, std::uint64_t want,
+                           const std::string &what) {
+        if (got != want) {
+            check::fail("metrics", what + ": got " +
+                                       std::to_string(got) +
+                                       ", expected " +
+                                       std::to_string(want));
+        }
+    };
+    if (!controller_)
+        return;
+
+    // With the controller in the path, every DRAM transfer is one of
+    // its categorized accesses — in each phase window separately.
+    const std::string mem = memory_->name();
+    static constexpr const char *kCats[] = {"data", "counter", "hash",
+                                            "tree", "reencrypt"};
+    for (const char *window : {"warmup", "measure"}) {
+        const bool warm = window[0] == 'w';
+        const auto read = [&](const std::string &name) {
+            return warm ? registry_.warmup(name)
+                        : registry_.measure(name);
+        };
+        std::uint64_t categorized = 0;
+        for (const char *cat : kCats) {
+            categorized += read("secmem.mem." + std::string(cat) +
+                                ".reads");
+            categorized += read("secmem.mem." + std::string(cat) +
+                                ".writes");
+        }
+        expect(read(mem + ".reads") + read(mem + ".writes"), categorized,
+               std::string(window) +
+                   "-window DRAM accesses != controller categories");
+    }
+
+    // The controller's overflow statistic mirrors the functional
+    // counter store exactly (whole run).
+    expect(registry_.total("secmem.page_overflows"),
+           registry_.total("secmem.counters.page_overflows"),
+           "controller page overflows != counter-store overflows");
+}
+
+void
+SecureMemorySim::exportMetrics(RunReport &report)
+{
+    // Derived metrics: every rate the figures report, computed in one
+    // place (metrics/derived.hpp) and recorded with the registry.
+    registry_.derived("derived.llc.mpki", report.llcMpki, 4);
+    registry_.derived("derived.metadata.mpki", report.metadataMpki, 4);
+    registry_.derived("derived.mem.accesses_per_request",
+                      report.memAccessesPerRequest, 4);
+    registry_.derived("derived.cycles",
+                      static_cast<double>(report.cycles), 0);
+    registry_.derived("derived.seconds", report.seconds, 9);
+    registry_.derived("derived.energy.l1_pj", report.energy.l1Pj, 1);
+    registry_.derived("derived.energy.l2_pj", report.energy.l2Pj, 1);
+    registry_.derived("derived.energy.llc_pj", report.energy.llcPj, 1);
+    registry_.derived("derived.energy.mdcache_pj",
+                      report.energy.mdCachePj, 1);
+    registry_.derived("derived.energy.dram_pj", report.energy.dramPj, 1);
+    registry_.derived("derived.energy.leakage_pj",
+                      report.energy.leakagePj, 1);
+    registry_.derived("derived.energy.total_pj",
+                      report.energy.totalPj(), 1);
+    registry_.derived("derived.ed2", report.ed2, 18);
+
+    report.metricsExport = registry_.exportAll();
 }
 
 RunReport

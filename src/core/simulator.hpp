@@ -18,6 +18,8 @@
 #include "hierarchy/hierarchy.hpp"
 #include "mem/dram.hpp"
 #include "mem/fixed_latency.hpp"
+#include "metrics/metrics.hpp"
+#include "metrics/trace_events.hpp"
 #include "secmem/controller.hpp"
 #include "workloads/suite.hpp"
 
@@ -47,7 +49,15 @@ struct SimConfig
     EnergyConfig energy;
 };
 
-/** Everything a run produces. */
+/**
+ * Everything a run produces.
+ *
+ * The per-component stats members are *measure-window views* generated
+ * from the metrics registry (total minus the Phase::Measure snapshot):
+ * exactly what the old clearStats()-at-measure-start convention
+ * produced, so every figure is unchanged. The full registry (all
+ * windows, derived metrics, histograms) is in metricsExport.
+ */
 struct RunReport
 {
     std::string benchmark;
@@ -70,6 +80,9 @@ struct RunReport
 
     /** Extra memory accesses per LLC-level request (overhead factor). */
     double memAccessesPerRequest = 0.0;
+
+    /** Full registry contents (schema metrics::kSchemaVersion). */
+    metrics::Registry::Export metricsExport;
 };
 
 /**
@@ -98,13 +111,28 @@ class SecureMemorySim
     void setMetadataTap(SecureMemoryController::MetadataTap tap,
                         bool include_warmup = false);
 
-    /** Run warmup + measurement and produce the report. */
+    /**
+     * Run warmup + measurement and produce the report. One run per
+     * simulation instance: the phase snapshot is taken exactly once.
+     */
     RunReport run();
+
+    /**
+     * Emit sampled chrome://tracing events for this run (every
+     * @p sample_every-th measured request) to @p path. Normally wired
+     * automatically from `--trace-events`; public for tests and
+     * programmatic use. Call before run().
+     */
+    void enableTraceEvents(const std::string &path,
+                           std::uint64_t sample_every,
+                           const std::string &cell);
 
     /** Components (valid after construction). */
     CacheHierarchy &hierarchy() { return *hierarchy_; }
     SecureMemoryController &controller() { return *controller_; }
     MemoryModel &memory() { return *memory_; }
+    /** The phase-aware statistics registry for this simulation. */
+    metrics::Registry &metricsRegistry() { return registry_; }
     const SimConfig &config() const { return cfg_; }
 
   private:
@@ -114,6 +142,8 @@ class SecureMemorySim
     std::unique_ptr<SecureMemoryController> controller_;
     std::unique_ptr<CacheHierarchy> hierarchy_;
     EnergyModel energyModel_;
+    metrics::Registry registry_;
+    std::unique_ptr<metrics::TraceEventWriter> traceWriter_;
 
     Cycles cycles_ = 0;
     bool measuring_ = false;
@@ -128,11 +158,17 @@ class SecureMemorySim
     std::vector<std::unique_ptr<check::CacheShadow>> cacheShadows_;
     std::unique_ptr<check::SecmemShadow> secmemShadow_;
 
-    /** (Re)install the controller tap dispatching to the shadow and
-     * the user tap. */
+    /** (Re)install the controller tap dispatching to the shadow, the
+     * trace writer and the user tap. */
     void installTap();
 
     void serviceRequest(const MemoryRequest &req);
+
+    /** maps::check: cross-component accounting over registry windows. */
+    void auditAccounting() const;
+
+    /** Register derived metrics and fill report.metricsExport. */
+    void exportMetrics(RunReport &report);
 };
 
 /** Convenience: run one benchmark with a given config. */

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "metrics/derived.hpp"
 #include "util/logging.hpp"
 
 namespace maps {
@@ -55,7 +56,7 @@ EnergyModel::secondsOf(Cycles cycles) const
 double
 energyDelaySquared(double energy_pj, double seconds)
 {
-    return energy_pj * 1e-12 * seconds * seconds;
+    return metrics::energyDelaySquared(energy_pj, seconds);
 }
 
 } // namespace maps

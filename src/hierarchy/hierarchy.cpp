@@ -28,6 +28,19 @@ CacheHierarchy::CacheHierarchy(HierarchyConfig cfg) : cfg_(cfg)
 }
 
 void
+CacheHierarchy::attachMetrics(metrics::Registry &registry)
+{
+    registry.attach("hierarchy", stats_);
+    registry.attach("l1", l1_->statsMut());
+    registry.attach("l2", l2_->statsMut());
+    registry.attach("llc", llc_->statsMut());
+    registry.onPhaseBegin([this](metrics::Phase p) {
+        if (p == metrics::Phase::Measure)
+            phaseStartInst_ = stats_.instructions;
+    });
+}
+
+void
 CacheHierarchy::emit(Addr addr, RequestKind kind)
 {
     if (!sink_)
@@ -35,7 +48,10 @@ CacheHierarchy::emit(Addr addr, RequestKind kind)
     MemoryRequest req;
     req.addr = blockAlign(addr);
     req.kind = kind;
-    req.icount = stats_.instructions;
+    // Phase-relative: downstream consumers (reuse analyzers, MIN
+    // oracles) see instruction counts restarting at the measurement
+    // boundary, exactly as the old clearStats() produced.
+    req.icount = stats_.instructions - phaseStartInst_;
     sink_(req);
 }
 
@@ -92,27 +108,10 @@ CacheHierarchy::access(const MemRef &ref)
         checkInvariants();
 }
 
-CacheHierarchy::Snapshot
-CacheHierarchy::takeSnapshot() const
-{
-    Snapshot s;
-    s.l1Accesses = l1_->stats().accesses();
-    s.l1Misses = l1_->stats().misses;
-    s.l1DirtyEv = l1_->stats().dirtyEvictions;
-    s.l2Accesses = l2_->stats().accesses();
-    s.l2Misses = l2_->stats().misses;
-    s.l2DirtyEv = l2_->stats().dirtyEvictions;
-    s.llcAccesses = llc_->stats().accesses();
-    s.llcMisses = llc_->stats().misses;
-    s.llcDirtyEv = llc_->stats().dirtyEvictions;
-    return s;
-}
-
 void
 CacheHierarchy::checkInvariants() const
 {
     check::countChecks();
-    const Snapshot now = takeSnapshot();
     const auto expect = [](std::uint64_t got, std::uint64_t want,
                            const char *what) {
         if (got != want) {
@@ -124,22 +123,20 @@ CacheHierarchy::checkInvariants() const
     };
     // Every CPU reference is exactly one L1 access, every level's miss
     // counter mirrors its cache's own, and each lower level sees one
-    // access per upper-level miss plus one per dirty spill.
-    expect(now.l1Accesses - baseline_.l1Accesses, stats_.refs,
-           "L1 accesses != refs");
-    expect(stats_.l1Misses, now.l1Misses - baseline_.l1Misses,
-           "L1 miss accounting");
-    expect(now.l2Accesses - baseline_.l2Accesses,
-           stats_.l1Misses + (now.l1DirtyEv - baseline_.l1DirtyEv),
+    // access per upper-level miss plus one per dirty spill. Counters
+    // are monotonic from construction, so totals compare directly.
+    const CacheStats &l1 = l1_->stats();
+    const CacheStats &l2 = l2_->stats();
+    const CacheStats &llc = llc_->stats();
+    expect(l1.accesses(), stats_.refs, "L1 accesses != refs");
+    expect(stats_.l1Misses, l1.misses, "L1 miss accounting");
+    expect(l2.accesses(), stats_.l1Misses + l1.dirtyEvictions,
            "L2 accesses != L1 misses + L1 dirty evictions");
-    expect(stats_.l2Misses, now.l2Misses - baseline_.l2Misses,
-           "L2 miss accounting");
-    expect(now.llcAccesses - baseline_.llcAccesses,
-           stats_.l2Misses + (now.l2DirtyEv - baseline_.l2DirtyEv),
+    expect(stats_.l2Misses, l2.misses, "L2 miss accounting");
+    expect(llc.accesses(), stats_.l2Misses + l2.dirtyEvictions,
            "LLC accesses != L2 misses + L2 dirty evictions");
-    expect(stats_.llcMisses, now.llcMisses - baseline_.llcMisses,
-           "LLC miss accounting");
-    expect(stats_.llcWritebacks, now.llcDirtyEv - baseline_.llcDirtyEv,
+    expect(stats_.llcMisses, llc.misses, "LLC miss accounting");
+    expect(stats_.llcWritebacks, llc.dirtyEvictions,
            "LLC writebacks != LLC dirty evictions");
 }
 

@@ -12,6 +12,8 @@
 #include <memory>
 
 #include "cache/cache.hpp"
+#include "metrics/derived.hpp"
+#include "metrics/metrics.hpp"
 #include "trace/record.hpp"
 
 namespace maps {
@@ -29,7 +31,10 @@ struct HierarchyConfig
     std::string policy = "lru";
 };
 
-/** Per-level and aggregate statistics. */
+/**
+ * Per-level and aggregate statistics. Monotonic — never reset; the
+ * warmup/measure split comes from metrics::Registry phase snapshots.
+ */
 struct HierarchyStats
 {
     InstCount instructions = 0;
@@ -41,11 +46,22 @@ struct HierarchyStats
 
     double llcMpki() const
     {
-        return instructions ? 1000.0 * static_cast<double>(llcMisses) /
-                                  static_cast<double>(instructions)
-                            : 0.0;
+        return metrics::perKiloInstructions(llcMisses, instructions);
     }
 };
+
+/** metrics::Registry enumeration protocol (attach / measureView). */
+template <typename Fn>
+void
+forEachCounter(HierarchyStats &s, Fn &&fn)
+{
+    fn("instructions", s.instructions);
+    fn("refs", s.refs);
+    fn("l1.misses", s.l1Misses);
+    fn("l2.misses", s.l2Misses);
+    fn("llc.misses", s.llcMisses);
+    fn("llc.writebacks", s.llcWritebacks);
+}
 
 /**
  * Non-inclusive write-back, write-allocate hierarchy. Downstream traffic
@@ -65,11 +81,17 @@ class CacheHierarchy
     void setRequestSink(RequestSink sink) { sink_ = std::move(sink); }
 
     const HierarchyStats &stats() const { return stats_; }
-    void clearStats()
-    {
-        stats_ = HierarchyStats{};
-        baseline_ = takeSnapshot();
-    }
+
+    /**
+     * Register every hierarchy counter (aggregate stats plus the
+     * l1/l2/llc arrays) with the registry, and subscribe to the phase
+     * transition: downstream request icounts are phase-relative, so the
+     * instruction count at the start of Measure is captured here.
+     */
+    void attachMetrics(metrics::Registry &registry);
+
+    /** Instructions retired when Phase::Measure began (0 before). */
+    InstCount phaseStartInstructions() const { return phaseStartInst_; }
 
     const HierarchyConfig &config() const { return cfg_; }
     const SetAssociativeCache &l1() const { return *l1_; }
@@ -87,24 +109,14 @@ class CacheHierarchy
     std::unique_ptr<SetAssociativeCache> llc_;
     RequestSink sink_;
     HierarchyStats stats_;
+    /** Instruction count captured at beginPhase(Measure). */
+    InstCount phaseStartInst_ = 0;
 
     /**
-     * Per-cache counters at the last clearStats(). HierarchyStats is
-     * reset between warmup and measurement but the per-cache CacheStats
-     * deliberately are not (energy accounting spans both phases), so
-     * the maps::check accounting invariants compare deltas against this
-     * baseline.
+     * maps::check: per-level hit/miss/writeback accounting. All
+     * counters are monotonic from construction, so the invariants
+     * compare raw totals — no baseline snapshots needed.
      */
-    struct Snapshot
-    {
-        std::uint64_t l1Accesses = 0, l1Misses = 0, l1DirtyEv = 0;
-        std::uint64_t l2Accesses = 0, l2Misses = 0, l2DirtyEv = 0;
-        std::uint64_t llcAccesses = 0, llcMisses = 0, llcDirtyEv = 0;
-    };
-    Snapshot baseline_;
-
-    Snapshot takeSnapshot() const;
-    /** maps::check: per-level hit/miss/writeback accounting. */
     void checkInvariants() const;
 
     void emit(Addr addr, RequestKind kind);

@@ -40,7 +40,7 @@ class DramModel : public MemoryModel
 
     MemAccessResult access(Addr addr, bool write, Cycles now) override;
     const MemoryStats &stats() const override { return stats_; }
-    void clearStats() override { stats_ = MemoryStats{}; }
+    MemoryStats &statsMut() override { return stats_; }
     std::string name() const override { return "dram"; }
 
     const DramConfig &config() const { return cfg_; }

@@ -17,7 +17,7 @@ class FixedLatencyMemory : public MemoryModel
 
     MemAccessResult access(Addr addr, bool write, Cycles now) override;
     const MemoryStats &stats() const override { return stats_; }
-    void clearStats() override { stats_ = MemoryStats{}; }
+    MemoryStats &statsMut() override { return stats_; }
     std::string name() const override { return "fixed"; }
 
     Cycles latency() const { return latency_; }

@@ -7,7 +7,9 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
+#include "metrics/derived.hpp"
 #include "util/types.hpp"
 
 namespace maps {
@@ -21,7 +23,10 @@ struct MemAccessResult
     bool rowHit = false;
 };
 
-/** Aggregate memory statistics. */
+/**
+ * Aggregate memory statistics. Monotonic — never reset; windowed
+ * readings come from metrics::Registry phase snapshots.
+ */
 struct MemoryStats
 {
     std::uint64_t reads = 0;
@@ -34,11 +39,22 @@ struct MemoryStats
     std::uint64_t accesses() const { return reads + writes; }
     double avgLatency() const
     {
-        return accesses() ? static_cast<double>(totalLatency) /
-                                static_cast<double>(accesses())
-                          : 0.0;
+        return metrics::ratioOrZero(totalLatency, accesses());
     }
 };
+
+/** metrics::Registry enumeration protocol (attach / measureView). */
+template <typename Fn>
+void
+forEachCounter(MemoryStats &s, Fn &&fn)
+{
+    fn("reads", s.reads);
+    fn("writes", s.writes);
+    fn("row.hits", s.rowHits);
+    fn("row.misses", s.rowMisses);
+    fn("bank.conflicts", s.rowConflicts);
+    fn("latency.cycles", s.totalLatency);
+}
 
 /** Interface implemented by FixedLatencyMemory and DramModel. */
 class MemoryModel
@@ -55,7 +71,8 @@ class MemoryModel
     virtual MemAccessResult access(Addr addr, bool write, Cycles now) = 0;
 
     virtual const MemoryStats &stats() const = 0;
-    virtual void clearStats() = 0;
+    /** Mutable counters (metrics::Registry attachment only). */
+    virtual MemoryStats &statsMut() = 0;
     virtual std::string name() const = 0;
 };
 

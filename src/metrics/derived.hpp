@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Derived-metric definitions, in exactly one place.
+ *
+ * Every rate the figures report — MPKI, miss rates, average latencies,
+ * ED², accesses-per-request — is one of these three shapes. The stats
+ * structs and the energy model delegate here so no bench can drift to a
+ * slightly different formula (the pre-registry code had three private
+ * MPKI implementations).
+ *
+ * Header-only and dependency-free on purpose: producers in cache/ and
+ * mem/ include this without linking the metrics library.
+ */
+#ifndef MAPS_METRICS_DERIVED_HPP
+#define MAPS_METRICS_DERIVED_HPP
+
+#include <cstdint>
+
+namespace maps::metrics {
+
+/** Events per kilo-instruction (MPKI and friends); 0 when idle. */
+inline double
+perKiloInstructions(std::uint64_t events, std::uint64_t instructions)
+{
+    return instructions ? 1000.0 * static_cast<double>(events) /
+                              static_cast<double>(instructions)
+                        : 0.0;
+}
+
+/** num/den as a double; 0 when the denominator is 0. */
+inline double
+ratioOrZero(std::uint64_t num, std::uint64_t den)
+{
+    return den ? static_cast<double>(num) / static_cast<double>(den)
+               : 0.0;
+}
+
+/** Energy-delay-squared: energy (pJ, converted to J) x time (s) squared. */
+inline double
+energyDelaySquared(double energy_pj, double seconds)
+{
+    return energy_pj * 1e-12 * seconds * seconds;
+}
+
+} // namespace maps::metrics
+
+#endif // MAPS_METRICS_DERIVED_HPP

@@ -1,0 +1,154 @@
+#include "metrics/metrics.hpp"
+
+#include "util/logging.hpp"
+
+namespace maps::metrics {
+
+const char *
+phaseName(Phase p)
+{
+    switch (p) {
+    case Phase::Warmup:
+        return "warmup";
+    case Phase::Measure:
+        return "measure";
+    }
+    return "?";
+}
+
+void
+Registry::counter(std::string name, const std::uint64_t *field)
+{
+    panicIf(field == nullptr,
+            "metrics: null counter field for '" + name + "'");
+    panicIf(measureSnapshotTaken_, "metrics: counter '" + name +
+                                       "' registered after the Measure "
+                                       "snapshot");
+    auto [it, inserted] = index_.emplace(name, counters_.size());
+    panicIf(!inserted, "metrics: duplicate counter name '" + name + "'");
+    counters_.push_back(CounterSlot{std::move(name), field, 0});
+    (void)it;
+}
+
+void
+Registry::histogram(std::string name, const Log2Histogram *hist)
+{
+    panicIf(hist == nullptr, "metrics: null histogram '" + name + "'");
+    panicIf(measureSnapshotTaken_, "metrics: histogram '" + name +
+                                       "' registered after the Measure "
+                                       "snapshot");
+    for (const auto &h : histograms_)
+        panicIf(h.name == name,
+                "metrics: duplicate histogram name '" + name + "'");
+    histograms_.push_back(HistogramSlot{std::move(name), hist, {}});
+}
+
+void
+Registry::onPhaseBegin(std::function<void(Phase)> listener)
+{
+    listeners_.push_back(std::move(listener));
+}
+
+void
+Registry::beginPhase(Phase p)
+{
+    panicIf(p == Phase::Warmup,
+            "metrics: a run starts in Warmup; there is no way back");
+    panicIf(measureSnapshotTaken_,
+            "metrics: beginPhase(Measure) called twice — counters are "
+            "snapshotted exactly once per run");
+    for (auto &slot : counters_)
+        slot.snapshot = *slot.field;
+    for (auto &h : histograms_)
+        h.snapshot = h.hist->buckets();
+    phase_ = p;
+    measureSnapshotTaken_ = true;
+    for (auto &listener : listeners_)
+        listener(p);
+}
+
+const Registry::CounterSlot &
+Registry::slotOf(std::string_view name) const
+{
+    auto it = index_.find(std::string(name));
+    panicIf(it == index_.end(),
+            "metrics: unknown counter '" + std::string(name) + "'");
+    return counters_[it->second];
+}
+
+std::uint64_t
+Registry::snapshotOf(std::string_view name) const
+{
+    // Before the Measure snapshot the measurement window spans the whole
+    // run (snapshot identically zero) — the natural semantics for runs
+    // without an explicit warmup phase.
+    return slotOf(name).snapshot;
+}
+
+std::uint64_t
+Registry::total(std::string_view name) const
+{
+    return *slotOf(name).field;
+}
+
+std::uint64_t
+Registry::warmup(std::string_view name) const
+{
+    return snapshotOf(name);
+}
+
+std::uint64_t
+Registry::measure(std::string_view name) const
+{
+    const CounterSlot &slot = slotOf(name);
+    const std::uint64_t now = *slot.field;
+    panicIf(now < slot.snapshot,
+            "metrics: counter '" + slot.name + "' decreased (" +
+                std::to_string(slot.snapshot) + " -> " +
+                std::to_string(now) + "); counters must be monotonic");
+    return now - slot.snapshot;
+}
+
+void
+Registry::derived(std::string name, double value, int precision)
+{
+    auto [it, inserted] = derivedIndex_.emplace(name, derived_.size());
+    panicIf(!inserted,
+            "metrics: duplicate derived metric '" + name + "'");
+    derived_.push_back(DerivedRecord{std::move(name), value, precision});
+    (void)it;
+}
+
+Registry::Export
+Registry::exportAll() const
+{
+    Export out;
+    out.counters.reserve(counters_.size());
+    for (const auto &slot : counters_) {
+        CounterRecord rec;
+        rec.name = slot.name;
+        rec.total = *slot.field;
+        rec.warmup = slot.snapshot;
+        rec.measure = rec.total - slot.snapshot;
+        out.counters.push_back(std::move(rec));
+    }
+    out.derived = derived_;
+    out.histograms.reserve(histograms_.size());
+    for (const auto &h : histograms_) {
+        HistogramRecord rec;
+        rec.name = h.name;
+        rec.warmupBuckets = h.snapshot;
+        rec.totalCount = h.hist->totalCount();
+        const auto &now = h.hist->buckets();
+        rec.measureBuckets.resize(now.size(), 0);
+        for (std::size_t i = 0; i < now.size(); ++i) {
+            const std::uint64_t snap =
+                i < h.snapshot.size() ? h.snapshot[i] : 0;
+            rec.measureBuckets[i] = now[i] - snap;
+        }
+        out.histograms.push_back(std::move(rec));
+    }
+    return out;
+}
+
+} // namespace maps::metrics

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * maps::metrics — the phase-aware statistics registry behind every
+ * counter the simulator reports.
+ *
+ * Design rules (docs/METRICS.md):
+ *
+ *  - Counters are plain monotonic `std::uint64_t` fields living inside
+ *    the component's own stats struct; they are incremented inline and
+ *    are NEVER reset. The registry holds only {name -> pointer}, so a
+ *    registered counter costs exactly the same machine code on the hot
+ *    path as an unregistered one (zero-overhead in release builds).
+ *  - Components publish their struct through a `forEachCounter(S&, fn)`
+ *    overload (found by ADL) enumerating (leaf-name, field) pairs; the
+ *    same enumeration drives registration and windowed views.
+ *  - Measurement windows are explicit: `beginPhase(Phase::Measure)`
+ *    snapshots every counter exactly ONCE per run (a second call
+ *    panics). The warmup window is the snapshot; the measure window is
+ *    total - snapshot. Every bespoke `clearStats()` is replaced by this
+ *    single rule.
+ *  - Derived metrics (MPKI, ED², accesses-per-request, energy) are
+ *    doubles registered at report time — definitions live in
+ *    metrics/derived.hpp so every consumer computes them one way.
+ *
+ * Naming: dot-separated hierarchical lower_snake leaves, e.g.
+ * `llc.misses`, `secmem.mem.counter.reads`, `dram.bank.conflicts`.
+ */
+#ifndef MAPS_METRICS_METRICS_HPP
+#define MAPS_METRICS_METRICS_HPP
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/histogram.hpp"
+
+namespace maps::metrics {
+
+/** Version tag stamped on every structured metrics export. */
+inline constexpr const char *kSchemaVersion = "maps-metrics-v1";
+
+/**
+ * Run phases. A run starts in Warmup; beginPhase(Phase::Measure) opens
+ * the measurement window. There is no way back — counters are
+ * monotonic and the snapshot is taken exactly once.
+ */
+enum class Phase : std::uint8_t
+{
+    Warmup = 0,
+    Measure = 1,
+};
+
+const char *phaseName(Phase p);
+
+/**
+ * The registry. One instance per simulation (SecureMemorySim owns one);
+ * not thread-safe — a registry and all its producers belong to a single
+ * cell/thread, which is the runner's existing ownership rule.
+ */
+class Registry
+{
+  public:
+    Registry() = default;
+    Registry(const Registry &) = delete;
+    Registry &operator=(const Registry &) = delete;
+
+    // -- registration -----------------------------------------------------
+
+    /**
+     * Register one monotonic counter. @p field must outlive the
+     * registry's use and must never decrease. Duplicate names panic.
+     */
+    void counter(std::string name, const std::uint64_t *field);
+
+    /**
+     * Register every counter of a stats struct under @p prefix via the
+     * struct's forEachCounter overload: `attach("llc", stats)` registers
+     * `llc.hits`, `llc.misses`, ...
+     */
+    template <typename S> void attach(const std::string &prefix, S &stats)
+    {
+        forEachCounter(stats,
+                       [&](std::string_view leaf, std::uint64_t &field) {
+                           counter(join(prefix, leaf), &field);
+                       });
+    }
+
+    /**
+     * Register a latency/size distribution. Snapshotted bucket-wise at
+     * the phase boundary like any counter. Must outlive the registry's
+     * use.
+     */
+    void histogram(std::string name, const Log2Histogram *hist);
+
+    /**
+     * Subscribe to phase transitions (components capture phase-relative
+     * state here, e.g. the hierarchy records the instruction count at
+     * the start of Measure). Listeners run in registration order,
+     * after the snapshot is taken.
+     */
+    void onPhaseBegin(std::function<void(Phase)> listener);
+
+    // -- phases -----------------------------------------------------------
+
+    /**
+     * Open the measurement window: snapshot every counter and histogram,
+     * then notify listeners. Calling twice — or with Phase::Warmup —
+     * panics; this is the "counters reset exactly once" rule made
+     * mechanical.
+     */
+    void beginPhase(Phase p);
+
+    Phase phase() const { return phase_; }
+
+    // -- windowed reads ---------------------------------------------------
+
+    /** Whole-run value (monotonic total). Unknown names panic. */
+    std::uint64_t total(std::string_view name) const;
+    /** Warmup-window value: the phase snapshot (whole run before it). */
+    std::uint64_t warmup(std::string_view name) const;
+    /** Measure-window value: total - snapshot. */
+    std::uint64_t measure(std::string_view name) const;
+
+    /**
+     * Measure-window copy of a whole stats struct: each enumerated
+     * field of @p totals minus its snapshot under @p prefix. This is
+     * what RunReport exposes — byte-for-byte what the old
+     * clearStats()-then-read convention produced.
+     */
+    template <typename S>
+    S measureView(const std::string &prefix, const S &totals) const
+    {
+        S view = totals;
+        forEachCounter(view,
+                       [&](std::string_view leaf, std::uint64_t &field) {
+                           field -= snapshotOf(join(prefix, leaf));
+                       });
+        return view;
+    }
+
+    // -- derived metrics --------------------------------------------------
+
+    /**
+     * Record a derived (computed) metric for export. @p precision is the
+     * display precision used by every sink. Duplicate names panic.
+     */
+    void derived(std::string name, double value, int precision = 4);
+
+    // -- export -----------------------------------------------------------
+
+    struct CounterRecord
+    {
+        std::string name;
+        std::uint64_t warmup = 0;
+        std::uint64_t measure = 0;
+        std::uint64_t total = 0;
+    };
+
+    struct DerivedRecord
+    {
+        std::string name;
+        double value = 0.0;
+        int precision = 4;
+    };
+
+    struct HistogramRecord
+    {
+        std::string name;
+        /** Per-bucket counts; index i covers [bucketLo(i), bucketHi(i)). */
+        std::vector<std::uint64_t> warmupBuckets;
+        std::vector<std::uint64_t> measureBuckets;
+        std::uint64_t totalCount = 0;
+    };
+
+    /** The full registry contents, in registration order. */
+    struct Export
+    {
+        std::string schema = kSchemaVersion;
+        std::vector<CounterRecord> counters;
+        std::vector<DerivedRecord> derived;
+        std::vector<HistogramRecord> histograms;
+    };
+
+    Export exportAll() const;
+
+    /** Number of registered counters (tests / sanity). */
+    std::size_t counterCount() const { return counters_.size(); }
+
+  private:
+    struct CounterSlot
+    {
+        std::string name;
+        const std::uint64_t *field = nullptr;
+        std::uint64_t snapshot = 0;
+    };
+
+    struct HistogramSlot
+    {
+        std::string name;
+        const Log2Histogram *hist = nullptr;
+        std::vector<std::uint64_t> snapshot;
+    };
+
+    static std::string join(const std::string &prefix,
+                            std::string_view leaf)
+    {
+        std::string name;
+        name.reserve(prefix.size() + 1 + leaf.size());
+        name += prefix;
+        name += '.';
+        name += leaf;
+        return name;
+    }
+
+    const CounterSlot &slotOf(std::string_view name) const;
+    /** Snapshot value under the phase rule (0 while still in Warmup). */
+    std::uint64_t snapshotOf(std::string_view name) const;
+
+    std::vector<CounterSlot> counters_;
+    std::unordered_map<std::string, std::size_t> index_;
+    std::vector<HistogramSlot> histograms_;
+    std::vector<DerivedRecord> derived_;
+    std::unordered_map<std::string, std::size_t> derivedIndex_;
+    std::vector<std::function<void(Phase)>> listeners_;
+    Phase phase_ = Phase::Warmup;
+    bool measureSnapshotTaken_ = false;
+};
+
+} // namespace maps::metrics
+
+#endif // MAPS_METRICS_METRICS_HPP

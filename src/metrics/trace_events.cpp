@@ -1,0 +1,195 @@
+#include "metrics/trace_events.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <utility>
+
+#include "util/logging.hpp"
+
+namespace maps::metrics {
+
+namespace {
+
+std::string
+hexAddr(Addr addr)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  static_cast<unsigned long long>(addr));
+    return buf;
+}
+
+/** One complete event ("ph":"X") as a JSON object. */
+std::string
+completeEvent(const std::string &name, const char *cat, std::uint64_t ts,
+              std::uint64_t dur, const std::string &args)
+{
+    std::string ev = "{\"name\":\"" + name + "\",\"cat\":\"" + cat +
+                     "\",\"ph\":\"X\",\"ts\":" + std::to_string(ts) +
+                     ",\"dur\":" + std::to_string(dur) +
+                     ",\"pid\":0,\"tid\":0";
+    if (!args.empty())
+        ev += ",\"args\":{" + args + "}";
+    ev += "}";
+    return ev;
+}
+
+const char *
+metadataSlug(MetadataType t)
+{
+    switch (t) {
+    case MetadataType::Counter:
+        return "counter";
+    case MetadataType::TreeNode:
+        return "tree";
+    case MetadataType::Hash:
+        return "hash";
+    case MetadataType::Data:
+        return "data";
+    }
+    return "?";
+}
+
+} // namespace
+
+TraceEventWriter::TraceEventWriter(std::string path,
+                                   std::uint64_t sample_every,
+                                   std::string cell)
+    : path_(std::move(path)),
+      sampleEvery_(sample_every ? sample_every : 1),
+      cell_(std::move(cell))
+{
+}
+
+TraceEventWriter::~TraceEventWriter()
+{
+    finish();
+}
+
+void
+TraceEventWriter::beginRequest(const MemoryRequest &req)
+{
+    panicIf(recording_, "trace: beginRequest while a request is open");
+    const bool sample = seen_ % sampleEvery_ == 0 &&
+                        sampled_ < kMaxSampledRequests && !finished_;
+    ++seen_;
+    if (!sample)
+        return;
+    recording_ = true;
+    current_ = req;
+    children_.clear();
+}
+
+void
+TraceEventWriter::metadataAccess(const MetadataAccess &acc)
+{
+    if (!recording_)
+        return;
+    children_.push_back(Child{acc});
+}
+
+void
+TraceEventWriter::endRequest(Cycles latency, std::uint32_t mem_accesses)
+{
+    if (!recording_)
+        return;
+    recording_ = false;
+    ++sampled_;
+    flushRequest(latency, mem_accesses);
+}
+
+void
+TraceEventWriter::flushRequest(Cycles latency, std::uint32_t mem_accesses)
+{
+    // Synthetic layout: the request span opens at t0; each metadata
+    // access occupies one 1us slot starting at t0+1; a run of
+    // consecutive tree-node accesses is wrapped in a "tree traversal"
+    // span covering its slots (containment is what chrome://tracing
+    // nests by).
+    const std::uint64_t t0 = now_;
+    const std::uint64_t slots = children_.size();
+
+    const char *kind =
+        current_.kind == RequestKind::Read ? "read" : "writeback";
+    std::string args = "\"addr\":\"" + hexAddr(current_.addr) +
+                       "\",\"icount\":" + std::to_string(current_.icount) +
+                       ",\"latency_cycles\":" + std::to_string(latency) +
+                       ",\"mem_accesses\":" +
+                       std::to_string(mem_accesses) +
+                       ",\"metadata_accesses\":" + std::to_string(slots);
+    events_.push_back(completeEvent(std::string(kind) + " " +
+                                        hexAddr(current_.addr),
+                                    "request", t0, slots + 2, args));
+
+    std::size_t i = 0;
+    while (i < children_.size()) {
+        const MetadataAccess &acc = children_[i].acc;
+        if (acc.type == MetadataType::TreeNode) {
+            // Group the whole consecutive traversal run.
+            std::size_t j = i;
+            while (j < children_.size() &&
+                   children_[j].acc.type == MetadataType::TreeNode)
+                ++j;
+            events_.push_back(completeEvent(
+                "tree traversal", "metadata", t0 + 1 + i, j - i,
+                "\"levels\":" + std::to_string(j - i)));
+            for (std::size_t k = i; k < j; ++k) {
+                const MetadataAccess &node = children_[k].acc;
+                events_.push_back(completeEvent(
+                    std::string("tree L") + std::to_string(node.level) +
+                        (node.isWrite() ? " write" : " read"),
+                    "metadata", t0 + 1 + k, 1,
+                    "\"addr\":\"" + hexAddr(node.addr) +
+                        "\",\"level\":" + std::to_string(node.level)));
+            }
+            i = j;
+            continue;
+        }
+        events_.push_back(completeEvent(
+            std::string(metadataSlug(acc.type)) +
+                (acc.isWrite() ? " write" : " read"),
+            "metadata", t0 + 1 + i, 1,
+            "\"addr\":\"" + hexAddr(acc.addr) + "\""));
+        ++i;
+    }
+
+    now_ = t0 + slots + 3;
+    children_.clear();
+}
+
+void
+TraceEventWriter::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    recording_ = false;
+
+    const std::string tmp = path_ + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::trunc);
+        if (!os) {
+            warn("trace: cannot open '" + tmp + "' for writing");
+            return;
+        }
+        os << "{\"traceEvents\":[\n";
+        for (std::size_t i = 0; i < events_.size(); ++i) {
+            os << events_[i];
+            if (i + 1 < events_.size())
+                os << ",";
+            os << "\n";
+        }
+        os << "],\n\"displayTimeUnit\":\"ms\",\n\"otherData\":{"
+           << "\"schema\":\"" << kTraceSchemaVersion << "\","
+           << "\"cell\":\"" << cell_ << "\","
+           << "\"sample_every\":" << sampleEvery_ << ","
+           << "\"requests_sampled\":" << sampled_ << ","
+           << "\"requests_seen\":" << seen_ << "}}\n";
+    }
+    if (std::rename(tmp.c_str(), path_.c_str()) != 0)
+        warn("trace: cannot rename '" + tmp + "' to '" + path_ + "'");
+    events_.clear();
+    events_.shrink_to_fit();
+}
+
+} // namespace maps::metrics

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Sampled chrome://tracing event emission (--trace-events).
+ *
+ * Every Nth measured request becomes a complete-event ("ph":"X") span;
+ * the metadata fetches it triggers are nested child spans, and a
+ * root-ward integrity-tree traversal is grouped under its own wrapper
+ * span. Load the file in chrome://tracing or Perfetto.
+ *
+ * The timeline is synthetic: spans are laid out on a monotonically
+ * advancing microsecond axis, one slot per metadata access, so the
+ * visualization shows *structure* (what each request touched, in
+ * order), not timing — the simulator's transaction-level cycle
+ * accounting lives in each span's args ("latency_cycles"). A synthetic
+ * axis keeps the file deterministic for a given cell and seed, which
+ * the CI validity job relies on.
+ *
+ * File format (schema "maps-trace-v1"):
+ *   { "traceEvents": [...], "displayTimeUnit": "ms",
+ *     "otherData": { "schema": ..., "cell": ..., "sample_every": ...,
+ *                    "requests_sampled": ..., "requests_seen": ... } }
+ */
+#ifndef MAPS_METRICS_TRACE_EVENTS_HPP
+#define MAPS_METRICS_TRACE_EVENTS_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace maps::metrics {
+
+/** Version tag stamped into the trace file's otherData. */
+inline constexpr const char *kTraceSchemaVersion = "maps-trace-v1";
+
+/**
+ * Buffers sampled request/metadata spans and writes one chrome-trace
+ * JSON file in finish(). Owned by SecureMemorySim; fed from the request
+ * path and the metadata tap. Not thread-safe (cell-local, like every
+ * simulation object).
+ */
+class TraceEventWriter
+{
+  public:
+    /**
+     * @param path         output file (written atomically in finish()).
+     * @param sample_every record every Nth request (>= 1).
+     * @param cell         cell label stamped into otherData.
+     */
+    TraceEventWriter(std::string path, std::uint64_t sample_every,
+                     std::string cell);
+    ~TraceEventWriter();
+
+    /** A request enters the controller; decides whether to sample it. */
+    void beginRequest(const MemoryRequest &req);
+
+    /** A metadata access of the currently sampled request. */
+    void metadataAccess(const MetadataAccess &acc);
+
+    /** The sampled request completed with its timing outcome. */
+    void endRequest(Cycles latency, std::uint32_t mem_accesses);
+
+    /** Write the file (idempotent; also called from the destructor). */
+    void finish();
+
+    std::uint64_t requestsSampled() const { return sampled_; }
+
+  private:
+    struct Child
+    {
+        MetadataAccess acc;
+    };
+
+    std::string path_;
+    std::uint64_t sampleEvery_;
+    std::string cell_;
+
+    std::vector<std::string> events_;
+    std::uint64_t seen_ = 0;
+    std::uint64_t sampled_ = 0;
+    /** Synthetic clock, in microsecond ticks. */
+    std::uint64_t now_ = 0;
+    bool finished_ = false;
+
+    /** In-flight sampled request (valid while recording_). */
+    bool recording_ = false;
+    MemoryRequest current_;
+    std::vector<Child> children_;
+
+    /** Cap on sampled requests so the buffer stays bounded. */
+    static constexpr std::uint64_t kMaxSampledRequests = 20'000;
+
+    void flushRequest(Cycles latency, std::uint32_t mem_accesses);
+};
+
+} // namespace maps::metrics
+
+#endif // MAPS_METRICS_TRACE_EVENTS_HPP

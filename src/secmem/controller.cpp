@@ -367,6 +367,7 @@ SecureMemoryController::handleRead(const MemoryRequest &req, Cycles now)
     outcome.verifyLatency = verify + data_hash_check;
     stats_.totalReadLatency += outcome.latency;
     stats_.totalVerifyLatency += outcome.verifyLatency;
+    readLatencyHist_.add(outcome.latency);
     return outcome;
 }
 
@@ -588,10 +589,12 @@ SecureMemoryController::handleWrite(const MemoryRequest &req, Cycles now)
 }
 
 void
-SecureMemoryController::clearStats()
+SecureMemoryController::attachMetrics(metrics::Registry &registry)
 {
-    stats_ = ControllerStats{};
-    mdCache_->clearStats();
+    registry.attach("secmem", stats_);
+    mdCache_->attachMetrics(registry, "secmem");
+    counters_.attachMetrics(registry, "secmem.counters");
+    registry.histogram("secmem.latency.read", &readLatencyHist_);
 }
 
 } // namespace maps

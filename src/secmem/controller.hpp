@@ -27,8 +27,10 @@
 #include <memory>
 
 #include "mem/memory_model.hpp"
+#include "metrics/metrics.hpp"
 #include "secmem/counter_store.hpp"
 #include "secmem/metadata_cache.hpp"
+#include "util/histogram.hpp"
 
 namespace maps {
 
@@ -82,7 +84,10 @@ struct RequestOutcome
     std::uint32_t treeLevelsFetched = 0;
 };
 
-/** Aggregate controller statistics. */
+/**
+ * Aggregate controller statistics. Monotonic — never reset; windowed
+ * readings come from metrics::Registry phase snapshots.
+ */
 struct ControllerStats
 {
     std::uint64_t readRequests = 0;
@@ -102,11 +107,32 @@ struct ControllerStats
     std::uint64_t metadataMemAccesses() const;
     double avgReadLatency() const
     {
-        return readRequests ? static_cast<double>(totalReadLatency) /
-                                  static_cast<double>(readRequests)
-                            : 0.0;
+        return metrics::ratioOrZero(totalReadLatency, readRequests);
     }
 };
+
+/** metrics::Registry enumeration protocol (attach / measureView). */
+template <typename Fn>
+void
+forEachCounter(ControllerStats &s, Fn &&fn)
+{
+    fn("requests.read", s.readRequests);
+    fn("requests.write", s.writeRequests);
+    static constexpr const char *kCategorySlug[kNumMemCategories] = {
+        "data", "counter", "hash", "tree", "reencrypt"};
+    for (unsigned c = 0; c < kNumMemCategories; ++c) {
+        const std::string slug = std::string("mem.") + kCategorySlug[c];
+        fn(slug + ".reads", s.memReads[c]);
+        fn(slug + ".writes", s.memWrites[c]);
+    }
+    fn("tree.levels_fetched", s.treeLevelsFetched);
+    fn("page_overflows", s.pageOverflows);
+    fn("root_updates", s.rootUpdates);
+    fn("cascade_truncations", s.cascadeTruncations);
+    fn("prefetches", s.prefetchesIssued);
+    fn("latency.read_cycles", s.totalReadLatency);
+    fn("latency.verify_cycles", s.totalVerifyLatency);
+}
 
 /** The memory encryption engine. */
 class SecureMemoryController
@@ -156,7 +182,21 @@ class SecureMemoryController
     }
 
     const ControllerStats &stats() const { return stats_; }
-    void clearStats();
+
+    /**
+     * Register every controller counter under "secmem." — the request
+     * and per-category DRAM traffic counters, the metadata cache
+     * (secmem.mdcache.*), the functional counter store
+     * (secmem.counters.*) and the read-latency distribution
+     * (secmem.latency.read histogram).
+     */
+    void attachMetrics(metrics::Registry &registry);
+
+    /** Distribution of per-request read latencies (whole run). */
+    const Log2Histogram &readLatencyHistogram() const
+    {
+        return readLatencyHist_;
+    }
 
     const MetadataLayout &layout() const { return layout_; }
     const CounterStore &counters() const { return counters_; }
@@ -173,6 +213,7 @@ class SecureMemoryController
     MetadataTap tap_;
     SecureMemoryFaultObserver *faultObs_ = nullptr;
     ControllerStats stats_;
+    Log2Histogram readLatencyHist_;
 
     /** Physical DRAM base of each metadata region. */
     std::array<Addr, kNumMemCategories> regionBase_{};

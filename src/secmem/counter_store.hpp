@@ -12,8 +12,10 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 
+#include "metrics/metrics.hpp"
 #include "secmem/layout.hpp"
 
 namespace maps {
@@ -65,6 +67,17 @@ class CounterStore
 
     /** Total per-page (major) overflows seen. */
     std::uint64_t pageOverflows() const { return pageOverflows_; }
+
+    /**
+     * Register the functional counters under @p prefix (e.g.
+     * "secmem.counters.page_overflows"). The accounting audit checks
+     * this against the controller's own overflow statistic.
+     */
+    void attachMetrics(metrics::Registry &registry,
+                       const std::string &prefix)
+    {
+        registry.counter(prefix + ".page_overflows", &pageOverflows_);
+    }
 
     /** Number of pages with any non-zero counter. */
     std::uint64_t touchedPages() const { return pages_.size(); }

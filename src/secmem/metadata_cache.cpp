@@ -214,24 +214,17 @@ MetadataCache::probe(Addr addr, MetadataType type) const
 }
 
 void
-MetadataCache::clearStats()
+MetadataCache::attachMetrics(metrics::Registry &registry,
+                             const std::string &prefix)
 {
-    stats_ = MetadataCacheStats{};
-    cache_->clearStats();
+    registry.attach(prefix + ".mdcache", stats_);
+    registry.attach(prefix + ".mdcache.array", cache_->statsMut());
 }
 
 double
 MetadataCache::mpki(InstCount instructions) const
 {
-    if (instructions == 0)
-        return 0.0;
-    // Bypassed accesses are misses from the system's point of view: they
-    // always cost a memory access.
-    std::uint64_t misses = stats_.totalMisses();
-    for (auto b : stats_.bypasses)
-        misses += b;
-    return 1000.0 * static_cast<double>(misses) /
-           static_cast<double>(instructions);
+    return stats_.mpki(instructions);
 }
 
 std::uint32_t

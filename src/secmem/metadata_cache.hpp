@@ -21,6 +21,8 @@
 #include <unordered_map>
 
 #include "cache/cache.hpp"
+#include "metrics/derived.hpp"
+#include "metrics/metrics.hpp"
 #include "secmem/layout.hpp"
 
 namespace maps {
@@ -79,7 +81,11 @@ struct MetadataCacheOutcome
     bool evictedIncomplete = false;
 };
 
-/** Per-type hit/miss statistics (indexed by MetadataType). */
+/**
+ * Per-type hit/miss statistics (indexed by MetadataType). Monotonic —
+ * never reset; windowed readings come from metrics::Registry phase
+ * snapshots.
+ */
 struct MetadataCacheStats
 {
     std::array<std::uint64_t, kNumMetadataTypes> accesses{};
@@ -105,7 +111,39 @@ struct MetadataCacheStats
             acc += a;
         return acc;
     }
+
+    /**
+     * Metadata misses (+ bypasses: they always cost a memory access)
+     * per kilo-instruction.
+     */
+    double mpki(InstCount instructions) const
+    {
+        std::uint64_t missed = totalMisses();
+        for (auto b : bypasses)
+            missed += b;
+        return metrics::perKiloInstructions(missed, instructions);
+    }
 };
+
+/** metrics::Registry enumeration protocol (attach / measureView). */
+template <typename Fn>
+void
+forEachCounter(MetadataCacheStats &s, Fn &&fn)
+{
+    static constexpr const char *kTypeSlug[kNumMetadataTypes] = {
+        "counter", "tree", "hash"};
+    for (unsigned t = 0; t < kNumMetadataTypes; ++t) {
+        const std::string slug = kTypeSlug[t];
+        fn(slug + ".accesses", s.accesses[t]);
+        fn(slug + ".hits", s.hits[t]);
+        fn(slug + ".misses", s.misses[t]);
+        fn(slug + ".bypasses", s.bypasses[t]);
+    }
+    fn("placeholder_inserts", s.placeholderInserts);
+    fn("partial_completions", s.partialCompletions);
+    fn("incomplete_evictions", s.incompleteEvictions);
+    fn("prefetch_inserts", s.prefetchInserts);
+}
 
 /**
  * Unified metadata cache. Wraps SetAssociativeCache with metadata-type
@@ -145,7 +183,13 @@ class MetadataCache
 
     const MetadataCacheConfig &config() const { return cfg_; }
     const MetadataCacheStats &stats() const { return stats_; }
-    void clearStats();
+
+    /**
+     * Register the per-type stats (prefix.mdcache.*) and the underlying
+     * SRAM array's counters (prefix.mdcache.array.*).
+     */
+    void attachMetrics(metrics::Registry &registry,
+                       const std::string &prefix);
 
     /** Underlying array (for inspection in tests). */
     const SetAssociativeCache &array() const { return *cache_; }

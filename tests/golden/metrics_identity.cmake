@@ -1,0 +1,34 @@
+# Metrics determinism check, run as a ctest command:
+#
+#   cmake -DBENCH=<binary> -DOUT=<file-prefix> -P metrics_identity.cmake
+#
+# Runs the bench twice at the golden operating point with --metrics=full
+# — once at --jobs=1 and once at --jobs=4 — and byte-compares the two
+# outputs against EACH OTHER (not a committed golden: the full counter
+# dump is too volatile to commit, but it must be independent of the job
+# count like every other row the runner emits).
+foreach(var BENCH OUT)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "metrics_identity.cmake: -D${var}=... is required")
+    endif()
+endforeach()
+
+foreach(jobs 1 4)
+    execute_process(
+        COMMAND ${BENCH} --scale=0.01 --seed=3 --format=json --no-progress
+                --metrics=full --jobs=${jobs} --out=${OUT}.j${jobs}
+        RESULT_VARIABLE run_rc)
+    if(NOT run_rc EQUAL 0)
+        message(FATAL_ERROR "${BENCH} --jobs=${jobs} exited with ${run_rc}")
+    endif()
+endforeach()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT}.j1 ${OUT}.j4
+    RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+    execute_process(COMMAND diff -u ${OUT}.j1 ${OUT}.j4)
+    message(FATAL_ERROR
+        "metrics output depends on --jobs: ${OUT}.j1 differs from "
+        "${OUT}.j4 under --metrics=full")
+endif()

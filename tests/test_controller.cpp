@@ -289,10 +289,13 @@ TEST(Controller, CounterHitSkipsTreeEntirely)
             << "cached counters were verified on fill (§II)";
 }
 
-TEST(Controller, StatsAggregateAndClear)
+TEST(Controller, StatsAggregateAndPhaseWindow)
 {
     FixedLatencyMemory mem(kMemLat);
     SecureMemoryController ctrl(baseConfig(), mem);
+    metrics::Registry reg;
+    ctrl.attachMetrics(reg);
+
     ctrl.handleRequest(read(0));
     ctrl.handleRequest(writeback(kPageSize));
     const auto &s = ctrl.stats();
@@ -301,8 +304,16 @@ TEST(Controller, StatsAggregateAndClear)
     EXPECT_GT(s.totalMemAccesses(), 0u);
     EXPECT_GT(s.metadataMemAccesses(), 0u);
     EXPECT_GT(s.avgReadLatency(), 0.0);
-    ctrl.clearStats();
-    EXPECT_EQ(ctrl.stats().requests(), 0u);
+
+    // Monotonic counters: the measure window opens at the phase
+    // snapshot and excludes everything before it.
+    reg.beginPhase(metrics::Phase::Measure);
+    EXPECT_EQ(reg.measureView("secmem", ctrl.stats()).requests(), 0u);
+    ctrl.handleRequest(read(0));
+    EXPECT_EQ(reg.measureView("secmem", ctrl.stats()).requests(), 1u);
+    EXPECT_EQ(ctrl.stats().requests(), 3u)
+        << "totals survive the phase boundary";
+    EXPECT_EQ(reg.warmup("secmem.requests.read"), 1u);
 }
 
 TEST(Controller, RejectsOutOfRangeAddress)

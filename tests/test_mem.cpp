@@ -6,6 +6,7 @@
 
 #include "mem/dram.hpp"
 #include "mem/fixed_latency.hpp"
+#include "metrics/metrics.hpp"
 
 namespace maps {
 namespace {
@@ -18,8 +19,13 @@ TEST(FixedLatency, ConstantAndCounted)
     EXPECT_EQ(mem.stats().reads, 1u);
     EXPECT_EQ(mem.stats().writes, 1u);
     EXPECT_EQ(mem.stats().totalLatency, 246u);
-    mem.clearStats();
-    EXPECT_EQ(mem.stats().accesses(), 0u);
+    // Counters are monotonic; a fresh measurement window comes from a
+    // registry phase snapshot, not a reset.
+    metrics::Registry reg;
+    reg.attach(mem.name(), mem.statsMut());
+    reg.beginPhase(metrics::Phase::Measure);
+    EXPECT_EQ(reg.measureView(mem.name(), mem.stats()).accesses(), 0u);
+    EXPECT_EQ(mem.stats().accesses(), 2u) << "totals keep accumulating";
 }
 
 TEST(Dram, SequentialBlocksHitOpenRow)
@@ -115,8 +121,16 @@ TEST(Dram, StatsAccumulate)
     EXPECT_EQ(dram.stats().reads, 5u);
     EXPECT_EQ(dram.stats().writes, 5u);
     EXPECT_GT(dram.stats().avgLatency(), 0.0);
-    dram.clearStats();
-    EXPECT_EQ(dram.stats().accesses(), 0u);
+    // Phase snapshot separates the windows without touching the totals.
+    metrics::Registry reg;
+    reg.attach(dram.name(), dram.statsMut());
+    reg.beginPhase(metrics::Phase::Measure);
+    dram.access(11 * kBlockSize, false, 0);
+    const MemoryStats measured = reg.measureView(dram.name(), dram.stats());
+    EXPECT_EQ(measured.accesses(), 1u);
+    EXPECT_EQ(measured.reads, 1u);
+    EXPECT_EQ(dram.stats().accesses(), 11u);
+    EXPECT_EQ(reg.warmup(dram.name() + std::string(".reads")), 5u);
 }
 
 TEST(Dram, RejectsBadConfig)

@@ -217,15 +217,27 @@ TEST(MetadataCache, DuelingPartitionReportsSplit)
     EXPECT_EQ(plain.activeDuelingSplit(), 0u);
 }
 
-TEST(MetadataCache, ClearStatsResets)
+TEST(MetadataCache, MeasureWindowStartsAtPhaseSnapshot)
 {
     MetadataCache cache(MetadataCacheConfig::allTypes(16_KiB));
+    metrics::Registry reg;
+    cache.attachMetrics(reg, "secmem");
+
     cache.access(mdAddr(MetadataType::Counter, 0), MetadataType::Counter,
                  false);
     EXPECT_GT(cache.stats().totalAccesses(), 0u);
-    cache.clearStats();
-    EXPECT_EQ(cache.stats().totalAccesses(), 0u);
-    EXPECT_EQ(cache.array().stats().accesses(), 0u);
+
+    // Counters are monotonic; the phase snapshot zeroes the measure
+    // *window* while the totals keep accumulating.
+    reg.beginPhase(metrics::Phase::Measure);
+    const auto measured =
+        reg.measureView("secmem.mdcache", cache.stats());
+    EXPECT_EQ(measured.totalAccesses(), 0u);
+    EXPECT_EQ(reg.measure("secmem.mdcache.array.hits") +
+                  reg.measure("secmem.mdcache.array.misses"),
+              0u);
+    EXPECT_GT(cache.stats().totalAccesses(), 0u)
+        << "totals survive the phase boundary";
 }
 
 } // namespace
