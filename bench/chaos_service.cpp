@@ -1,0 +1,317 @@
+/**
+ * @file
+ * Chaos acceptance harness for mapsd (see docs/SERVICE.md).
+ *
+ * Reproduces the service's headline robustness claim end to end, with
+ * every disturbance injected deterministically:
+ *
+ *   1. run the fig3 sweep directly to get the reference byte stream;
+ *   2. start mapsd with a chaos spec (mirroring the maps::fault
+ *      `kind:surface@trigger` grammar) that SIGKILLs five cell children
+ *      and SIGSTOPs two more, by spawn ordinal;
+ *   3. submit the same sweep through the client retry loop;
+ *   4. once the journal shows the kills and hangs have landed, SIGKILL
+ *      the whole daemon process group mid-run and start a fresh daemon
+ *      on the same state dir;
+ *   5. assert the client still gets a result byte-identical to the
+ *      reference — no cell lost, none duplicated — and that the job's
+ *      resilience counters honestly record every disturbance.
+ *
+ * Byte-identity is the strong form of "zero lost / zero duplicated
+ * cells": a lost cell drops rows, a duplicated one repeats them, and
+ * either changes the bytes.
+ *
+ * Usage:
+ *   chaos_service --mapsd=PATH --drivers-dir=DIR [--work-dir=DIR]
+ *                 [--cell-timeout=SECS] [--keep]
+ */
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "service/child.hpp"
+#include "service/client.hpp"
+#include "service/journal.hpp"
+#include "service/service.hpp"
+#include "service/wire.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace maps::service;
+
+int g_failures = 0;
+
+void
+expect(bool ok, const std::string &what)
+{
+    if (ok) {
+        std::printf("ok      %s\n", what.c_str());
+    } else {
+        std::printf("FAILED  %s\n", what.c_str());
+        ++g_failures;
+    }
+}
+
+/** Spawn mapsd as its own process group so chaos cleanup can nuke the
+ *  daemon and any orphaned cell children in one kill(-pgid). */
+pid_t
+spawnDaemon(const std::string &mapsd, const std::string &socket,
+            const std::string &stateDir, const std::string &driversDir,
+            const std::string &chaos, const std::string &logPath)
+{
+    const pid_t pid = ::fork();
+    if (pid != 0)
+        return pid;
+    ::setpgid(0, 0);
+    const int logFd =
+        ::open(logPath.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+    if (logFd >= 0) {
+        ::dup2(logFd, STDOUT_FILENO);
+        ::dup2(logFd, STDERR_FILENO);
+    }
+    std::vector<std::string> args = {
+        mapsd,
+        "--socket=" + socket,
+        "--state-dir=" + stateDir,
+        "--drivers-dir=" + driversDir,
+        "--workers=2",
+    };
+    if (!chaos.empty())
+        args.push_back("--chaos=" + chaos);
+    std::vector<char *> argv;
+    for (auto &a : args)
+        argv.push_back(a.data());
+    argv.push_back(nullptr);
+    ::execv(mapsd.c_str(), argv.data());
+    ::_exit(127);
+}
+
+bool
+waitForPing(Client &client, int budgetMs)
+{
+    for (int waited = 0; waited < budgetMs; waited += 100) {
+        Json req = Json::object();
+        req.set("v", kProtocolVersion);
+        req.set("op", "ping");
+        std::string err;
+        auto resp = client.rpc(req, err, 2000);
+        if (resp && resp->boolean("ok"))
+            return true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    return false;
+}
+
+/** Read the job's journaled resilience counters; zeros when unreadable. */
+JobCounters
+journaledCounters(const std::string &stateDir, const std::string &jobId,
+                  std::string &state)
+{
+    JobCounters counters;
+    state.clear();
+    std::string text, err;
+    if (!readWholeFile(stateDir + "/jobs/" + jobId + ".json", text, err))
+        return counters;
+    auto doc = Json::parse(text, err);
+    if (!doc)
+        return counters;
+    state = doc->str("state");
+    if (const Json *res = doc->get("resilience"))
+        counters.fromJson(*res);
+    return counters;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string mapsd, driversDir, workDir;
+    double cellTimeoutSec = 5.0;
+    bool keep = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--mapsd=", 0) == 0)
+            mapsd = arg.substr(8);
+        else if (arg.rfind("--drivers-dir=", 0) == 0)
+            driversDir = arg.substr(14);
+        else if (arg.rfind("--work-dir=", 0) == 0)
+            workDir = arg.substr(11);
+        else if (arg.rfind("--cell-timeout=", 0) == 0)
+            cellTimeoutSec = std::atof(arg.substr(15).c_str());
+        else if (arg == "--keep")
+            keep = true;
+        else {
+            std::fprintf(stderr, "chaos_service: unknown option '%s'\n",
+                         arg.c_str());
+            return 2;
+        }
+    }
+    if (mapsd.empty() || driversDir.empty()) {
+        std::fprintf(stderr, "usage: chaos_service --mapsd=PATH "
+                             "--drivers-dir=DIR [--work-dir=DIR] "
+                             "[--cell-timeout=SECS] [--keep]\n");
+        return 2;
+    }
+    if (workDir.empty()) {
+        char tmpl[] = "/tmp/maps-chaos-XXXXXX";
+        const char *made = ::mkdtemp(tmpl);
+        if (made == nullptr) {
+            std::fprintf(stderr, "chaos_service: mkdtemp failed\n");
+            return 1;
+        }
+        workDir = made;
+    }
+    const std::string socket = workDir + "/mapsd.sock";
+    const std::string stateDir = workDir + "/state";
+    const std::string daemonLog = workDir + "/mapsd.log";
+
+    // 1. Reference bytes from an undisturbed direct run.
+    const std::string refPath = workDir + "/reference.out";
+    {
+        ChildSpec ref;
+        ref.exe = driversDir + "/fig3_reuse_cdf";
+        ref.argv = {"--quick", "--jobs=4"};
+        ref.stdoutPath = refPath;
+        ref.stderrPath = workDir + "/reference.err";
+        ref.deadlineMs = 600000;
+        const ChildOutcome outcome = runChild(ref);
+        if (outcome.kind != ChildOutcome::Kind::Exited ||
+            outcome.exitCode != 0) {
+            std::fprintf(stderr,
+                         "chaos_service: reference run failed (%s)\n",
+                         outcome.error.c_str());
+            return 1;
+        }
+    }
+    std::string refBytes, err;
+    readWholeFile(refPath, refBytes, err);
+
+    // 2. Daemon A with deterministic chaos: the first three cell
+    // spawns are SIGKILLed, the next two SIGSTOPped (the hard deadline
+    // reaps them), and the two spawns after that SIGKILLed again —
+    // five killed workers and two hung cells before any cell of the
+    // sweep has managed a clean first attempt.
+    const std::string chaos =
+        "kill:worker@n=1,kill:worker@n=2,kill:worker@n=3,"
+        "hang:worker@n=4,hang:worker@n=5,"
+        "kill:worker@n=6,kill:worker@n=7";
+    const pid_t daemonA = spawnDaemon(mapsd, socket, stateDir,
+                                      driversDir, chaos, daemonLog);
+    Client client(socket);
+    if (!waitForPing(client, 10000)) {
+        std::fprintf(stderr, "chaos_service: daemon A never pinged\n");
+        ::kill(-daemonA, SIGKILL);
+        return 1;
+    }
+
+    RequestSpec spec;
+    spec.driver = "fig3_reuse_cdf";
+    spec.args = {"--quick"};
+    spec.metrics = "off";
+    spec.cellTimeoutSec = cellTimeoutSec;
+    const std::string jobId = spec.jobId();
+
+    RetryPolicy policy;
+    policy.budget = 12;
+    policy.baseMs = 200;
+    policy.capMs = 2000;
+
+    std::optional<Json> final;
+    std::string clientErr;
+    std::thread ctl([&] {
+        final = client.submitAndWait(spec, policy, clientErr, stderr);
+    });
+
+    // 3. Wait for the journal to show every injected disturbance has
+    // landed, then SIGKILL the daemon's whole process group mid-sweep.
+    bool disturbed = false;
+    for (int waited = 0; waited < 180000; waited += 100) {
+        std::string state;
+        const JobCounters c = journaledCounters(stateDir, jobId, state);
+        if (c.workersKilled >= 5 && c.hungCells >= 2) {
+            disturbed = true;
+            break;
+        }
+        if (state == "done")
+            break; // Too late — the asserts below will say so.
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    expect(disturbed, "journal recorded >=5 kills and >=2 hangs before "
+                      "the daemon SIGKILL");
+    ::kill(-daemonA, SIGKILL);
+    int status = 0;
+    ::waitpid(daemonA, &status, 0);
+    std::printf("info    daemon A SIGKILLed mid-sweep\n");
+
+    // 4. Fresh daemon, same state dir: journal recovery re-queues the
+    // job; the client's retry loop reconnects on its own.
+    const pid_t daemonB = spawnDaemon(mapsd, socket, stateDir,
+                                      driversDir, "", daemonLog);
+    ctl.join();
+
+    // 5. The final stream must be byte-identical to the reference.
+    expect(final.has_value(),
+           "client completed through retries (" + clientErr + ")");
+    std::string state, result;
+    JobCounters counters;
+    if (final) {
+        state = final->str("state");
+        if (const Json *res = final->get("resilience"))
+            counters.fromJson(*res);
+        if (const Json *r = final->get("result"); r && r->isString())
+            result = r->asString();
+    }
+    expect(state == "done", "job finished done (state=" + state + ")");
+    expect(!refBytes.empty() && result == refBytes,
+           "result is byte-identical to the undisturbed run (" +
+               std::to_string(result.size()) + " vs " +
+               std::to_string(refBytes.size()) + " bytes)");
+    expect(counters.workersKilled >= 5,
+           "counters: workers_killed >= 5 (got " +
+               std::to_string(counters.workersKilled) + ")");
+    expect(counters.hungCells >= 2,
+           "counters: hung_cells >= 2 (got " +
+               std::to_string(counters.hungCells) + ")");
+    expect(counters.daemonRestarts >= 1,
+           "counters: daemon_restarts >= 1 (got " +
+               std::to_string(counters.daemonRestarts) + ")");
+    expect(counters.requeuedCells >= 1,
+           "counters: transiently failed cells were re-queued");
+
+    // Drain daemon B politely; escalate if it lingers.
+    ::kill(daemonB, SIGTERM);
+    for (int waited = 0; waited < 30000; waited += 100) {
+        const pid_t r = ::waitpid(daemonB, &status, WNOHANG);
+        if (r == daemonB)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        if (waited + 100 >= 30000) {
+            ::kill(-daemonB, SIGKILL);
+            ::waitpid(daemonB, &status, 0);
+        }
+    }
+
+    if (!keep && g_failures == 0) {
+        std::error_code ec;
+        fs::remove_all(workDir, ec);
+    } else {
+        std::printf("info    artifacts kept in %s\n", workDir.c_str());
+    }
+    std::printf("%s (%d failure%s)\n",
+                g_failures == 0 ? "chaos_service: PASS"
+                                : "chaos_service: FAIL",
+                g_failures, g_failures == 1 ? "" : "s");
+    return g_failures == 0 ? 0 : 1;
+}

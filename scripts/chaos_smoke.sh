@@ -1,0 +1,128 @@
+#!/usr/bin/env bash
+# CI chaos smoke for the mapsd experiment service (docs/SERVICE.md).
+#
+# Drives the crash-recovery story end to end through the real binaries:
+# start mapsd, submit the fig3 sweep through mapsctl, SIGKILL the daemon
+# once the journal shows cells in flight, start a fresh daemon on the
+# same state dir, and assert that
+#   - the client (riding its retry loop) still exits 0,
+#   - the maps-svc-v1 response passes a jq schema check,
+#   - the journal recorded the restart (daemon_restarts >= 1),
+#   - the delivered result is byte-identical to running the driver
+#     directly — no cell lost, none duplicated.
+#
+# usage: scripts/chaos_smoke.sh [build-dir]
+set -euo pipefail
+
+BUILD="${1:-build}"
+MAPSD="$BUILD/tools/mapsd"
+MAPSCTL="$BUILD/tools/mapsctl"
+DRIVERS="$BUILD/bench"
+
+command -v jq >/dev/null || { echo "chaos_smoke: jq not found" >&2; exit 1; }
+for bin in "$MAPSD" "$MAPSCTL" "$DRIVERS/fig3_reuse_cdf"; do
+    [ -x "$bin" ] || { echo "chaos_smoke: $bin not built" >&2; exit 1; }
+done
+
+WORK="$(mktemp -d /tmp/maps-chaos-smoke-XXXXXX)"
+SOCKET="$WORK/mapsd.sock"
+STATE="$WORK/state"
+DAEMON_PID=""
+CTL_PID=""
+
+cleanup() {
+    [ -n "$CTL_PID" ] && kill -9 "$CTL_PID" 2>/dev/null || true
+    [ -n "$DAEMON_PID" ] && kill -9 "$DAEMON_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+start_daemon() {
+    "$MAPSD" --socket="$SOCKET" --state-dir="$STATE" \
+        --drivers-dir="$DRIVERS" --workers=1 \
+        >>"$WORK/mapsd.log" 2>&1 &
+    DAEMON_PID=$!
+    for _ in $(seq 1 100); do
+        if "$MAPSCTL" --socket="$SOCKET" ping >/dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "chaos_smoke: daemon never answered ping" >&2
+    cat "$WORK/mapsd.log" >&2
+    exit 1
+}
+
+echo "== reference run (direct, undisturbed)"
+"$DRIVERS/fig3_reuse_cdf" --quick >"$WORK/reference.out" 2>/dev/null
+
+echo "== daemon A up; schema-checking ping"
+start_daemon
+"$MAPSCTL" --socket="$SOCKET" ping | tee "$WORK/ping.json" |
+    jq -e '.v == "maps-svc-v1" and .ok and .op == "pong"
+           and has("pid") and has("workers")' >/dev/null
+
+echo "== submitting fig3 sweep through the retry client"
+"$MAPSCTL" --socket="$SOCKET" submit --driver=fig3_reuse_cdf \
+    --retries=30 --retry-base-ms=200 --json -- --quick \
+    >"$WORK/response.json" 2>"$WORK/mapsctl.log" &
+CTL_PID=$!
+
+echo "== waiting for the journal to show cells in flight"
+killed=0
+for _ in $(seq 1 600); do
+    if ls "$STATE"/jobs/*.json >/dev/null 2>&1 &&
+        jq -e -s '.[0].state == "running"
+                  and .[0].resilience.cells_run >= 1' \
+            "$STATE"/jobs/*.json >/dev/null 2>&1; then
+        echo "== SIGKILLing daemon A mid-sweep"
+        kill -9 "$DAEMON_PID"
+        wait "$DAEMON_PID" 2>/dev/null || true
+        killed=1
+        break
+    fi
+    sleep 0.05
+done
+if [ "$killed" -ne 1 ]; then
+    echo "chaos_smoke: never caught the sweep mid-run" >&2
+    exit 1
+fi
+
+echo "== daemon B recovering the same state dir"
+start_daemon
+
+wait "$CTL_PID"
+rc=$?
+CTL_PID=""
+if [ "$rc" -ne 0 ]; then
+    echo "chaos_smoke: mapsctl exited $rc" >&2
+    cat "$WORK/mapsctl.log" >&2
+    exit 1
+fi
+
+echo "== schema-checking the maps-svc-v1 response"
+jq -e '.v == "maps-svc-v1" and .ok and .state == "done"
+       and .class == "none"
+       and (.resilience | has("workers_killed") and has("hung_cells")
+            and has("requeued_cells") and has("downgraded_cells")
+            and has("rounds"))
+       and .resilience.daemon_restarts >= 1
+       and (.result | type == "string" and length > 0)' \
+    "$WORK/response.json" >/dev/null
+
+echo "== comparing result bytes against the direct run"
+jq -j '.result' "$WORK/response.json" >"$WORK/service.out"
+cmp "$WORK/reference.out" "$WORK/service.out"
+
+echo "== draining daemon B"
+kill -TERM "$DAEMON_PID"
+for _ in $(seq 1 300); do
+    if ! kill -0 "$DAEMON_PID" 2>/dev/null; then
+        DAEMON_PID=""
+        break
+    fi
+    sleep 0.1
+done
+[ -z "$DAEMON_PID" ] || { echo "chaos_smoke: daemon B did not drain" >&2; exit 1; }
+
+echo "chaos_smoke: PASS (daemon killed mid-sweep, result byte-identical)"

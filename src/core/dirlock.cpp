@@ -1,0 +1,140 @@
+#include "core/dirlock.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <utility>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace maps::runner {
+
+namespace {
+
+constexpr const char *kMagic = "maps-lock-v1 pid ";
+
+/** Parse the owner pid out of a lock file; 0 when unreadable. */
+pid_t
+lockOwner(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return 0;
+    std::string line;
+    std::getline(in, line);
+    if (line.rfind(kMagic, 0) != 0)
+        return 0;
+    const auto digits = line.substr(std::strlen(kMagic));
+    if (digits.empty())
+        return 0;
+    char *end = nullptr;
+    const long pid = std::strtol(digits.c_str(), &end, 10);
+    if (end != digits.c_str() + digits.size() || pid <= 0)
+        return 0;
+    return static_cast<pid_t>(pid);
+}
+
+/**
+ * Liveness probe. EPERM means the pid exists but belongs to another
+ * user — still alive for our purposes.
+ */
+bool
+pidAlive(pid_t pid)
+{
+    return ::kill(pid, 0) == 0 || errno == EPERM;
+}
+
+} // namespace
+
+DirLock &
+DirLock::operator=(DirLock &&other) noexcept
+{
+    if (this != &other) {
+        release();
+        path_ = std::move(other.path_);
+        held_ = other.held_;
+        adopted_ = other.adopted_;
+        other.held_ = false;
+        other.adopted_ = false;
+        other.path_.clear();
+    }
+    return *this;
+}
+
+std::string
+DirLock::acquire(const std::string &dir, const std::string &name)
+{
+    if (held_)
+        return "";
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec)
+        return "cannot create lock directory '" + dir +
+               "': " + ec.message();
+    const auto path = (std::filesystem::path(dir) / name).string();
+
+    // Bounded retries: each loop either succeeds, fails on a live
+    // owner, or removes one stale/unreadable lock file.
+    for (int attempt = 0; attempt < 16; ++attempt) {
+        const int fd = ::open(path.c_str(),
+                              O_CREAT | O_EXCL | O_WRONLY | O_CLOEXEC,
+                              0644);
+        if (fd >= 0) {
+            char buf[64];
+            const int n = std::snprintf(buf, sizeof(buf), "%s%ld\n",
+                                        kMagic,
+                                        static_cast<long>(::getpid()));
+            const bool ok = n > 0 && ::write(fd, buf, static_cast<
+                                             std::size_t>(n)) == n;
+            ::close(fd);
+            if (!ok) {
+                ::unlink(path.c_str());
+                return "cannot write lock file '" + path + "'";
+            }
+            path_ = path;
+            held_ = true;
+            adopted_ = false;
+            return "";
+        }
+        if (errno != EEXIST)
+            return "cannot create lock file '" + path +
+                   "': " + std::strerror(errno);
+
+        const pid_t owner = lockOwner(path);
+        if (owner == ::getpid() || (owner > 0 && owner == ::getppid())) {
+            // Our own (or our parent's) lock: adopt it. The owner keeps
+            // responsibility for unlinking it.
+            path_ = path;
+            held_ = true;
+            adopted_ = true;
+            return "";
+        }
+        if (owner > 0 && pidAlive(owner)) {
+            return "directory '" + dir + "' is locked by running "
+                   "process " + std::to_string(owner) +
+                   " (" + path + "); refusing to interleave — stop the "
+                   "other run or remove the lock file if it is wrong";
+        }
+        // Stale (dead owner) or unreadable/torn lock: take it over.
+        ::unlink(path.c_str());
+    }
+    return "cannot acquire lock '" + path + "': too much contention";
+}
+
+void
+DirLock::release()
+{
+    if (held_ && !adopted_)
+        ::unlink(path_.c_str());
+    held_ = false;
+    adopted_ = false;
+    path_.clear();
+}
+
+} // namespace maps::runner

@@ -21,6 +21,7 @@
 #include <io.h>
 #define MAPS_ISATTY(fd) _isatty(fd)
 #else
+#include <signal.h>
 #include <unistd.h>
 #define MAPS_ISATTY(fd) isatty(fd)
 #endif
@@ -85,7 +86,27 @@ std::string
 Options::tryParse(const std::vector<std::string> &args, Options &out,
                   std::vector<std::string> *positionals)
 {
+    // Strict-parser contract: every option may be given at most once.
+    // Last-wins would silently ignore half of "--jobs=2 --jobs=4"; that
+    // is almost always a script bug, so repeats are hard errors. The
+    // three sweep-size spellings share one slot.
+    std::vector<std::string> seen;
     for (const auto &arg : args) {
+        std::string key;
+        if (arg == "--quick" || arg == "--full" ||
+            arg.rfind("--scale=", 0) == 0) {
+            key = "--scale/--quick/--full";
+        } else if (arg.rfind("--", 0) == 0) {
+            const auto eq = arg.find('=');
+            key = eq == std::string::npos ? arg : arg.substr(0, eq);
+        }
+        if (!key.empty()) {
+            if (std::find(seen.begin(), seen.end(), key) != seen.end())
+                return "duplicate option " + arg + " (" + key +
+                       " was already given; each option may appear at "
+                       "most once)";
+            seen.push_back(key);
+        }
         const auto value_of = [&arg](std::size_t prefix_len) {
             return arg.substr(prefix_len);
         };
@@ -160,6 +181,26 @@ Options::tryParse(const std::vector<std::string> &args, Options &out,
             out.traceCell = value_of(13);
             if (out.traceCell.empty())
                 return "--trace-cell needs a cell id";
+        } else if (arg == "--list-cells") {
+            out.listCells = true;
+        } else if (arg.rfind("--only-cells=", 0) == 0) {
+            const auto list = value_of(13);
+            out.onlyCells.clear();
+            std::size_t start = 0;
+            while (start <= list.size()) {
+                const auto comma = list.find(',', start);
+                const auto end =
+                    comma == std::string::npos ? list.size() : comma;
+                if (end == start)
+                    return "invalid --only-cells value '" + list +
+                           "' (empty cell id)";
+                out.onlyCells.push_back(list.substr(start, end - start));
+                if (comma == std::string::npos)
+                    break;
+                start = comma + 1;
+            }
+            if (out.onlyCells.empty())
+                return "--only-cells needs at least one cell id";
         } else if (arg.rfind("--", 0) == 0) {
             return "unknown option: " + arg;
         } else if (positionals) {
@@ -198,7 +239,12 @@ Options::usage(std::ostream &os, const std::string &argv0)
           " request (default 4096)\n"
        << "  --trace-cell=ID               cell that claims --trace-events"
           " (default: first to start)\n"
-       << "  --help                        this message\n";
+       << "  --list-cells                  print the cell grid (phase, id,"
+          " cached|pending) instead of running\n"
+       << "  --only-cells=ID[,ID...]       run only the named cells;"
+          " others load from --resume or are skipped\n"
+       << "  --help                        this message\n"
+       << "Each option may be given at most once; repeats are errors.\n";
 }
 
 Options
@@ -966,6 +1012,53 @@ heartbeat()
     throw CellTimedOut(buf);
 }
 
+// ---------------------------------------------------------------------------
+// Graceful SIGINT/SIGTERM.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::atomic<int> g_interrupt{0};
+std::atomic<bool> g_handlersInstalled{false};
+
+void
+onGracefulSignal(int signo)
+{
+    // Async-signal-safe: one relaxed store. Workers poll the flag
+    // before claiming their next cell; SA_RESETHAND below restores the
+    // default disposition so a second signal terminates immediately.
+    g_interrupt.store(signo, std::memory_order_relaxed);
+}
+
+} // namespace
+
+void
+installSignalHandlers()
+{
+#ifndef _WIN32
+    if (g_handlersInstalled.exchange(true))
+        return;
+    struct sigaction sa = {};
+    sa.sa_handler = &onGracefulSignal;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = SA_RESETHAND;
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+#endif
+}
+
+int
+interruptSignal()
+{
+    return g_interrupt.load(std::memory_order_relaxed);
+}
+
+void
+requestInterrupt(int signo)
+{
+    g_interrupt.store(signo, std::memory_order_relaxed);
+}
+
 namespace {
 
 /**
@@ -1048,6 +1141,15 @@ ExperimentRunner::run(const std::vector<Cell> &cells,
         fatalIf(static_cast<bool>(ec), "cannot create --resume directory '" +
                                            opts_.resumeDir + "': " +
                                            ec.message());
+        // Claim the directory before publishing into it (skipped in the
+        // read-only --list-cells mode). Lock errors are fatal: silently
+        // interleaving two runs would corrupt neither file (publishes
+        // are atomic) but makes the resulting mix impossible to reason
+        // about.
+        if (!opts_.listCells && !resumeLock_.held()) {
+            const auto err = resumeLock_.acquire(opts_.resumeDir);
+            fatalIf(!err.empty(), err);
+        }
         for (std::size_t i = 0; i < work.size(); ++i) {
             const auto path = ckdir / detail::checkpointFileName(
                                           phase_name, work[i], opts_.scale);
@@ -1065,9 +1167,49 @@ ExperimentRunner::run(const std::vector<Cell> &cells,
         }
     }
 
+    // --list-cells: report the grid instead of running it. A phase with
+    // unresolved (pending) cells cannot let the driver continue — later
+    // phases may consume this phase's outputs — so the process stops
+    // here; the service re-lists after executing the pending cells.
+    if (opts_.listCells) {
+        bool complete = true;
+        for (std::size_t i = 0; i < work.size(); ++i) {
+            std::printf("cell\t%s\t%s\t%s\n", phase_name.c_str(),
+                        work[i].id.c_str(),
+                        loaded[i] ? "cached" : "pending");
+            complete = complete && loaded[i];
+        }
+        if (!complete) {
+            std::printf("list-end incomplete\n");
+            std::fflush(stdout);
+            std::exit(0);
+        }
+        std::fflush(stdout);
+        return out;
+    }
+
+    // --only-cells: unselected cells keep their checkpoint-loaded
+    // output (dependent phases need it) or stay empty.
+    std::vector<char> selected(work.size(), 1);
+    if (!opts_.onlyCells.empty()) {
+        for (std::size_t i = 0; i < work.size(); ++i) {
+            const bool want =
+                std::find(opts_.onlyCells.begin(), opts_.onlyCells.end(),
+                          work[i].id) != opts_.onlyCells.end();
+            selected[i] = want ? 1 : 0;
+            if (want &&
+                std::find(matchedOnlyCells_.begin(),
+                          matchedOnlyCells_.end(),
+                          work[i].id) == matchedOnlyCells_.end())
+                matchedOnlyCells_.push_back(work[i].id);
+            if (!want && !loaded[i])
+                ++shardSkipped_;
+        }
+    }
+
     std::size_t pending = 0;
-    for (const char l : loaded)
-        pending += l ? 0 : 1;
+    for (std::size_t i = 0; i < work.size(); ++i)
+        pending += (!loaded[i] && selected[i]) ? 1 : 0;
     Progress progress(phase_name, pending, opts_.progress);
 
     const unsigned jobs = static_cast<unsigned>(std::min<std::size_t>(
@@ -1083,13 +1225,21 @@ ExperimentRunner::run(const std::vector<Cell> &cells,
         slots.back()->timeoutSec = opts_.cellTimeoutSec;
     }
 
+    std::vector<char> visited(work.size(), 0);
+
     const auto worker = [&](WorkerSlot *slot) {
         tlsSlot = slot;
         for (;;) {
+            // A graceful-stop request (SIGINT/SIGTERM) lets the cell in
+            // flight finish and checkpoint; unclaimed cells stay behind
+            // for --resume.
+            if (interruptSignal())
+                break;
             const std::size_t i = next.fetch_add(1);
             if (i >= work.size())
                 break;
-            if (loaded[i])
+            visited[i] = 1;
+            if (loaded[i] || !selected[i])
                 continue;
             tlsStamp = static_cast<std::uint64_t>(i) + 1;
             tlsCellId = work[i].id;
@@ -1188,16 +1338,54 @@ ExperimentRunner::run(const std::vector<Cell> &cells,
                   return a.index < b.index;
               });
     failures_.insert(failures_.end(), failures.begin(), failures.end());
+
+    if (interruptSignal()) {
+        for (std::size_t i = 0; i < work.size(); ++i)
+            if (!visited[i] && !loaded[i] && selected[i])
+                ++interruptedCells_;
+    }
     return out;
+}
+
+std::vector<std::string>
+ExperimentRunner::unmatchedOnlyCells() const
+{
+    std::vector<std::string> unmatched;
+    for (const auto &id : opts_.onlyCells)
+        if (std::find(matchedOnlyCells_.begin(), matchedOnlyCells_.end(),
+                      id) == matchedOnlyCells_.end())
+            unmatched.push_back(id);
+    return unmatched;
 }
 
 // ---------------------------------------------------------------------------
 // Experiment harness.
 // ---------------------------------------------------------------------------
 
-Experiment::Experiment(ExperimentMeta meta, const Options &opts)
-    : meta_(std::move(meta)), runner_(opts), sink_(makeSink(opts))
+namespace {
+
+/** Swallows everything; --list-cells owns stdout for the cell lines. */
+class NullSink : public ResultSink
 {
+  public:
+    void row(const SectionRow &) override {}
+};
+
+std::unique_ptr<ResultSink>
+makeExperimentSink(const Options &opts)
+{
+    if (opts.listCells)
+        return std::make_unique<NullSink>();
+    return makeSink(opts);
+}
+
+} // namespace
+
+Experiment::Experiment(ExperimentMeta meta, const Options &opts)
+    : meta_(std::move(meta)), runner_(opts),
+      sink_(makeExperimentSink(opts))
+{
+    installSignalHandlers();
     if (opts.check) {
         // Record mode: divergences are tallied and summarized by
         // finish() instead of aborting the run at the first one.
@@ -1216,7 +1404,22 @@ Experiment::Experiment(ExperimentMeta meta, const Options &opts)
 std::vector<CellOutput>
 Experiment::run(const std::vector<Cell> &cells, const std::string &phase)
 {
-    return runner_.run(cells, phase.empty() ? meta_.name : phase);
+    auto out = runner_.run(cells, phase.empty() ? meta_.name : phase);
+    // A phase that came back with holes must not let the driver
+    // continue: later phases may consume these outputs cell-by-cell,
+    // and a missing one is undefined to dereference. Holes appear on a
+    // graceful interrupt (unclaimed cells) and in --only-cells shards
+    // (unselected cells with no checkpoint, or failed siblings).
+    // Finished cells are already checkpointed, so stopping here loses
+    // nothing; finish() reports what happened and picks the exit code.
+    const bool interrupted =
+        interruptSignal() != 0 && runner_.interruptedCells() > 0;
+    const bool shardHoles =
+        !runner_.options().onlyCells.empty() &&
+        (runner_.shardSkippedCells() > 0 || !runner_.failures().empty());
+    if (interrupted || shardHoles)
+        std::exit(finish());
+    return out;
 }
 
 std::vector<CellOutput>
@@ -1257,9 +1460,30 @@ Experiment::note(const std::string &text)
 int
 Experiment::finish()
 {
+    if (runner_.options().listCells) {
+        // Every phase resolved from checkpoints; the grid is complete.
+        if (!finished_) {
+            std::printf("list-end complete\n");
+            std::fflush(stdout);
+            finished_ = true;
+        }
+        return 0;
+    }
     const bool checking = runner_.options().check;
     const auto &failed = runner_.failures();
+    const int interrupt = interruptSignal();
     if (!finished_) {
+        if (interrupt) {
+            Row row;
+            row.add("signal", static_cast<std::uint64_t>(interrupt));
+            row.add("cells not run", runner_.interruptedCells());
+            row.add("resume",
+                    runner_.options().resumeDir.empty()
+                        ? "no --resume dir; completed work was lost"
+                        : "re-run with the same --resume dir to "
+                          "continue");
+            emit("interrupted", std::move(row));
+        }
         if (checking) {
             Row row;
             row.add("checks", check::checkCount());
@@ -1292,6 +1516,16 @@ Experiment::finish()
         code = 1;
     if (!failed.empty())
         code = 1;
+    const auto unmatched = runner_.unmatchedOnlyCells();
+    if (!unmatched.empty()) {
+        std::string ids;
+        for (const auto &id : unmatched)
+            ids += (ids.empty() ? "" : ", ") + id;
+        warn("--only-cells named unknown cells: " + ids);
+        code = 4;
+    }
+    if (interrupt)
+        code = 128 + interrupt;
     return code;
 }
 

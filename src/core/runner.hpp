@@ -37,6 +37,8 @@
 #include <utility>
 #include <vector>
 
+#include "core/dirlock.hpp"
+
 namespace maps::runner {
 
 // ---------------------------------------------------------------------------
@@ -81,9 +83,17 @@ const char *metricsLevelName(MetricsLevel level);
  *                                  (default 4096)
  *   --trace-cell=ID                which cell claims the trace (default:
  *                                  first to start)
+ *   --list-cells                   print the cell grid instead of
+ *                                  running it (service discovery mode)
+ *   --only-cells=ID[,ID...]        run only the named cells; others are
+ *                                  loaded from --resume checkpoints or
+ *                                  skipped (service sharding mode)
  *   --help                         usage
  *
- * Unknown flags, malformed values, and non-positive scales are errors.
+ * Unknown flags, malformed values, non-positive scales, and *repeated*
+ * flags (e.g. "--jobs=2 --jobs=4") are errors: every option may be
+ * given at most once, and the mutually-exclusive sweep-size spellings
+ * (--quick / --full / --scale) count as one option.
  */
 struct Options
 {
@@ -131,6 +141,27 @@ struct Options
     std::uint64_t traceSample = 4096;
     /** Cell id that claims --trace-events; empty = first come. */
     std::string traceCell;
+    /**
+     * Cell-discovery mode for the experiment service (mapsd): instead
+     * of running, each run() call prints one machine-readable line per
+     * cell ("cell <TAB> phase <TAB> id <TAB> cached|pending"). A phase
+     * whose cells are all cached (loadable --resume checkpoints)
+     * returns the loaded outputs so the driver can construct dependent
+     * phases; otherwise the process prints "list-end incomplete" and
+     * exits 0 immediately — later phases are discovered by re-listing
+     * once the pending cells have been executed and checkpointed.
+     * finish() prints "list-end complete" when every phase resolved.
+     */
+    bool listCells = false;
+    /**
+     * Cell-sharding mode for the experiment service: run only the
+     * cells named here. Unselected cells are loaded from --resume
+     * checkpoints when available and otherwise skipped with empty
+     * output (drivers whose later phases consume earlier outputs need
+     * those phases checkpointed — mapsd schedules phases in order).
+     * Empty means run everything.
+     */
+    std::vector<std::string> onlyCells;
 
     /**
      * Strict parse. On --help prints usage and exits 0; on any error
@@ -187,6 +218,23 @@ class CellTimedOut : public std::runtime_error
  * timeout is configured.
  */
 void heartbeat();
+
+/**
+ * Install graceful SIGINT/SIGTERM handling for batch runs: the first
+ * signal requests an orderly stop (workers finish and checkpoint the
+ * cells they are running, pending cells are left for --resume, and
+ * Experiment::finish() prints the interruption plus the failed-cells
+ * report and returns 128+signo); a second signal kills the process with
+ * the default disposition. Installed by the Experiment constructor;
+ * idempotent.
+ */
+void installSignalHandlers();
+
+/** Signal number of a pending graceful-stop request, 0 if none. */
+int interruptSignal();
+
+/** Set/clear the graceful-stop request (signal-handler and test hook). */
+void requestInterrupt(int signo);
 
 // ---------------------------------------------------------------------------
 // Process-wide observability state.
@@ -458,10 +506,28 @@ class ExperimentRunner
     /** Cells skipped because a --resume checkpoint was loaded. */
     std::uint64_t resumedCells() const { return resumedCells_; }
 
+    /** Cells skipped because --only-cells deselected them. */
+    std::uint64_t shardSkippedCells() const { return shardSkipped_; }
+
+    /** Cells left unexecuted by a graceful SIGINT/SIGTERM stop. */
+    std::uint64_t interruptedCells() const { return interruptedCells_; }
+
+    /** --only-cells ids that never matched any cell of any run(). */
+    std::vector<std::string> unmatchedOnlyCells() const;
+
   private:
     Options opts_;
     std::vector<CellFailure> failures_;
     std::uint64_t resumedCells_ = 0;
+    std::uint64_t shardSkipped_ = 0;
+    std::uint64_t interruptedCells_ = 0;
+    std::vector<std::string> matchedOnlyCells_;
+    /**
+     * Held for the runner's lifetime when --resume is active: two
+     * runners (or a runner plus mapsd) pointed at the same checkpoint
+     * directory fail fast instead of interleaving atomic publishes.
+     */
+    DirLock resumeLock_;
 };
 
 /// @name Checkpoint internals (exposed for tests)
@@ -511,8 +577,11 @@ class Experiment
 
     /**
      * Flush the sink (appending the maps::check summary when --check is
-     * active); returns the process exit code: 0, or 1 when --check
-     * recorded divergences.
+     * active); returns the process exit code: 0; 1 when --check
+     * recorded divergences or cells failed; 4 when --only-cells named
+     * unknown cells; 128+signo after a graceful SIGINT/SIGTERM stop.
+     * In --list-cells mode prints "list-end complete" instead of
+     * rendering results.
      */
     int finish();
 

@@ -1,0 +1,146 @@
+#include "service/client.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include <unistd.h>
+
+#include "service/wire.hpp"
+
+namespace maps::service {
+
+double
+RetryPolicy::nextDelayMs(FailureClass c, int attempt) const
+{
+    if (c != FailureClass::Transient && c != FailureClass::Shed)
+        return -1.0;
+    if (attempt >= budget)
+        return -1.0;
+    const double delay = baseMs * std::pow(2.0, attempt);
+    return std::min(delay, capMs);
+}
+
+std::optional<Json>
+Client::rpc(const Json &request, std::string &err, int timeoutMs)
+{
+    const int fd = connectUnix(socketPath_, err);
+    if (fd < 0)
+        return std::nullopt;
+    std::optional<Json> result;
+    std::string payload;
+    if (writeFrame(fd, request.dump(), err) &&
+        readFrame(fd, payload, err, timeoutMs)) {
+        auto doc = Json::parse(payload, err);
+        if (doc && doc->isObject())
+            result = std::move(*doc);
+        else if (err.empty())
+            err = "daemon sent a non-object response";
+    }
+    ::close(fd);
+    return result;
+}
+
+std::optional<Json>
+Client::submitAndWait(const RequestSpec &spec, const RetryPolicy &policy,
+                      std::string &err, std::FILE *log)
+{
+    const std::string jobId = spec.jobId();
+    const auto note = [log](const std::string &what) {
+        if (log != nullptr)
+            std::fprintf(log, "mapsctl: %s\n", what.c_str());
+    };
+    int attempt = 0;
+    const auto backoffOr = [&](FailureClass cls,
+                               const std::string &why) -> bool {
+        const double delay = policy.nextDelayMs(cls, attempt);
+        if (delay < 0.0) {
+            err = why + (cls == FailureClass::Deterministic ||
+                                 cls == FailureClass::None
+                             ? " (deterministic; not retried)"
+                             : " (retry budget of " +
+                                   std::to_string(policy.budget) +
+                                   " exhausted)");
+            return false;
+        }
+        note(why + "; retry " + std::to_string(attempt + 1) + "/" +
+             std::to_string(policy.budget) + " in " +
+             std::to_string(static_cast<int>(delay)) + "ms");
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(delay));
+        ++attempt;
+        return true;
+    };
+
+    for (;;) {
+        Json submit = spec.toJson();
+        submit.set("v", kProtocolVersion);
+        submit.set("op", "submit");
+        std::string rpcErr;
+        auto resp = rpc(submit, rpcErr, 30000);
+        if (!resp) {
+            // No daemon, or it died mid-frame: transient by definition —
+            // a crashed daemon resumes our job after restart.
+            if (!backoffOr(FailureClass::Transient,
+                           "submit failed: " + rpcErr))
+                return std::nullopt;
+            continue;
+        }
+        if (!resp->boolean("ok")) {
+            const FailureClass cls =
+                resp->str("class") == "shed" ? FailureClass::Shed
+                                             : FailureClass::Deterministic;
+            if (!backoffOr(cls, "submit rejected: " + resp->str("error")))
+                return std::nullopt;
+            continue;
+        }
+        note("job " + jobId + " " + resp->str("state"));
+
+        // Wait until terminal, re-issuing the wait on idle timeouts and
+        // falling back to resubmission when the connection dies.
+        for (;;) {
+            Json wait = Json::object();
+            wait.set("v", kProtocolVersion);
+            wait.set("op", "wait");
+            wait.set("job", jobId);
+            wait.set("timeout_ms", 60000);
+            auto status = rpc(wait, rpcErr, 90000);
+            if (!status) {
+                if (!backoffOr(FailureClass::Transient,
+                               "wait failed: " + rpcErr))
+                    return std::nullopt;
+                break; // Resubmit (idempotent) after the backoff.
+            }
+            if (!status->boolean("ok")) {
+                if (!backoffOr(FailureClass::Deterministic,
+                               "wait rejected: " + status->str("error")))
+                    return std::nullopt;
+                break;
+            }
+            const std::string state = status->str("state");
+            if (state == "done")
+                return status;
+            if (state == "failed") {
+                if (status->str("class") != "transient") {
+                    // Deterministic: retrying replays the same failure.
+                    // Hand the snapshot back so the caller can report
+                    // the class, error and event log honestly.
+                    note("job failed deterministically; not retrying");
+                    return status;
+                }
+                if (!backoffOr(FailureClass::Transient,
+                               "job failed: " + status->str("error")))
+                    return std::nullopt;
+                break; // Resubmit re-queues the failed job.
+            }
+            // Still queued/running (or the daemon is draining): keep
+            // waiting without spending retry budget. The short sleep
+            // stops a draining daemon (which answers waits instantly)
+            // from turning this loop into a busy poll.
+            std::this_thread::sleep_for(std::chrono::milliseconds(200));
+        }
+    }
+}
+
+} // namespace maps::service

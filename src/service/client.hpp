@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Client side of maps-svc-v1: one-shot RPCs plus the retry loop mapsctl
+ * uses.
+ *
+ * Retry lives in the client, not the daemon, because the client is the
+ * only party that knows how long the caller is willing to wait. The
+ * daemon's job is to classify: its responses carry a failure class, and
+ * the policy here retries only what is honest to retry — transient
+ * failures and shed admissions, with exponential backoff against a
+ * bounded budget. Deterministic failures are never retried: replaying a
+ * deterministic simulation produces the same failure and burns the
+ * budget lying about it. Retries are safe because job ids are content
+ * hashes: resubmitting attaches to the same job and its checkpoints, so
+ * work is never repeated or duplicated.
+ */
+#ifndef MAPS_SERVICE_CLIENT_HPP
+#define MAPS_SERVICE_CLIENT_HPP
+
+#include <string>
+
+#include "service/json.hpp"
+#include "service/service.hpp"
+
+namespace maps::service {
+
+struct RetryPolicy
+{
+    int budget = 5;        ///< Max retries (not counting the first try).
+    double baseMs = 200;   ///< First backoff delay.
+    double capMs = 5000;   ///< Backoff ceiling.
+
+    /**
+     * Delay before retry number @p attempt (0-based) after a failure of
+     * class @p c, or a negative value when no retry is allowed — either
+     * the class is not retryable or the budget is spent.
+     */
+    double nextDelayMs(FailureClass c, int attempt) const;
+};
+
+class Client
+{
+  public:
+    explicit Client(std::string socketPath)
+        : socketPath_(std::move(socketPath))
+    {
+    }
+
+    /**
+     * One request/response on a fresh connection. Returns the response
+     * document, or nullopt with @p err set (connect/frame/parse
+     * failure — all transient from the retry loop's point of view:
+     * the daemon may be restarting).
+     */
+    std::optional<Json> rpc(const Json &request, std::string &err,
+                            int timeoutMs = -1);
+
+    /**
+     * Submit @p spec and wait for a terminal state, riding out shed
+     * admissions, transient job failures, daemon restarts and dropped
+     * connections with @p policy. Returns the final job snapshot (its
+     * "state" is "done" or "failed"), or nullopt with @p err when the
+     * budget is exhausted or the failure is deterministic. Progress and
+     * every retry decision are narrated to @p log when non-null.
+     */
+    std::optional<Json> submitAndWait(const RequestSpec &spec,
+                                      const RetryPolicy &policy,
+                                      std::string &err,
+                                      std::FILE *log = nullptr);
+
+  private:
+    std::string socketPath_;
+};
+
+} // namespace maps::service
+
+#endif // MAPS_SERVICE_CLIENT_HPP

@@ -1,0 +1,123 @@
+#include "service/journal.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+namespace maps::service {
+
+namespace fs = std::filesystem;
+
+bool
+atomicWriteFile(const std::string &path, const std::string &contents,
+                std::string &err)
+{
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            err = "cannot open '" + tmp + "' for writing";
+            return false;
+        }
+        out << contents;
+        out.flush();
+        if (!out) {
+            err = "short write to '" + tmp + "'";
+            std::remove(tmp.c_str());
+            return false;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        err = "rename '" + tmp + "' -> '" + path +
+              "': " + std::strerror(errno);
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+readWholeFile(const std::string &path, std::string &out, std::string &err)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        err = "cannot open '" + path + "'";
+        return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    out = buf.str();
+    return true;
+}
+
+std::string
+Journal::open(const std::string &dir)
+{
+    std::error_code ec;
+    const fs::path jobs = fs::path(dir) / "jobs";
+    fs::create_directories(jobs, ec);
+    if (ec)
+        return "cannot create journal dir '" + jobs.string() +
+               "': " + ec.message();
+    jobsDir_ = jobs.string();
+    return "";
+}
+
+std::string
+Journal::pathFor(const std::string &jobId) const
+{
+    return jobsDir_ + "/" + jobId + ".json";
+}
+
+bool
+Journal::save(const std::string &jobId, const Json &state,
+              std::string &err) const
+{
+    return atomicWriteFile(pathFor(jobId), state.dump() + "\n", err);
+}
+
+void
+Journal::remove(const std::string &jobId) const
+{
+    std::remove(pathFor(jobId).c_str());
+}
+
+std::vector<std::pair<std::string, Json>>
+Journal::loadAll(std::vector<std::string> &skipped) const
+{
+    std::vector<std::pair<std::string, Json>> jobs;
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(jobsDir_, ec)) {
+        const std::string name = entry.path().filename().string();
+        if (name.size() <= 5 ||
+            name.compare(name.size() - 5, 5, ".json") != 0) {
+            // Torn tmp leftovers from a crash mid-publish; harmless.
+            skipped.push_back(name);
+            continue;
+        }
+        std::string text, err;
+        if (!readWholeFile(entry.path().string(), text, err)) {
+            skipped.push_back(name);
+            continue;
+        }
+        auto doc = Json::parse(text, err);
+        if (!doc || !doc->isObject()) {
+            skipped.push_back(name);
+            continue;
+        }
+        jobs.emplace_back(name.substr(0, name.size() - 5),
+                          std::move(*doc));
+    }
+    std::sort(jobs.begin(), jobs.end(),
+              [](const auto &a, const auto &b) { return a.first < b.first; });
+    return jobs;
+}
+
+} // namespace maps::service

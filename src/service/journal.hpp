@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Crash-safe job journal for mapsd.
+ *
+ * Every accepted request gets one JSON document under
+ * `<state-dir>/jobs/<jobid>.json`, rewritten atomically (tmp + rename)
+ * at each state transition. A SIGKILLed daemon therefore restarts with
+ * an exact picture of which jobs were queued, running or finished, and
+ * re-queues the unfinished ones; the per-cell `--resume` checkpoints
+ * written by the driver children carry the actual results, so replaying
+ * a job never repeats completed work.
+ *
+ * The journal is deliberately not a write-ahead log: each file is the
+ * full current state of one job, so recovery is "read every file",
+ * with no ordering or truncation cases to reason about. A torn write
+ * can only ever produce an unparsable tmp file, never a corrupt
+ * published one.
+ */
+#ifndef MAPS_SERVICE_JOURNAL_HPP
+#define MAPS_SERVICE_JOURNAL_HPP
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "service/json.hpp"
+
+namespace maps::service {
+
+/** Atomically publish @p contents at @p path (same-dir tmp + rename). */
+bool atomicWriteFile(const std::string &path, const std::string &contents,
+                     std::string &err);
+
+/** Slurp a whole file. False + @p err if unreadable. */
+bool readWholeFile(const std::string &path, std::string &out,
+                   std::string &err);
+
+class Journal
+{
+  public:
+    /** Create `<dir>/jobs/` if needed. Empty error string on success. */
+    std::string open(const std::string &dir);
+
+    bool isOpen() const { return !jobsDir_.empty(); }
+
+    /** Atomically persist one job's full state document. */
+    bool save(const std::string &jobId, const Json &state,
+              std::string &err) const;
+
+    /** Delete a job's journal entry (after the client fetched it). */
+    void remove(const std::string &jobId) const;
+
+    /**
+     * Load every parsable job document, sorted by job id so recovery
+     * order is deterministic. Unparsable files (torn tmp leftovers) are
+     * skipped and reported in @p skipped.
+     */
+    std::vector<std::pair<std::string, Json>>
+    loadAll(std::vector<std::string> &skipped) const;
+
+    std::string pathFor(const std::string &jobId) const;
+
+  private:
+    std::string jobsDir_;
+};
+
+} // namespace maps::service
+
+#endif // MAPS_SERVICE_JOURNAL_HPP

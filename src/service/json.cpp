@@ -1,0 +1,433 @@
+#include "service/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace maps::service {
+
+namespace {
+
+/** Recursive-descent parser with a hard nesting bound. */
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string &err)
+        : text_(text), err_(err)
+    {
+    }
+
+    std::optional<Json> document()
+    {
+        skipWs();
+        auto v = value(0);
+        if (!v)
+            return std::nullopt;
+        skipWs();
+        if (pos_ != text_.size()) {
+            fail("trailing garbage after document");
+            return std::nullopt;
+        }
+        return v;
+    }
+
+  private:
+    static constexpr int kMaxDepth = 64;
+
+    void fail(const std::string &what)
+    {
+        if (err_.empty())
+            err_ = what + " at byte " + std::to_string(pos_);
+    }
+
+    void skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool literal(const char *lit)
+    {
+        const std::size_t n = std::char_traits<char>::length(lit);
+        if (text_.compare(pos_, n, lit) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    std::optional<Json> value(int depth)
+    {
+        if (depth > kMaxDepth) {
+            fail("nesting too deep");
+            return std::nullopt;
+        }
+        skipWs();
+        if (pos_ >= text_.size()) {
+            fail("unexpected end of input");
+            return std::nullopt;
+        }
+        const char c = text_[pos_];
+        if (c == '{')
+            return object(depth);
+        if (c == '[')
+            return array(depth);
+        if (c == '"') {
+            std::string s;
+            if (!string(s))
+                return std::nullopt;
+            return Json(std::move(s));
+        }
+        if (literal("true"))
+            return Json(true);
+        if (literal("false"))
+            return Json(false);
+        if (literal("null"))
+            return Json();
+        return number();
+    }
+
+    std::optional<Json> object(int depth)
+    {
+        ++pos_; // '{'
+        Json out = Json::object();
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return out;
+        }
+        for (;;) {
+            skipWs();
+            std::string key;
+            if (pos_ >= text_.size() || text_[pos_] != '"' ||
+                !string(key)) {
+                fail("expected object key");
+                return std::nullopt;
+            }
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != ':') {
+                fail("expected ':'");
+                return std::nullopt;
+            }
+            ++pos_;
+            auto v = value(depth + 1);
+            if (!v)
+                return std::nullopt;
+            out.set(key, std::move(*v));
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (pos_ < text_.size() && text_[pos_] == '}') {
+                ++pos_;
+                return out;
+            }
+            fail("expected ',' or '}'");
+            return std::nullopt;
+        }
+    }
+
+    std::optional<Json> array(int depth)
+    {
+        ++pos_; // '['
+        Json out = Json::array();
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return out;
+        }
+        for (;;) {
+            auto v = value(depth + 1);
+            if (!v)
+                return std::nullopt;
+            out.push(std::move(*v));
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (pos_ < text_.size() && text_[pos_] == ']') {
+                ++pos_;
+                return out;
+            }
+            fail("expected ',' or ']'");
+            return std::nullopt;
+        }
+    }
+
+    bool string(std::string &out)
+    {
+        ++pos_; // '"'
+        out.clear();
+        while (pos_ < text_.size()) {
+            const unsigned char c =
+                static_cast<unsigned char>(text_[pos_]);
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (c < 0x20) {
+                fail("unescaped control character in string");
+                return false;
+            }
+            if (c != '\\') {
+                out += static_cast<char>(c);
+                ++pos_;
+                continue;
+            }
+            if (++pos_ >= text_.size()) {
+                fail("truncated escape");
+                return false;
+            }
+            const char e = text_[pos_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size()) {
+                    fail("truncated \\u escape");
+                    return false;
+                }
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    if (!std::isxdigit(static_cast<unsigned char>(h))) {
+                        fail("bad \\u escape");
+                        return false;
+                    }
+                    cp = cp * 16 +
+                         static_cast<unsigned>(
+                             h <= '9' ? h - '0' : (h | 0x20) - 'a' + 10);
+                }
+                // Encode as UTF-8 (surrogate pairs are passed through
+                // as two 3-byte sequences; the protocol never emits
+                // them, this just keeps round-trips lossless enough).
+                if (cp < 0x80) {
+                    out += static_cast<char>(cp);
+                } else if (cp < 0x800) {
+                    out += static_cast<char>(0xC0 | (cp >> 6));
+                    out += static_cast<char>(0x80 | (cp & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (cp >> 12));
+                    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (cp & 0x3F));
+                }
+                break;
+              }
+              default:
+                fail("bad escape");
+                return false;
+            }
+        }
+        fail("unterminated string");
+        return false;
+    }
+
+    std::optional<Json> number()
+    {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start) {
+            fail("expected a value");
+            return std::nullopt;
+        }
+        const std::string frag = text_.substr(start, pos_ - start);
+        char *end = nullptr;
+        const double v = std::strtod(frag.c_str(), &end);
+        if (end != frag.c_str() + frag.size() || !std::isfinite(v)) {
+            fail("bad number '" + frag + "'");
+            return std::nullopt;
+        }
+        return Json(v);
+    }
+
+    const std::string &text_;
+    std::string &err_;
+    std::size_t pos_ = 0;
+};
+
+void
+dumpTo(const Json &v, std::string &out)
+{
+    switch (v.type()) {
+      case Json::Type::Null:
+        out += "null";
+        break;
+      case Json::Type::Bool:
+        out += v.asBool() ? "true" : "false";
+        break;
+      case Json::Type::Number: {
+        const double d = v.asNumber();
+        // Integers (the common case: counts, pids, exit codes) render
+        // without a decimal point; everything else with %.17g so the
+        // value round-trips exactly.
+        if (d == std::floor(d) && std::fabs(d) < 1e15) {
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%.0f", d);
+            out += buf;
+        } else {
+            char buf[40];
+            std::snprintf(buf, sizeof(buf), "%.17g", d);
+            out += buf;
+        }
+        break;
+      }
+      case Json::Type::String:
+        out += Json::escape(v.asString());
+        break;
+      case Json::Type::Array: {
+        out += '[';
+        bool first = true;
+        for (const auto &item : v.items()) {
+            if (!first)
+                out += ',';
+            first = false;
+            dumpTo(item, out);
+        }
+        out += ']';
+        break;
+      }
+      case Json::Type::Object: {
+        out += '{';
+        bool first = true;
+        for (const auto &[key, value] : v.members()) {
+            if (!first)
+                out += ',';
+            first = false;
+            out += Json::escape(key);
+            out += ':';
+            dumpTo(value, out);
+        }
+        out += '}';
+        break;
+      }
+    }
+}
+
+} // namespace
+
+std::optional<Json>
+Json::parse(const std::string &text, std::string &err)
+{
+    err.clear();
+    Parser parser(text, err);
+    auto v = parser.document();
+    if (!v && err.empty())
+        err = "malformed JSON";
+    return v;
+}
+
+std::string
+Json::dump() const
+{
+    std::string out;
+    dumpTo(*this, out);
+    return out;
+}
+
+std::uint64_t
+Json::asUint(std::uint64_t fallback) const
+{
+    if (!isNumber() || num_ < 0.0)
+        return fallback;
+    return static_cast<std::uint64_t>(num_);
+}
+
+const Json *
+Json::get(const std::string &key) const
+{
+    for (const auto &[k, v] : members_)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+std::string
+Json::str(const std::string &key, const std::string &fallback) const
+{
+    const auto *v = get(key);
+    return v && v->isString() ? v->asString() : fallback;
+}
+
+double
+Json::num(const std::string &key, double fallback) const
+{
+    const auto *v = get(key);
+    return v && v->isNumber() ? v->asNumber() : fallback;
+}
+
+bool
+Json::boolean(const std::string &key, bool fallback) const
+{
+    const auto *v = get(key);
+    return v && v->isBool() ? v->asBool() : fallback;
+}
+
+Json &
+Json::set(const std::string &key, Json value)
+{
+    if (type_ == Type::Null)
+        type_ = Type::Object;
+    for (auto &[k, v] : members_) {
+        if (k == key) {
+            v = std::move(value);
+            return *this;
+        }
+    }
+    members_.emplace_back(key, std::move(value));
+    return *this;
+}
+
+Json &
+Json::push(Json value)
+{
+    if (type_ == Type::Null)
+        type_ = Type::Array;
+    items_.push_back(std::move(value));
+    return *this;
+}
+
+std::string
+Json::escape(const std::string &raw)
+{
+    std::string out = "\"";
+    for (const char ch : raw) {
+        switch (ch) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(ch)));
+                out += buf;
+            } else {
+                out += ch;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace maps::service

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Minimal JSON value, parser and serializer for the maps::service wire
+ * protocol (maps-svc-v1).
+ *
+ * Scope is deliberately small: UTF-8 pass-through strings with the
+ * standard escapes, doubles for numbers, insertion-ordered objects so
+ * serialized responses are deterministic and diff-able. The parser is
+ * strict (trailing garbage, truncation, bad escapes and oversized
+ * nesting are errors) because it sits on a network boundary and
+ * half-written or malicious frames must be rejected, never guessed at.
+ */
+#ifndef MAPS_SERVICE_JSON_HPP
+#define MAPS_SERVICE_JSON_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace maps::service {
+
+class Json
+{
+  public:
+    enum class Type : std::uint8_t
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Json() = default;
+    Json(bool b) : type_(Type::Bool), bool_(b) {}
+    Json(double v) : type_(Type::Number), num_(v) {}
+    Json(int v) : type_(Type::Number), num_(v) {}
+    Json(std::uint64_t v)
+        : type_(Type::Number), num_(static_cast<double>(v))
+    {
+    }
+    Json(std::string s) : type_(Type::String), str_(std::move(s)) {}
+    Json(const char *s) : type_(Type::String), str_(s) {}
+
+    static Json array() { return Json(Type::Array); }
+    static Json object() { return Json(Type::Object); }
+
+    /**
+     * Strict parse of a complete JSON document. Returns nullopt and
+     * fills @p err on any malformation; never throws.
+     */
+    static std::optional<Json> parse(const std::string &text,
+                                     std::string &err);
+
+    std::string dump() const;
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isBool() const { return type_ == Type::Bool; }
+    bool isNumber() const { return type_ == Type::Number; }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    bool asBool(bool fallback = false) const
+    {
+        return isBool() ? bool_ : fallback;
+    }
+    double asNumber(double fallback = 0.0) const
+    {
+        return isNumber() ? num_ : fallback;
+    }
+    std::uint64_t asUint(std::uint64_t fallback = 0) const;
+    const std::string &asString() const { return str_; }
+    std::string asString(const std::string &fallback) const
+    {
+        return isString() ? str_ : fallback;
+    }
+
+    /// @name Object access
+    /// @{
+    /** nullptr when absent or not an object. */
+    const Json *get(const std::string &key) const;
+    /** Typed conveniences over get(). */
+    std::string str(const std::string &key,
+                    const std::string &fallback = "") const;
+    double num(const std::string &key, double fallback = 0.0) const;
+    bool boolean(const std::string &key, bool fallback = false) const;
+    /** Insert or replace; turns a Null value into an object first. */
+    Json &set(const std::string &key, Json value);
+    const std::vector<std::pair<std::string, Json>> &members() const
+    {
+        return members_;
+    }
+    /// @}
+
+    /// @name Array access
+    /// @{
+    Json &push(Json value);
+    const std::vector<Json> &items() const { return items_; }
+    std::size_t size() const { return items_.size(); }
+    /// @}
+
+    /** JSON string escaping (shared with ad-hoc emitters). */
+    static std::string escape(const std::string &raw);
+
+  private:
+    explicit Json(Type t) : type_(t) {}
+
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    std::vector<Json> items_;
+    std::vector<std::pair<std::string, Json>> members_;
+};
+
+} // namespace maps::service
+
+#endif // MAPS_SERVICE_JSON_HPP

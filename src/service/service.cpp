@@ -1,0 +1,1130 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "core/dirlock.hpp"
+#include "core/runner.hpp"
+#include "service/wire.hpp"
+
+namespace maps::service {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Classification, chaos and request specs (free functions: unit-tested).
+// ---------------------------------------------------------------------------
+
+const char *
+failureClassName(FailureClass c)
+{
+    switch (c) {
+      case FailureClass::None: return "none";
+      case FailureClass::Transient: return "transient";
+      case FailureClass::Deterministic: return "deterministic";
+      case FailureClass::Shed: return "shed";
+    }
+    return "none";
+}
+
+FailureClass
+classifyOutcome(const ChildOutcome &outcome, const std::string &errText)
+{
+    switch (outcome.kind) {
+      case ChildOutcome::Kind::TimedOut:
+        // Hard deadline: the cell was hung or stopped; a retry gets a
+        // fresh process and usually succeeds.
+        return FailureClass::Transient;
+      case ChildOutcome::Kind::Signaled:
+        // SIGABRT is an assertion/invariant failure inside the driver —
+        // rerunning a deterministic simulation reproduces it. Anything
+        // else (SIGKILL from the OOM killer or chaos, SIGSEGV from a
+        // wedged box) is worth one more attempt against checkpoints.
+        return outcome.termSignal == SIGABRT ? FailureClass::Deterministic
+                                             : FailureClass::Transient;
+      case ChildOutcome::Kind::SpawnFailed:
+        // Missing binary / unexecutable: retrying cannot help.
+        return FailureClass::Deterministic;
+      case ChildOutcome::Kind::Exited:
+        break;
+    }
+    if (outcome.exitCode == 0)
+        return FailureClass::None;
+    // Exit 2 is the driver's usage error, exit 4 unknown --only-cells:
+    // both mean the request itself is wrong. Exit 1 is "some cells
+    // failed"; a failure report naming --cell-timeout is the runner's
+    // cooperative cancellation and therefore transient, every other
+    // cell failure is the simulation deterministically failing.
+    if (outcome.exitCode == 2 || outcome.exitCode == 4)
+        return FailureClass::Deterministic;
+    return errText.find("--cell-timeout") != std::string::npos
+               ? FailureClass::Transient
+               : FailureClass::Deterministic;
+}
+
+std::string
+parseChaosSpec(const std::string &spec, std::vector<ChaosEvent> &out)
+{
+    out.clear();
+    if (spec.empty())
+        return "";
+    std::stringstream ss(spec);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        ChaosEvent ev;
+        std::string rest;
+        if (item.rfind("kill:worker@", 0) == 0) {
+            ev.kind = ChaosEvent::Kind::KillWorker;
+            rest = item.substr(12);
+        } else if (item.rfind("hang:worker@", 0) == 0) {
+            ev.kind = ChaosEvent::Kind::HangWorker;
+            rest = item.substr(12);
+        } else {
+            return "bad chaos event '" + item +
+                   "' (want kill:worker@n=N or hang:worker@n=N)";
+        }
+        if (rest.rfind("n=", 0) != 0)
+            return "bad chaos trigger in '" + item + "' (want n=N)";
+        const std::string num = rest.substr(2);
+        if (num.empty() ||
+            num.find_first_not_of("0123456789") != std::string::npos)
+            return "bad chaos ordinal in '" + item + "'";
+        ev.nth = std::stoull(num);
+        if (ev.nth == 0)
+            return "chaos ordinal in '" + item + "' is 1-based";
+        out.push_back(ev);
+    }
+    return "";
+}
+
+std::string
+RequestSpec::validate() const
+{
+    if (driver.empty())
+        return "request has no driver";
+    for (const char c : driver)
+        if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_')
+            return "driver name '" + driver +
+                   "' must be a bare binary name";
+    if (metrics != "off" && metrics != "summary" && metrics != "full")
+        return "metrics must be off, summary or full (got '" + metrics +
+               "')";
+    if (cellTimeoutSec < 0.0)
+        return "cell timeout must be >= 0";
+    static const char *kOwned[] = {"--resume",    "--only-cells",
+                                   "--list-cells", "--jobs",
+                                   "--metrics",   "--cell-timeout"};
+    for (const auto &a : args) {
+        if (a.rfind("--", 0) != 0)
+            return "driver arg '" + a + "' must be a --flag";
+        for (const char c : a)
+            if (std::isspace(static_cast<unsigned char>(c)) ||
+                static_cast<unsigned char>(c) < 0x20)
+                return "driver arg '" + a + "' contains whitespace";
+        const std::string name = a.substr(0, a.find('='));
+        for (const char *owned : kOwned)
+            if (name == owned)
+                return "arg '" + a +
+                       "' is owned by the service; set it via the "
+                       "request fields instead";
+    }
+    return "";
+}
+
+std::string
+RequestSpec::canonical() const
+{
+    // Sorted args make flag order irrelevant to the job identity;
+    // duplicate flags are driver parse errors, so sorting cannot merge
+    // two requests that differ in behavior.
+    std::vector<std::string> sorted = args;
+    std::sort(sorted.begin(), sorted.end());
+    char timeout[32];
+    std::snprintf(timeout, sizeof(timeout), "%.6g", cellTimeoutSec);
+    std::string c = driver;
+    c += '\x1f';
+    c += metrics;
+    c += '\x1f';
+    c += timeout;
+    for (const auto &a : sorted) {
+        c += '\x1f';
+        c += a;
+    }
+    return c;
+}
+
+std::string
+RequestSpec::jobId() const
+{
+    std::uint64_t h = 14695981039346656037ull;
+    for (const unsigned char c : canonical()) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+Json
+RequestSpec::toJson() const
+{
+    Json doc = Json::object();
+    doc.set("driver", driver);
+    Json list = Json::array();
+    for (const auto &a : args)
+        list.push(a);
+    doc.set("args", std::move(list));
+    doc.set("metrics", metrics);
+    doc.set("cell_timeout_sec", cellTimeoutSec);
+    return doc;
+}
+
+std::string
+RequestSpec::fromJson(const Json &doc, RequestSpec &out)
+{
+    out = RequestSpec{};
+    out.driver = doc.str("driver");
+    out.metrics = doc.str("metrics", "off");
+    out.cellTimeoutSec = doc.num("cell_timeout_sec", 0.0);
+    if (const Json *args = doc.get("args")) {
+        if (!args->isArray())
+            return "args must be an array of strings";
+        for (const auto &a : args->items()) {
+            if (!a.isString())
+                return "args must be an array of strings";
+            out.args.push_back(a.asString());
+        }
+    }
+    return out.validate();
+}
+
+const char *
+jobStateName(JobState s)
+{
+    switch (s) {
+      case JobState::Queued: return "queued";
+      case JobState::Running: return "running";
+      case JobState::Done: return "done";
+      case JobState::Failed: return "failed";
+    }
+    return "queued";
+}
+
+Json
+JobCounters::toJson() const
+{
+    Json doc = Json::object();
+    doc.set("cells_run", cellsRun);
+    doc.set("cells_cached", cellsCached);
+    doc.set("workers_killed", workersKilled);
+    doc.set("hung_cells", hungCells);
+    doc.set("timed_out_cells", timedOutCells);
+    doc.set("requeued_cells", requeuedCells);
+    doc.set("downgraded_cells", downgradedCells);
+    doc.set("daemon_restarts", daemonRestarts);
+    doc.set("rounds", rounds);
+    return doc;
+}
+
+void
+JobCounters::fromJson(const Json &doc)
+{
+    const auto u = [&doc](const char *key) {
+        const Json *v = doc.get(key);
+        return v ? v->asUint() : 0;
+    };
+    cellsRun = u("cells_run");
+    cellsCached = u("cells_cached");
+    workersKilled = u("workers_killed");
+    hungCells = u("hung_cells");
+    timedOutCells = u("timed_out_cells");
+    requeuedCells = u("requeued_cells");
+    downgradedCells = u("downgraded_cells");
+    daemonRestarts = u("daemon_restarts");
+    rounds = u("rounds");
+}
+
+Json
+Job::toJson() const
+{
+    Json doc = Json::object();
+    doc.set("v", kProtocolVersion);
+    doc.set("job", id);
+    doc.set("spec", spec.toJson());
+    doc.set("state", jobStateName(state));
+    doc.set("class", failureClassName(failClass));
+    doc.set("error", error);
+    Json evs = Json::array();
+    for (const auto &e : events)
+        evs.push(e);
+    doc.set("events", std::move(evs));
+    doc.set("resilience", counters.toJson());
+    doc.set("result_path", resultPath);
+    return doc;
+}
+
+// ---------------------------------------------------------------------------
+// Service.
+// ---------------------------------------------------------------------------
+
+Service::Service(ServiceConfig cfg) : cfg_(std::move(cfg)) {}
+
+std::string
+Service::ckDir(const std::string &jobId) const
+{
+    return cfg_.stateDir + "/ck/" + jobId;
+}
+
+std::string
+Service::logDir(const std::string &jobId) const
+{
+    return cfg_.stateDir + "/logs/" + jobId;
+}
+
+std::string
+Service::driverPath(const RequestSpec &spec) const
+{
+    return cfg_.driversDir + "/" + spec.driver;
+}
+
+std::vector<std::string>
+Service::baseArgs(const std::shared_ptr<Job> &job,
+                  const std::string &metrics) const
+{
+    std::vector<std::string> args = job->spec.args;
+    args.push_back("--resume=" + ckDir(job->id));
+    args.push_back("--metrics=" + metrics);
+    args.push_back("--jobs=1");
+    double timeout = job->spec.cellTimeoutSec;
+    if (timeout <= 0.0)
+        timeout = cfg_.defaultCellTimeoutSec;
+    if (timeout > 0.0) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "--cell-timeout=%.6g", timeout);
+        args.push_back(buf);
+    }
+    return args;
+}
+
+void
+Service::addEvent(Job &job, const std::string &what)
+{
+    // Bounded so a pathological retry loop cannot grow the journal
+    // without limit; the counters stay exact either way.
+    if (job.events.size() < 256)
+        job.events.push_back(what);
+}
+
+void
+Service::journalJob(const Job &job)
+{
+    std::string err;
+    if (!journal_.save(job.id, job.toJson(), err))
+        std::fprintf(stderr, "mapsd: journal save failed: %s\n",
+                     err.c_str());
+}
+
+void
+Service::finishJob(Job &job, JobState state, FailureClass c,
+                   const std::string &error)
+{
+    job.state = state;
+    job.failClass = c;
+    job.error = error;
+    job.ckLock.release();
+    addEvent(job, state == JobState::Done
+                      ? "done"
+                      : "failed (" + std::string(failureClassName(c)) +
+                            "): " + error);
+    journalJob(job);
+    --activeJobs_;
+    cv_.notify_all();
+    workCv_.notify_all();
+}
+
+std::string
+Service::recoverJobs()
+{
+    std::vector<std::string> skipped;
+    const auto docs = journal_.loadAll(skipped);
+    for (const auto &name : skipped)
+        std::fprintf(stderr,
+                     "mapsd: skipping unparsable journal entry '%s'\n",
+                     name.c_str());
+    for (const auto &[id, doc] : docs) {
+        RequestSpec spec;
+        const Json *specDoc = doc.get("spec");
+        if (specDoc == nullptr ||
+            !RequestSpec::fromJson(*specDoc, spec).empty()) {
+            std::fprintf(stderr,
+                         "mapsd: journal entry '%s' has a bad spec; "
+                         "dropping it\n",
+                         id.c_str());
+            journal_.remove(id);
+            continue;
+        }
+        auto job = std::make_shared<Job>();
+        job->id = id;
+        job->spec = std::move(spec);
+        job->error = doc.str("error");
+        if (const Json *evs = doc.get("events"))
+            for (const auto &e : evs->items())
+                if (e.isString() && job->events.size() < 256)
+                    job->events.push_back(e.asString());
+        if (const Json *ctr = doc.get("resilience"))
+            job->counters.fromJson(*ctr);
+        job->resultPath = doc.str("result_path");
+        const std::string state = doc.str("state");
+        const std::string cls = doc.str("class");
+        if (state == "done") {
+            job->state = JobState::Done;
+        } else if (state == "failed") {
+            job->state = JobState::Failed;
+            job->failClass = cls == "transient"
+                                 ? FailureClass::Transient
+                                 : FailureClass::Deterministic;
+        } else {
+            // Queued or mid-run when the previous daemon died: re-queue.
+            // Completed cells sit in the checkpoint dir, so the re-run
+            // only executes what the crash actually lost.
+            job->state = JobState::Queued;
+            ++job->counters.daemonRestarts;
+            addEvent(*job, "daemon-restart: job re-queued; checkpointed "
+                           "cells will not re-run");
+            jobQueue_.push_back(job);
+            journalJob(*job);
+        }
+        jobs_[id] = job;
+    }
+    if (!jobQueue_.empty())
+        std::fprintf(stderr, "mapsd: recovered %zu unfinished job(s)\n",
+                     jobQueue_.size());
+    return "";
+}
+
+// ---------------------------------------------------------------------------
+// Child invocations.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct ChaosHook
+{
+    Service *service;
+    std::vector<ChaosEvent> *events;
+    std::mutex *mu;
+    std::uint64_t *spawns;
+    std::shared_ptr<Job> job;
+    std::vector<std::string> *jobEvents;
+};
+
+std::string
+readCapped(const std::string &path, std::size_t cap = 65536)
+{
+    std::string text, err;
+    if (!readWholeFile(path, text, err))
+        return "";
+    if (text.size() > cap)
+        text.resize(cap);
+    return text;
+}
+
+} // namespace
+
+bool
+Service::listCells(const std::shared_ptr<Job> &job,
+                   std::vector<ListedCell> &cells, bool &complete,
+                   std::string &err)
+{
+    cells.clear();
+    complete = false;
+    const std::string base = logDir(job->id) + "/list.r" +
+                             std::to_string(job->counters.rounds);
+    ChildSpec spec;
+    spec.exe = driverPath(job->spec);
+    spec.argv = job->spec.args;
+    spec.argv.push_back("--resume=" + ckDir(job->id));
+    spec.argv.push_back("--metrics=off");
+    spec.argv.push_back("--list-cells");
+    spec.stdoutPath = base + ".out";
+    spec.stderrPath = base + ".err";
+    spec.deadlineMs = 600000; // Listing loads checkpoints, never cells.
+    const ChildOutcome outcome = runChild(spec);
+    const std::string errText = readCapped(spec.stderrPath);
+    if (classifyOutcome(outcome, errText) != FailureClass::None) {
+        err = "cell listing failed: " +
+              (outcome.error.empty()
+                   ? "exit " + std::to_string(outcome.exitCode)
+                   : outcome.error);
+        if (!errText.empty())
+            err += "; stderr: " + errText.substr(0, 512);
+        return false;
+    }
+    std::istringstream lines(readCapped(spec.stdoutPath, 1u << 24));
+    std::string line;
+    bool sawEnd = false;
+    while (std::getline(lines, line)) {
+        if (line.rfind("list-end ", 0) == 0) {
+            sawEnd = true;
+            complete = line == "list-end complete";
+            continue;
+        }
+        if (line.rfind("cell\t", 0) != 0)
+            continue;
+        const std::size_t p1 = line.find('\t', 5);
+        const std::size_t p2 =
+            p1 == std::string::npos ? p1 : line.find('\t', p1 + 1);
+        if (p2 == std::string::npos)
+            continue;
+        ListedCell cell;
+        cell.phase = line.substr(5, p1 - 5);
+        cell.id = line.substr(p1 + 1, p2 - p1 - 1);
+        cell.cached = line.substr(p2 + 1) == "cached";
+        cells.push_back(std::move(cell));
+    }
+    if (!sawEnd) {
+        err = "driver printed no list-end marker";
+        return false;
+    }
+    return true;
+}
+
+void
+Service::runCell(const CellTask &task)
+{
+    const auto &job = task.job;
+    const std::string base = logDir(job->id) + "/" + task.cellId + ".a" +
+                             std::to_string(task.attempt);
+    ChildSpec spec;
+    spec.exe = driverPath(job->spec);
+    spec.argv = baseArgs(job, task.metrics);
+    spec.argv.push_back("--only-cells=" + task.cellId);
+    spec.stdoutPath = base + ".out";
+    spec.stderrPath = base + ".err";
+    double timeout = job->spec.cellTimeoutSec;
+    if (timeout <= 0.0)
+        timeout = cfg_.defaultCellTimeoutSec;
+    // The hard deadline backs the cooperative --cell-timeout: twice the
+    // budget plus slack, so a SIGSTOPped or wedged child still dies.
+    spec.deadlineMs = timeout > 0.0 ? timeout * 2000.0 + 5000.0 : 0.0;
+
+    ChaosHook hook{this, &chaos_, &mu_, &cellSpawns_, job, &job->events};
+    const auto afterSpawn = [](pid_t pid, void *arg) {
+        auto *h = static_cast<ChaosHook *>(arg);
+        const std::lock_guard<std::mutex> lock(*h->mu);
+        const std::uint64_t n = ++*h->spawns;
+        for (auto &ev : *h->events) {
+            if (ev.fired || ev.nth != n)
+                continue;
+            ev.fired = true;
+            if (ev.kind == ChaosEvent::Kind::KillWorker) {
+                ::kill(pid, SIGKILL);
+                h->job->events.push_back(
+                    "chaos: SIGKILL cell spawn #" + std::to_string(n));
+            } else {
+                ::kill(pid, SIGSTOP);
+                h->job->events.push_back(
+                    "chaos: SIGSTOP cell spawn #" + std::to_string(n));
+            }
+        }
+    };
+    const ChildOutcome outcome =
+        runChild(spec, chaos_.empty() ? nullptr : +afterSpawn, &hook);
+    const std::string errText = readCapped(spec.stderrPath);
+    const FailureClass cls = classifyOutcome(outcome, errText);
+
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++job->counters.cellsRun;
+    if (outcome.kind == ChildOutcome::Kind::Signaled)
+        ++job->counters.workersKilled;
+    if (outcome.kind == ChildOutcome::Kind::TimedOut)
+        ++job->counters.hungCells;
+    if (outcome.kind == ChildOutcome::Kind::Exited &&
+        cls == FailureClass::Transient)
+        ++job->counters.timedOutCells;
+
+    if (cls == FailureClass::None) {
+        --job->outstanding;
+    } else if (cls == FailureClass::Transient && task.attempt == 0) {
+        // One in-daemon retry per cell; a timed-out full-metrics cell is
+        // downgraded so the retry fits the budget. The downgrade is
+        // honest: it lands in the event log and the counters, and the
+        // checkpoint carries whatever level actually ran.
+        CellTask retry{job, task.cellId, task.metrics, 1};
+        ++job->counters.requeuedCells;
+        std::string note = "cell " + task.cellId +
+                           " failed transiently; re-queued";
+        if (task.metrics == "full") {
+            retry.metrics = "summary";
+            ++job->counters.downgradedCells;
+            note += " with --metrics=summary";
+        }
+        addEvent(*job, note);
+        cellQueue_.push_back(std::move(retry));
+        workCv_.notify_one();
+    } else {
+        std::string what = "cell " + task.cellId + ": ";
+        switch (outcome.kind) {
+          case ChildOutcome::Kind::Exited:
+            what += "exit " + std::to_string(outcome.exitCode);
+            break;
+          case ChildOutcome::Kind::Signaled:
+            what += "killed by signal " +
+                    std::to_string(outcome.termSignal);
+            break;
+          case ChildOutcome::Kind::TimedOut:
+            what += "hard deadline exceeded";
+            break;
+          case ChildOutcome::Kind::SpawnFailed:
+            what += outcome.error;
+            break;
+        }
+        job->roundFailures.push_back(what);
+        if (job->roundWorstClass != FailureClass::Deterministic)
+            job->roundWorstClass = cls;
+        --job->outstanding;
+    }
+    journalJob(*job);
+    if (job->outstanding == 0)
+        cv_.notify_all();
+}
+
+bool
+Service::assemble(const std::shared_ptr<Job> &job, std::string &err,
+                  FailureClass &cls)
+{
+    const std::string resultPath =
+        cfg_.stateDir + "/results/" + job->id + ".out";
+    const std::string tmpPath = resultPath + ".tmp";
+    ChildSpec spec;
+    spec.exe = driverPath(job->spec);
+    spec.argv = job->spec.args;
+    spec.argv.push_back("--resume=" + ckDir(job->id));
+    spec.argv.push_back("--metrics=" + job->spec.metrics);
+    spec.argv.push_back("--jobs=1");
+    spec.stdoutPath = tmpPath;
+    spec.stderrPath = logDir(job->id) + "/assemble.err";
+    spec.deadlineMs = 600000; // Every cell is cached; this is I/O only.
+    const ChildOutcome outcome = runChild(spec);
+    const std::string errText = readCapped(spec.stderrPath);
+    cls = classifyOutcome(outcome, errText);
+    if (cls != FailureClass::None) {
+        err = "assembly failed: " +
+              (outcome.error.empty()
+                   ? "exit " + std::to_string(outcome.exitCode)
+                   : outcome.error);
+        if (!errText.empty())
+            err += "; stderr: " + errText.substr(0, 512);
+        std::remove(tmpPath.c_str());
+        return false;
+    }
+    if (std::rename(tmpPath.c_str(), resultPath.c_str()) != 0) {
+        err = "cannot publish result file";
+        cls = FailureClass::Transient;
+        return false;
+    }
+    job->resultPath = resultPath;
+    return true;
+}
+
+void
+Service::coordinate(std::shared_ptr<Job> job)
+{
+    // Claim the checkpoint dir up front: cell children then find a lock
+    // owned by their parent and adopt it, so parallel cells of one job
+    // cooperate while a foreign batch run on the same dir fails fast.
+    // A lock left by a SIGKILLed daemon has a dead owner and is taken
+    // over here.
+    if (!job->ckLock.held()) {
+        const std::string lockErr = job->ckLock.acquire(ckDir(job->id));
+        if (!lockErr.empty()) {
+            const std::lock_guard<std::mutex> lock(mu_);
+            finishJob(*job, JobState::Failed, FailureClass::Transient,
+                      lockErr);
+            return;
+        }
+    }
+    constexpr std::uint64_t kMaxRounds = 64;
+    for (;;) {
+        {
+            const std::lock_guard<std::mutex> lock(mu_);
+            if (++job->counters.rounds > kMaxRounds) {
+                finishJob(*job, JobState::Failed,
+                          FailureClass::Deterministic,
+                          "grid did not converge after " +
+                              std::to_string(kMaxRounds) + " rounds");
+                return;
+            }
+        }
+        std::vector<ListedCell> cells;
+        bool complete = false;
+        std::string lerr;
+        if (!listCells(job, cells, complete, lerr)) {
+            const std::lock_guard<std::mutex> lock(mu_);
+            finishJob(*job, JobState::Failed, FailureClass::Deterministic,
+                      lerr);
+            return;
+        }
+        std::vector<std::string> pending;
+        std::uint64_t cached = 0;
+        for (const auto &cell : cells) {
+            if (cell.cached) {
+                ++cached;
+            } else if (std::find(pending.begin(), pending.end(),
+                                 cell.id) == pending.end()) {
+                pending.push_back(cell.id);
+            }
+        }
+        std::unique_lock<std::mutex> lock(mu_);
+        if (job->counters.rounds == 1)
+            job->counters.cellsCached = cached;
+        if (complete)
+            break;
+        if (pending.empty()) {
+            finishJob(*job, JobState::Failed, FailureClass::Deterministic,
+                      "driver reported an incomplete grid with no "
+                      "pending cells");
+            return;
+        }
+        job->outstanding = pending.size();
+        job->roundFailures.clear();
+        job->roundWorstClass = FailureClass::None;
+        for (const auto &id : pending)
+            cellQueue_.push_back(CellTask{job, id, job->spec.metrics, 0});
+        journalJob(*job);
+        workCv_.notify_all();
+        cv_.wait(lock, [&job] { return job->outstanding == 0; });
+        if (!job->roundFailures.empty()) {
+            std::string what = job->roundFailures.front();
+            if (job->roundFailures.size() > 1)
+                what += " (+" +
+                        std::to_string(job->roundFailures.size() - 1) +
+                        " more)";
+            finishJob(*job, JobState::Failed, job->roundWorstClass, what);
+            return;
+        }
+    }
+    std::string aerr;
+    FailureClass acls = FailureClass::None;
+    if (!assemble(job, aerr, acls)) {
+        const std::lock_guard<std::mutex> lock(mu_);
+        finishJob(*job, JobState::Failed, acls, aerr);
+        return;
+    }
+    const std::lock_guard<std::mutex> lock(mu_);
+    finishJob(*job, JobState::Done, FailureClass::None, "");
+}
+
+// ---------------------------------------------------------------------------
+// Threads.
+// ---------------------------------------------------------------------------
+
+void
+Service::workerLoop()
+{
+    for (;;) {
+        CellTask task;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            workCv_.wait(lock, [this] {
+                return !cellQueue_.empty() ||
+                       (draining_ && activeJobs_ == 0);
+            });
+            if (cellQueue_.empty())
+                return;
+            task = std::move(cellQueue_.front());
+            cellQueue_.pop_front();
+            // Degradation at dispatch: a deep backlog means full-detail
+            // metrics are what we can shed while still returning every
+            // row the experiment itself produces.
+            if (task.metrics == "full" &&
+                cellQueue_.size() >= cfg_.degradeDepth) {
+                task.metrics = "summary";
+                ++task.job->counters.downgradedCells;
+                addEvent(*task.job,
+                         "congestion: cell " + task.cellId +
+                             " downgraded to --metrics=summary (queue "
+                             "depth " +
+                             std::to_string(cellQueue_.size()) + ")");
+            }
+        }
+        runCell(task);
+    }
+}
+
+void
+Service::schedulerLoop()
+{
+    for (;;) {
+        std::shared_ptr<Job> job;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait(lock, [this] {
+                return draining_ || (!jobQueue_.empty() &&
+                                     activeJobs_ < cfg_.maxActiveJobs);
+            });
+            if (draining_)
+                return; // Queued jobs stay journaled for the next start.
+            job = jobQueue_.front();
+            jobQueue_.pop_front();
+            ++activeJobs_;
+            job->state = JobState::Running;
+            addEvent(*job, "started");
+            journalJob(*job);
+            coordinators_.emplace_back(&Service::coordinate, this, job);
+        }
+        cv_.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wire handlers.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Json
+errorResponse(const std::string &what, FailureClass cls)
+{
+    Json doc = Json::object();
+    doc.set("v", kProtocolVersion);
+    doc.set("ok", false);
+    doc.set("error", what);
+    doc.set("class", failureClassName(cls));
+    return doc;
+}
+
+} // namespace
+
+Json
+Service::jobSnapshot(const Job &job, bool includeResult) const
+{
+    Json doc = Json::object();
+    doc.set("v", kProtocolVersion);
+    doc.set("ok", true);
+    doc.set("job", job.id);
+    doc.set("state", jobStateName(job.state));
+    doc.set("class", failureClassName(job.failClass));
+    doc.set("error", job.error);
+    Json evs = Json::array();
+    for (const auto &e : job.events)
+        evs.push(e);
+    doc.set("events", std::move(evs));
+    doc.set("resilience", job.counters.toJson());
+    if (includeResult && job.state == JobState::Done) {
+        std::string text, err;
+        if (readWholeFile(job.resultPath, text, err)) {
+            doc.set("result", text);
+        } else {
+            doc.set("result", Json());
+            doc.set("error", "result file lost: " + err);
+        }
+    }
+    return doc;
+}
+
+Json
+Service::handleSubmit(const Json &req)
+{
+    RequestSpec spec;
+    const std::string specErr = RequestSpec::fromJson(req, spec);
+    if (!specErr.empty())
+        return errorResponse(specErr, FailureClass::Deterministic);
+    const std::string id = spec.jobId();
+
+    std::error_code ec;
+    fs::create_directories(ckDir(id), ec);
+    fs::create_directories(logDir(id), ec);
+
+    const std::lock_guard<std::mutex> lock(mu_);
+    auto it = jobs_.find(id);
+    if (it != jobs_.end()) {
+        Job &job = *it->second;
+        if (job.state == JobState::Failed) {
+            // Idempotent retry: same spec, same job, same checkpoints —
+            // only the work the failure actually lost is repeated.
+            job.state = JobState::Queued;
+            job.failClass = FailureClass::None;
+            job.error.clear();
+            job.outstanding = 0;
+            job.roundFailures.clear();
+            addEvent(job, "resubmitted after failure");
+            jobQueue_.push_back(it->second);
+            journalJob(job);
+            cv_.notify_all();
+        }
+        Json doc = Json::object();
+        doc.set("v", kProtocolVersion);
+        doc.set("ok", true);
+        doc.set("job", id);
+        doc.set("state", jobStateName(job.state));
+        doc.set("attached", true);
+        return doc;
+    }
+    if (draining_) {
+        Json doc = errorResponse("daemon is draining",
+                                 FailureClass::Shed);
+        doc.set("retry_after_ms", 1000);
+        return doc;
+    }
+    if (jobQueue_.size() >= cfg_.queueMax) {
+        // Backpressure: shed instead of queueing unboundedly. The
+        // client's backoff (not ours) decides when to try again.
+        Json doc = errorResponse(
+            "admission queue full (" + std::to_string(jobQueue_.size()) +
+                " jobs queued)",
+            FailureClass::Shed);
+        doc.set("retry_after_ms", 500);
+        return doc;
+    }
+    auto job = std::make_shared<Job>();
+    job->id = id;
+    job->spec = std::move(spec);
+    addEvent(*job, "accepted");
+    jobs_[id] = job;
+    jobQueue_.push_back(job);
+    journalJob(*job);
+    cv_.notify_all();
+
+    Json doc = Json::object();
+    doc.set("v", kProtocolVersion);
+    doc.set("ok", true);
+    doc.set("job", id);
+    doc.set("state", jobStateName(job->state));
+    doc.set("attached", false);
+    doc.set("position", static_cast<std::uint64_t>(jobQueue_.size()));
+    return doc;
+}
+
+Json
+Service::handleWait(const Json &req)
+{
+    const std::string id = req.str("job");
+    double timeoutMs = req.num("timeout_ms", 600000.0);
+    timeoutMs = std::min(std::max(timeoutMs, 0.0), 3600000.0);
+
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        return errorResponse("unknown job '" + id + "'",
+                             FailureClass::Deterministic);
+    const auto job = it->second;
+    cv_.wait_for(lock, std::chrono::milliseconds(
+                           static_cast<std::int64_t>(timeoutMs)),
+                 [this, &job] {
+                     return draining_ || job->state == JobState::Done ||
+                            job->state == JobState::Failed;
+                 });
+    return jobSnapshot(*job, /*includeResult=*/true);
+}
+
+Json
+Service::handleStatus(const Json &req)
+{
+    const std::string id = req.str("job");
+    const std::lock_guard<std::mutex> lock(mu_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        return errorResponse("unknown job '" + id + "'",
+                             FailureClass::Deterministic);
+    return jobSnapshot(*it->second, /*includeResult=*/false);
+}
+
+Json
+Service::handlePing()
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    std::uint64_t done = 0, failed = 0;
+    for (const auto &[id, job] : jobs_) {
+        done += job->state == JobState::Done ? 1 : 0;
+        failed += job->state == JobState::Failed ? 1 : 0;
+    }
+    Json doc = Json::object();
+    doc.set("v", kProtocolVersion);
+    doc.set("ok", true);
+    doc.set("op", "pong");
+    doc.set("pid", static_cast<std::uint64_t>(::getpid()));
+    doc.set("draining", draining_);
+    doc.set("workers", static_cast<std::uint64_t>(cfg_.workers));
+    doc.set("active_jobs", static_cast<std::uint64_t>(activeJobs_));
+    doc.set("queued_jobs", static_cast<std::uint64_t>(jobQueue_.size()));
+    doc.set("done_jobs", done);
+    doc.set("failed_jobs", failed);
+    return doc;
+}
+
+Json
+Service::handleRequest(const Json &req)
+{
+    if (req.str("v") != kProtocolVersion)
+        return errorResponse("unsupported protocol version '" +
+                                 req.str("v") + "' (want " +
+                                 kProtocolVersion + ")",
+                             FailureClass::Deterministic);
+    const std::string op = req.str("op");
+    if (op == "ping")
+        return handlePing();
+    if (op == "submit")
+        return handleSubmit(req);
+    if (op == "wait")
+        return handleWait(req);
+    if (op == "status")
+        return handleStatus(req);
+    if (op == "shutdown") {
+        requestDrain();
+        Json doc = Json::object();
+        doc.set("v", kProtocolVersion);
+        doc.set("ok", true);
+        doc.set("op", "shutdown");
+        return doc;
+    }
+    return errorResponse("unknown op '" + op + "'",
+                         FailureClass::Deterministic);
+}
+
+void
+Service::serveConnection(int fd)
+{
+    for (;;) {
+        std::string payload, err;
+        if (!readFrame(fd, payload, err, 1000)) {
+            const bool timedOut =
+                err.find("timed out") != std::string::npos;
+            bool drain;
+            {
+                const std::lock_guard<std::mutex> lock(mu_);
+                drain = draining_;
+            }
+            if (timedOut && !drain)
+                continue; // Idle connection; keep listening.
+            break;
+        }
+        Json response;
+        auto doc = Json::parse(payload, err);
+        if (!doc || !doc->isObject())
+            response = errorResponse("malformed request: " + err,
+                                     FailureClass::Deterministic);
+        else
+            response = handleRequest(*doc);
+        if (!writeFrame(fd, response.dump(), err))
+            break;
+    }
+    ::close(fd);
+}
+
+void
+Service::acceptLoop(int listenFd)
+{
+    for (;;) {
+        if (runner::interruptSignal() != 0)
+            requestDrain();
+        {
+            const std::lock_guard<std::mutex> lock(mu_);
+            if (draining_)
+                return;
+        }
+        pollfd pfd{listenFd, POLLIN, 0};
+        const int rc = ::poll(&pfd, 1, 200);
+        if (rc <= 0)
+            continue;
+        const int fd = ::accept(listenFd, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        const std::lock_guard<std::mutex> lock(mu_);
+        connections_.emplace_back(&Service::serveConnection, this, fd);
+    }
+}
+
+void
+Service::requestDrain()
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (draining_)
+        return;
+    draining_ = true;
+    std::fprintf(stderr, "mapsd: draining (running jobs will finish; "
+                         "queued jobs stay journaled)\n");
+    cv_.notify_all();
+    workCv_.notify_all();
+}
+
+int
+Service::run(std::string &err)
+{
+    std::error_code ec;
+    fs::create_directories(cfg_.stateDir + "/results", ec);
+    if (ec) {
+        err = "cannot create state dir '" + cfg_.stateDir +
+              "': " + ec.message();
+        return 1;
+    }
+    // One daemon per state dir: a second instance would race the
+    // journal and the checkpoint dirs. Stale locks (SIGKILLed daemon)
+    // are taken over.
+    runner::DirLock stateLock;
+    const std::string lockErr = stateLock.acquire(cfg_.stateDir);
+    if (!lockErr.empty()) {
+        err = lockErr;
+        return 1;
+    }
+    err = journal_.open(cfg_.stateDir);
+    if (!err.empty())
+        return 1;
+    err = parseChaosSpec(cfg_.chaosSpec, chaos_);
+    if (!err.empty())
+        return 1;
+    {
+        const std::lock_guard<std::mutex> lock(mu_);
+        recoverJobs();
+    }
+    const int listenFd = listenUnix(cfg_.socketPath, err);
+    if (listenFd < 0)
+        return 1;
+    runner::installSignalHandlers();
+
+    for (unsigned i = 0; i < std::max(1u, cfg_.workers); ++i)
+        workers_.emplace_back(&Service::workerLoop, this);
+    std::thread scheduler(&Service::schedulerLoop, this);
+
+    std::fprintf(stderr, "mapsd: listening on %s (%u workers)\n",
+                 cfg_.socketPath.c_str(), cfg_.workers);
+    acceptLoop(listenFd);
+
+    // Drain: admission is closed; running jobs finish and checkpoint.
+    scheduler.join();
+    {
+        // Wake any coordinator waiting for cells that will never run —
+        // there are none: workers only exit once activeJobs_ == 0.
+        const std::lock_guard<std::mutex> lock(mu_);
+        workCv_.notify_all();
+    }
+    for (auto &t : workers_)
+        t.join();
+    std::vector<std::thread> coordinators, connections;
+    {
+        const std::lock_guard<std::mutex> lock(mu_);
+        coordinators.swap(coordinators_);
+        connections.swap(connections_);
+    }
+    for (auto &t : coordinators)
+        t.join();
+    for (auto &t : connections)
+        t.join();
+    ::close(listenFd);
+    ::unlink(cfg_.socketPath.c_str());
+    std::fprintf(stderr, "mapsd: drained\n");
+    return 0;
+}
+
+} // namespace maps::service

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * maps::service — the mapsd experiment service.
+ *
+ * mapsd turns the batch drivers into a long-running, crash-tolerant
+ * service: clients submit an experiment request (any fig/tab/abl
+ * driver) over a UNIX socket, the daemon discovers the driver's cell
+ * grid (`--list-cells`), executes pending cells out of process on a
+ * shared worker pool (`--only-cells=ID --resume=DIR`), and finally
+ * assembles the result with one fully-cached `--resume` pass whose
+ * stdout is byte-identical to a clean batch run. Robustness features:
+ *
+ *  - deadlines: the request's per-cell budget is propagated as
+ *    `--cell-timeout` (cooperative) plus a hard SIGKILL deadline in the
+ *    monitor, so even a SIGSTOPped cell cannot hold a worker forever;
+ *  - backpressure: admission is a bounded queue; when full, submits are
+ *    shed with an honest `class:"shed"` response and a retry hint
+ *    instead of queueing unboundedly;
+ *  - graceful degradation: under congestion (deep cell queue) or after
+ *    a cell timeout, full-metrics cells are downgraded to
+ *    `--metrics=summary` and re-queued once — every downgrade is
+ *    recorded in the job's event log, never silent;
+ *  - crash safety: every job-state transition is journaled atomically;
+ *    a SIGKILLed daemon restarts, re-queues unfinished jobs, and the
+ *    per-cell checkpoints guarantee no completed work repeats and no
+ *    cell is lost or duplicated;
+ *  - drain: SIGTERM stops admission, lets running cells finish and
+ *    checkpoints the rest for the next daemon.
+ *
+ * Failure classification (what mapsctl's retry loop keys on):
+ * transient failures (timeouts, killed workers, shed admissions) are
+ * safe to retry because checkpoints make re-execution idempotent;
+ * deterministic failures (bad request, driver assertion, exec failure)
+ * are never retried.
+ */
+#ifndef MAPS_SERVICE_SERVICE_HPP
+#define MAPS_SERVICE_SERVICE_HPP
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/dirlock.hpp"
+#include "service/child.hpp"
+#include "service/journal.hpp"
+#include "service/json.hpp"
+
+namespace maps::service {
+
+/** How a failed step should be treated by retry logic. */
+enum class FailureClass : std::uint8_t
+{
+    None,          ///< No failure.
+    Transient,     ///< Safe to retry (timeout, killed worker, shed).
+    Deterministic, ///< Retrying reproduces the failure; don't.
+    Shed,          ///< Rejected at admission; retry after backoff.
+};
+
+const char *failureClassName(FailureClass c);
+
+/**
+ * Classify a finished child. @p errText is the child's captured stderr;
+ * a cooperative `--cell-timeout` cancellation exits non-zero but names
+ * the flag in its failure report, which marks it transient.
+ */
+FailureClass classifyOutcome(const ChildOutcome &outcome,
+                             const std::string &errText);
+
+/**
+ * One deterministic chaos injection, mirroring the maps::fault
+ * `kind:surface@trigger` spec grammar: `kill:worker@n=3` SIGKILLs the
+ * 3rd spawned cell child, `hang:worker@n=5` SIGSTOPs the 5th (the hard
+ * deadline later SIGKILLs it). Each event fires exactly once.
+ */
+struct ChaosEvent
+{
+    enum class Kind : std::uint8_t
+    {
+        KillWorker,
+        HangWorker,
+    };
+    Kind kind = Kind::KillWorker;
+    std::uint64_t nth = 0; ///< 1-based cell-spawn ordinal to hit.
+    bool fired = false;
+};
+
+/** Parse `ev[,ev...]`. Returns an error string ("" on success). */
+std::string parseChaosSpec(const std::string &spec,
+                           std::vector<ChaosEvent> &out);
+
+/**
+ * A canonicalized experiment request. The job id is a stable hash of
+ * the canonical form, so resubmitting the same request attaches to the
+ * same job, checkpoints and result — the idempotency that makes client
+ * retries safe.
+ */
+struct RequestSpec
+{
+    std::string driver;            ///< Driver binary name (no path).
+    std::vector<std::string> args; ///< Pass-through driver flags.
+    std::string metrics = "off";   ///< off | summary | full.
+    double cellTimeoutSec = 0.0;   ///< Per-cell budget; 0 = unlimited.
+
+    /** Validate fields; "" on success. Daemon-owned flags (--resume,
+     *  --only-cells, --list-cells, --jobs, --metrics, --cell-timeout)
+     *  are rejected in @ref args. */
+    std::string validate() const;
+
+    std::string canonical() const;
+    /** 16-hex FNV-1a of canonical(). */
+    std::string jobId() const;
+
+    Json toJson() const;
+    static std::string fromJson(const Json &doc, RequestSpec &out);
+};
+
+enum class JobState : std::uint8_t
+{
+    Queued,
+    Running,
+    Done,
+    Failed,
+};
+
+const char *jobStateName(JobState s);
+
+/** Resilience counters reported with every job (and journaled). */
+struct JobCounters
+{
+    std::uint64_t cellsRun = 0;        ///< Cells executed by workers.
+    std::uint64_t cellsCached = 0;     ///< Cells found checkpointed.
+    std::uint64_t workersKilled = 0;   ///< Cell children killed by signal.
+    std::uint64_t hungCells = 0;       ///< Hard-deadline SIGKILLs.
+    std::uint64_t timedOutCells = 0;   ///< Cooperative --cell-timeout.
+    std::uint64_t requeuedCells = 0;   ///< In-daemon single retries.
+    std::uint64_t downgradedCells = 0; ///< full -> summary degradations.
+    std::uint64_t daemonRestarts = 0;  ///< Recoveries that re-queued us.
+    std::uint64_t rounds = 0;          ///< list->run fixpoint iterations.
+
+    Json toJson() const;
+    void fromJson(const Json &doc);
+};
+
+struct Job
+{
+    std::string id;
+    RequestSpec spec;
+    JobState state = JobState::Queued;
+    FailureClass failClass = FailureClass::None;
+    std::string error;
+    std::vector<std::string> events;
+    JobCounters counters;
+    std::string resultPath; ///< Published assembly output (when Done).
+
+    /**
+     * Held by the daemon for the job's whole active span so parallel
+     * cell children (which see the lock owned by their parent) adopt it
+     * instead of fighting each other for the checkpoint directory.
+     */
+    runner::DirLock ckLock;
+
+    // Coordinator-round bookkeeping (guarded by the service mutex).
+    std::size_t outstanding = 0;
+    std::vector<std::string> roundFailures;
+    FailureClass roundWorstClass = FailureClass::None;
+
+    Json toJson() const;
+};
+
+struct ServiceConfig
+{
+    std::string socketPath;
+    std::string stateDir;
+    std::string driversDir; ///< Directory holding the driver binaries.
+    unsigned workers = 4;
+    std::size_t queueMax = 16;      ///< Shed submits beyond this depth.
+    std::size_t maxActiveJobs = 2;  ///< Concurrent coordinators.
+    std::size_t degradeDepth = 32;  ///< Cell-queue depth forcing summary.
+    double defaultCellTimeoutSec = 0.0;
+    std::string chaosSpec;          ///< "" = no injected chaos.
+};
+
+class Service
+{
+  public:
+    explicit Service(ServiceConfig cfg);
+
+    /**
+     * Serve until drained (SIGTERM/SIGINT or a shutdown request).
+     * Returns a process exit code; @p err is set on startup failure.
+     */
+    int run(std::string &err);
+
+    /** Idempotent; also triggered by SIGTERM. */
+    void requestDrain();
+
+  private:
+    struct CellTask
+    {
+        std::shared_ptr<Job> job;
+        std::string cellId;
+        std::string metrics; ///< Effective level for this attempt.
+        int attempt = 0;
+    };
+
+    // Startup / recovery.
+    std::string recoverJobs();
+
+    // Threads.
+    void acceptLoop(int listenFd);
+    void serveConnection(int fd);
+    void schedulerLoop();
+    void workerLoop();
+    void coordinate(std::shared_ptr<Job> job);
+
+    // Request handlers (return the response document).
+    Json handleRequest(const Json &req);
+    Json handleSubmit(const Json &req);
+    Json handleWait(const Json &req);
+    Json handleStatus(const Json &req);
+    Json handlePing() ;
+
+    // Job plumbing. Callers hold mu_ unless noted.
+    Json jobSnapshot(const Job &job, bool includeResult) const;
+    void journalJob(const Job &job);
+    void addEvent(Job &job, const std::string &what);
+    void finishJob(Job &job, JobState state, FailureClass c,
+                   const std::string &error);
+
+    // Child invocations (no lock held).
+    struct ListedCell
+    {
+        std::string phase;
+        std::string id;
+        bool cached = false;
+    };
+    bool listCells(const std::shared_ptr<Job> &job,
+                   std::vector<ListedCell> &cells, bool &complete,
+                   std::string &err);
+    void runCell(const CellTask &task);
+    bool assemble(const std::shared_ptr<Job> &job, std::string &err,
+                  FailureClass &cls);
+
+    std::string driverPath(const RequestSpec &spec) const;
+    std::string ckDir(const std::string &jobId) const;
+    std::string logDir(const std::string &jobId) const;
+    std::vector<std::string> baseArgs(const std::shared_ptr<Job> &job,
+                                      const std::string &metrics) const;
+
+    ServiceConfig cfg_;
+    Journal journal_;
+    std::vector<ChaosEvent> chaos_;
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_;        ///< Job-state changes.
+    std::condition_variable workCv_;    ///< Cell-queue pushes.
+    std::map<std::string, std::shared_ptr<Job>> jobs_;
+    std::deque<std::shared_ptr<Job>> jobQueue_;
+    std::deque<CellTask> cellQueue_;
+    std::size_t activeJobs_ = 0;
+    std::uint64_t cellSpawns_ = 0; ///< Chaos trigger ordinal.
+    bool draining_ = false;
+
+    std::vector<std::thread> workers_;
+    std::vector<std::thread> coordinators_;
+    std::vector<std::thread> connections_;
+};
+
+} // namespace maps::service
+
+#endif // MAPS_SERVICE_SERVICE_HPP

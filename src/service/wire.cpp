@@ -1,0 +1,185 @@
+#include "service/wire.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace maps::service {
+
+namespace {
+
+bool
+fillSockaddr(const std::string &path, sockaddr_un &addr, std::string &err)
+{
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+        err = "socket path '" + path + "' is empty or too long";
+        return false;
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return true;
+}
+
+/** poll() for readability; 0 on ready, -1 on timeout/error. */
+int
+waitReadable(int fd, int timeout_ms, std::string &err)
+{
+    pollfd pfd{fd, POLLIN, 0};
+    for (;;) {
+        const int rc = ::poll(&pfd, 1, timeout_ms);
+        if (rc > 0)
+            return 0;
+        if (rc == 0) {
+            err = "timed out waiting for a frame";
+            return -1;
+        }
+        if (errno == EINTR)
+            continue;
+        err = std::string("poll: ") + std::strerror(errno);
+        return -1;
+    }
+}
+
+} // namespace
+
+int
+listenUnix(const std::string &path, std::string &err)
+{
+    sockaddr_un addr;
+    if (!fillSockaddr(path, addr, err))
+        return -1;
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+        err = std::string("socket: ") + std::strerror(errno);
+        return -1;
+    }
+    ::unlink(path.c_str());
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        err = "bind '" + path + "': " + std::strerror(errno);
+        ::close(fd);
+        return -1;
+    }
+    if (::listen(fd, 64) != 0) {
+        err = std::string("listen: ") + std::strerror(errno);
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+int
+connectUnix(const std::string &path, std::string &err)
+{
+    sockaddr_un addr;
+    if (!fillSockaddr(path, addr, err))
+        return -1;
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+        err = std::string("socket: ") + std::strerror(errno);
+        return -1;
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        err = "connect '" + path + "': " + std::strerror(errno);
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+bool
+writeFrame(int fd, const std::string &payload, std::string &err)
+{
+    if (payload.size() > kMaxFrameBytes) {
+        err = "frame too large (" + std::to_string(payload.size()) +
+              " bytes)";
+        return false;
+    }
+    std::string frame = std::to_string(payload.size());
+    frame += '\n';
+    frame += payload;
+    std::size_t sent = 0;
+    while (sent < frame.size()) {
+        const ssize_t n = ::send(fd, frame.data() + sent,
+                                 frame.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            err = std::string("send: ") + std::strerror(errno);
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+readFrame(int fd, std::string &payload, std::string &err, int timeout_ms)
+{
+    payload.clear();
+    // Length prefix: at most 8 digits (kMaxFrameBytes fits) then '\n'.
+    std::size_t length = 0;
+    unsigned digits = 0;
+    for (;;) {
+        if (waitReadable(fd, timeout_ms, err) != 0)
+            return false;
+        char c = 0;
+        const ssize_t n = ::recv(fd, &c, 1, 0);
+        if (n == 0) {
+            err = digits == 0 ? "connection closed"
+                              : "connection closed mid-frame";
+            return false;
+        }
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            err = std::string("recv: ") + std::strerror(errno);
+            return false;
+        }
+        if (c == '\n') {
+            if (digits == 0) {
+                err = "malformed frame: empty length prefix";
+                return false;
+            }
+            break;
+        }
+        if (c < '0' || c > '9' || ++digits > 8) {
+            err = "malformed frame: bad length prefix";
+            return false;
+        }
+        length = length * 10 + static_cast<std::size_t>(c - '0');
+        if (length > kMaxFrameBytes) {
+            err = "frame too large";
+            return false;
+        }
+    }
+    payload.reserve(length);
+    char buf[4096];
+    while (payload.size() < length) {
+        if (waitReadable(fd, timeout_ms, err) != 0)
+            return false;
+        const std::size_t want =
+            std::min(sizeof(buf), length - payload.size());
+        const ssize_t n = ::recv(fd, buf, want, 0);
+        if (n == 0) {
+            err = "connection closed mid-frame";
+            return false;
+        }
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            err = std::string("recv: ") + std::strerror(errno);
+            return false;
+        }
+        payload.append(buf, static_cast<std::size_t>(n));
+    }
+    return true;
+}
+
+} // namespace maps::service

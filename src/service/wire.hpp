@@ -1,0 +1,57 @@
+/**
+ * @file
+ * maps-svc-v1 wire layer: UNIX-domain sockets plus a length-prefixed
+ * JSON framing.
+ *
+ * A frame is the ASCII decimal payload length, one '\n', then exactly
+ * that many payload bytes (the JSON document). The prefix keeps the
+ * protocol trivially debuggable (`printf '2\n{}' | nc -U ...`) while
+ * letting the reader pre-size its buffer and reject oversized or
+ * malformed frames before buffering unbounded garbage — a half-written
+ * or hostile frame costs at most kMaxFrameBytes and one connection.
+ *
+ * All calls return explicit errors instead of throwing; the daemon must
+ * survive any sequence of bytes a client sends.
+ */
+#ifndef MAPS_SERVICE_WIRE_HPP
+#define MAPS_SERVICE_WIRE_HPP
+
+#include <cstddef>
+#include <string>
+
+namespace maps::service {
+
+/** Protocol identifier carried in every request and response. */
+inline constexpr const char *kProtocolVersion = "maps-svc-v1";
+
+/** Upper bound on one frame's payload (defense against flooding). */
+inline constexpr std::size_t kMaxFrameBytes = 64u * 1024 * 1024;
+
+/**
+ * Create, bind and listen on a UNIX socket at @p path (any stale socket
+ * file is unlinked first). Returns the fd, or -1 with @p err set.
+ */
+int listenUnix(const std::string &path, std::string &err);
+
+/** Connect to the daemon socket. Returns the fd, or -1 with @p err. */
+int connectUnix(const std::string &path, std::string &err);
+
+/**
+ * Write one frame. Handles short writes and EINTR; uses MSG_NOSIGNAL so
+ * a dead peer surfaces as an error, not SIGPIPE. False + @p err on
+ * failure.
+ */
+bool writeFrame(int fd, const std::string &payload, std::string &err);
+
+/**
+ * Read one complete frame into @p payload. @p timeout_ms < 0 blocks
+ * forever; otherwise the whole frame must arrive within the budget.
+ * Returns false with @p err on EOF, timeout, oversize or malformed
+ * length prefix.
+ */
+bool readFrame(int fd, std::string &payload, std::string &err,
+               int timeout_ms = -1);
+
+} // namespace maps::service
+
+#endif // MAPS_SERVICE_WIRE_HPP

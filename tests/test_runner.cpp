@@ -14,8 +14,11 @@
 #include <stdexcept>
 #include <thread>
 
+#include <signal.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
+#include "core/dirlock.hpp"
 #include "core/runner.hpp"
 #include "core/simulator.hpp"
 
@@ -110,6 +113,52 @@ TEST(RunnerOptions, RejectsBadValues)
     EXPECT_NE(Options::tryParse({"--cell-timeout=abc"}, opts), "");
     EXPECT_NE(Options::tryParse({"--resume="}, opts), "");
     EXPECT_EQ(Options::tryParse({"--help"}, opts), "help");
+}
+
+TEST(RunnerOptions, RejectsRepeatedFlags)
+{
+    // Conflicting repeats were previously last-wins, which let a typo'd
+    // command line (or a service composing flags) silently run the
+    // wrong sweep; now every repeat is a hard usage error.
+    Options opts;
+    EXPECT_NE(Options::tryParse({"--jobs=2", "--jobs=4"}, opts), "");
+    EXPECT_NE(Options::tryParse({"--seed=1", "--seed=1"}, opts), "")
+        << "even an identical repeat is an error";
+    EXPECT_NE(Options::tryParse({"--no-progress", "--no-progress"},
+                                opts),
+              "");
+    EXPECT_NE(Options::tryParse({"--out=a", "--out=b"}, opts), "");
+    EXPECT_NE(Options::tryParse({"--resume=a", "--resume=b"}, opts), "");
+    // The sweep-size spellings are one option with three names.
+    EXPECT_NE(Options::tryParse({"--quick", "--quick"}, opts), "");
+    EXPECT_NE(Options::tryParse({"--quick", "--full"}, opts), "");
+    EXPECT_NE(Options::tryParse({"--scale=2", "--quick"}, opts), "");
+    EXPECT_NE(Options::tryParse({"--full", "--scale=0.5"}, opts), "");
+    // Distinct options still combine freely.
+    EXPECT_EQ(Options::tryParse({"--quick", "--seed=2", "--jobs=2"},
+                                opts),
+              "");
+}
+
+TEST(RunnerOptions, ParsesServiceShardingFlags)
+{
+    Options opts;
+    EXPECT_EQ(Options::tryParse({"--list-cells"}, opts), "");
+    EXPECT_TRUE(opts.listCells);
+
+    Options shard;
+    EXPECT_EQ(Options::tryParse({"--only-cells=a,b/64KB"}, shard), "");
+    EXPECT_EQ(shard.onlyCells,
+              (std::vector<std::string>{"a", "b/64KB"}));
+    EXPECT_NE(Options::tryParse({"--only-cells="}, shard), "");
+    EXPECT_NE(Options::tryParse({"--only-cells=a,,b"}, shard), "")
+        << "empty cell id inside the list";
+    EXPECT_NE(Options::tryParse({"--only-cells=a,"}, shard), "");
+    EXPECT_NE(Options::tryParse({"--only-cells=a", "--only-cells=b"},
+                                shard),
+              "");
+    EXPECT_NE(Options::tryParse({"--list-cells", "--list-cells"}, shard),
+              "");
 }
 
 TEST(RunnerOptions, ScaledRefsKeepFloor)
@@ -410,10 +459,13 @@ TEST(RunnerResume, SkipsCheckpointedCellsAndMatchesUninterrupted)
     EXPECT_EQ(executions.load(), 6);
     EXPECT_EQ(first.resumedCells(), 0u);
 
-    // Simulate a crash that lost some checkpoints: delete two files.
+    // Simulate a crash that lost some checkpoints: delete two files
+    // (the dir also holds the runner's .maps-lock, which is not one).
     std::vector<fs::path> files;
-    for (const auto &e : fs::directory_iterator(dir))
-        files.push_back(e.path());
+    for (const auto &e : fs::directory_iterator(dir)) {
+        if (e.path().filename().string().front() != '.')
+            files.push_back(e.path());
+    }
     ASSERT_EQ(files.size(), 6u);
     std::sort(files.begin(), files.end());
     fs::remove(files[1]);
@@ -448,6 +500,233 @@ TEST(RunnerResume, SkipsCheckpointedCellsAndMatchesUninterrupted)
     third.run(make_cells(), "phase");
     EXPECT_EQ(executions.load(), 1) << "torn checkpoint re-executed";
 
+    fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint-directory locking.
+// ---------------------------------------------------------------------------
+
+namespace fs_lock_test {
+
+std::filesystem::path
+lockTestDir(const std::string &tag)
+{
+    const auto dir = std::filesystem::temp_directory_path() /
+                     ("maps_dirlock_test_" + tag + "_" +
+                      std::to_string(::getpid()));
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir;
+}
+
+/** A pid that is guaranteed dead: fork a child and reap it. */
+pid_t
+deadPid()
+{
+    const pid_t pid = ::fork();
+    if (pid == 0)
+        ::_exit(0);
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    return pid;
+}
+
+} // namespace fs_lock_test
+
+TEST(RunnerDirLock, AcquireWriteReleaseCycle)
+{
+    namespace fs = std::filesystem;
+    const auto dir = fs_lock_test::lockTestDir("cycle");
+    runner::DirLock lock;
+    EXPECT_EQ(lock.acquire(dir.string()), "");
+    EXPECT_TRUE(lock.held());
+    EXPECT_FALSE(lock.adopted());
+    const auto path = fs::path(lock.path());
+    ASSERT_TRUE(fs::exists(path));
+    {
+        std::ifstream in(path);
+        std::string line;
+        std::getline(in, line);
+        EXPECT_EQ(line, "maps-lock-v1 pid " +
+                            std::to_string(::getpid()));
+    }
+    lock.release();
+    EXPECT_FALSE(lock.held());
+    EXPECT_FALSE(fs::exists(path)) << "release removes the lock file";
+    fs::remove_all(dir);
+}
+
+TEST(RunnerDirLock, SelfOwnedLockIsAdoptedNotReleased)
+{
+    // A second runner in the same process (e.g. phase two of a driver)
+    // must coexist with the first, and its release must not steal the
+    // owner's lock file.
+    namespace fs = std::filesystem;
+    const auto dir = fs_lock_test::lockTestDir("adopt");
+    runner::DirLock owner;
+    ASSERT_EQ(owner.acquire(dir.string()), "");
+    runner::DirLock again;
+    EXPECT_EQ(again.acquire(dir.string()), "");
+    EXPECT_TRUE(again.held());
+    EXPECT_TRUE(again.adopted());
+    again.release();
+    EXPECT_TRUE(fs::exists(owner.path()))
+        << "adopter's release left the owner's file alone";
+    owner.release();
+    fs::remove_all(dir);
+}
+
+TEST(RunnerDirLock, ParentOwnedLockIsAdoptedByChild)
+{
+    // mapsd holds the job lock while its fork/exec'ed cell children
+    // acquire the same checkpoint dir: they must adopt, not fail.
+    const auto dir = fs_lock_test::lockTestDir("parent");
+    runner::DirLock owner;
+    ASSERT_EQ(owner.acquire(dir.string()), "");
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        runner::DirLock child;
+        const auto err = child.acquire(dir.string());
+        const bool ok = err.empty() && child.held() && child.adopted();
+        ::_exit(ok ? 0 : 1);
+    }
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+    owner.release();
+    std::filesystem::remove_all(dir);
+}
+
+TEST(RunnerDirLock, StaleLockFromDeadOwnerIsTakenOver)
+{
+    namespace fs = std::filesystem;
+    const auto dir = fs_lock_test::lockTestDir("stale");
+    {
+        std::ofstream out(dir / ".maps-lock");
+        out << "maps-lock-v1 pid " << fs_lock_test::deadPid() << "\n";
+    }
+    runner::DirLock lock;
+    EXPECT_EQ(lock.acquire(dir.string()), "")
+        << "dead owner's lock must be taken over, not respected";
+    EXPECT_TRUE(lock.held());
+    EXPECT_FALSE(lock.adopted());
+    lock.release();
+
+    // A torn/garbage lock file is equally stale.
+    {
+        std::ofstream out(dir / ".maps-lock");
+        out << "not a lock file";
+    }
+    EXPECT_EQ(lock.acquire(dir.string()), "");
+    lock.release();
+    fs::remove_all(dir);
+}
+
+TEST(RunnerDirLock, LiveForeignOwnerFailsFast)
+{
+    // pid 1 is alive and is neither us nor our parent; the probe's
+    // EPERM (signalling another user's process) must count as alive.
+    namespace fs = std::filesystem;
+    const auto dir = fs_lock_test::lockTestDir("live");
+    {
+        std::ofstream out(dir / ".maps-lock");
+        out << "maps-lock-v1 pid 1\n";
+    }
+    runner::DirLock lock;
+    const auto err = lock.acquire(dir.string());
+    EXPECT_NE(err, "");
+    EXPECT_NE(err.find("locked by running process 1"),
+              std::string::npos)
+        << err;
+    EXPECT_FALSE(lock.held());
+    EXPECT_TRUE(fs::exists(dir / ".maps-lock"))
+        << "the live owner's lock file must survive";
+    fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Graceful interruption: kill a real run and inspect what it left.
+// ---------------------------------------------------------------------------
+
+TEST(RunnerInterrupt, SigintCheckpointsAndReportsHonestly)
+{
+    namespace fs = std::filesystem;
+    const auto dir = fs::temp_directory_path() /
+                     ("maps_sigint_test_" + std::to_string(::getpid()));
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    const auto ckDir = dir / "ck";
+    const auto outFile = dir / "out.txt";
+
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        // Child: a slow 10-cell sweep with checkpoints, writing its
+        // report to a file. The Experiment constructor installs the
+        // graceful SIGINT handler.
+        Options opts;
+        opts.jobs = 1;
+        opts.progress = false;
+        opts.resumeDir = ckDir.string();
+        opts.outPath = outFile.string();
+        runner::Experiment exp({"sigint_probe", "probe", "probe"},
+                               opts);
+        std::vector<Cell> cells;
+        for (int i = 0; i < 10; ++i) {
+            const std::string id = "cell" + std::to_string(i);
+            cells.push_back({id, 0, [id](const Cell &) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(300));
+                return CellOutput{}.add(Row{}.add("id", id));
+            }});
+        }
+        exp.runAndEmit(cells);
+        std::exit(exp.finish());
+    }
+
+    // Parent: wait until at least one checkpoint proves the sweep is
+    // underway, then request a graceful stop.
+    bool started = false;
+    for (int waited = 0; waited < 20000; waited += 50) {
+        std::error_code ec;
+        if (fs::exists(ckDir, ec) &&
+            !fs::is_empty(ckDir, ec)) {
+            started = true;
+            break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    ASSERT_TRUE(started) << "child never checkpointed a cell";
+    ASSERT_EQ(::kill(pid, SIGINT), 0);
+
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status))
+        << "graceful stop must exit, not die of the signal";
+    EXPECT_EQ(WEXITSTATUS(status), 128 + SIGINT);
+
+    // The work done so far is checkpointed (resumable), the rest is
+    // not: strictly between zero and all cells.
+    std::size_t checkpoints = 0;
+    for (const auto &e : fs::directory_iterator(ckDir)) {
+        if (e.path().filename().string().front() != '.')
+            ++checkpoints;
+    }
+    EXPECT_GE(checkpoints, 1u);
+    EXPECT_LT(checkpoints, 10u)
+        << "SIGINT landed too late to observe an interruption";
+
+    // The report must say so out loud.
+    std::ifstream in(outFile);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const auto report = ss.str();
+    EXPECT_NE(report.find("interrupted"), std::string::npos) << report;
+    EXPECT_NE(report.find("re-run with the same --resume dir"),
+              std::string::npos)
+        << report;
     fs::remove_all(dir);
 }
 

@@ -1,0 +1,605 @@
+/**
+ * @file
+ * Unit tests for the maps::service layer: the JSON codec and wire
+ * framing on the protocol boundary, the failure-classification and
+ * retry-policy tables that define mapsd's robustness contract, chaos
+ * spec parsing, request canonicalization (job identity), and the
+ * crash-safe job journal.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "service/child.hpp"
+#include "service/client.hpp"
+#include "service/journal.hpp"
+#include "service/json.hpp"
+#include "service/service.hpp"
+#include "service/wire.hpp"
+
+namespace fs = std::filesystem;
+using namespace maps::service;
+
+namespace {
+
+fs::path
+tempDir(const std::string &tag)
+{
+    const auto dir = fs::temp_directory_path() /
+                     ("maps_service_test_" + tag + "_" +
+                      std::to_string(::getpid()));
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir;
+}
+
+Json
+parseOk(const std::string &text)
+{
+    std::string err;
+    auto doc = Json::parse(text, err);
+    EXPECT_TRUE(doc.has_value()) << text << ": " << err;
+    return doc ? *doc : Json();
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// JSON codec.
+// ---------------------------------------------------------------------------
+
+TEST(ServiceJson, RoundTripsDocuments)
+{
+    const char *docs[] = {
+        "null",
+        "true",
+        "false",
+        "0",
+        "-17",
+        "123456789",
+        "\"hello\"",
+        "[]",
+        "{}",
+        "[1,2,[3,{\"k\":\"v\"}],null]",
+        "{\"a\":1,\"b\":\"two\",\"c\":[true,false],\"d\":{\"e\":null}}",
+    };
+    for (const char *text : docs)
+        EXPECT_EQ(parseOk(text).dump(), text) << text;
+}
+
+TEST(ServiceJson, PreservesObjectInsertionOrder)
+{
+    // Deterministic serialization is what makes responses diff-able and
+    // the journal stable across rewrites.
+    Json doc = Json::object();
+    doc.set("zebra", 1).set("alpha", 2).set("middle", 3);
+    EXPECT_EQ(doc.dump(), "{\"zebra\":1,\"alpha\":2,\"middle\":3}");
+    doc.set("zebra", 9); // Replacement keeps the original slot.
+    EXPECT_EQ(doc.dump(), "{\"zebra\":9,\"alpha\":2,\"middle\":3}");
+}
+
+TEST(ServiceJson, EscapesAndUnescapesStrings)
+{
+    Json s(std::string("line\nquote\"tab\tback\\slash"));
+    const std::string dumped = s.dump();
+    EXPECT_EQ(parseOk(dumped).asString(), s.asString());
+    EXPECT_EQ(parseOk("\"\\u0041\\u00e9\"").asString(), "A\xc3\xa9");
+}
+
+TEST(ServiceJson, RejectsMalformedInput)
+{
+    const char *bad[] = {
+        "",
+        "{",
+        "}",
+        "[1,",
+        "{\"a\":}",
+        "{\"a\" 1}",
+        "{\"a\":1} trailing",
+        "\"unterminated",
+        "\"bad \\x escape\"",
+        "\"trunc \\u00\"",
+        "nul",
+        "01a",
+        "1e999", // Non-finite after strtod.
+        "{'single':1}",
+    };
+    for (const char *text : bad) {
+        std::string err;
+        EXPECT_FALSE(Json::parse(text, err).has_value())
+            << "accepted: " << text;
+        EXPECT_FALSE(err.empty()) << text;
+    }
+}
+
+TEST(ServiceJson, RejectsAbsurdNesting)
+{
+    std::string deep(100, '[');
+    deep += std::string(100, ']');
+    std::string err;
+    EXPECT_FALSE(Json::parse(deep, err).has_value());
+}
+
+TEST(ServiceJson, FormatsIntegersWithoutExponent)
+{
+    // Pids, counters and byte counts must survive a round trip through
+    // jq without turning into 1.2e+06.
+    EXPECT_EQ(Json(static_cast<std::uint64_t>(1200000)).dump(),
+              "1200000");
+    EXPECT_EQ(Json(0.5).dump(), "0.5");
+    EXPECT_EQ(parseOk(Json(0.1).dump()).asNumber(), 0.1);
+}
+
+TEST(ServiceJson, TypedAccessorsFallBack)
+{
+    const Json doc =
+        parseOk("{\"s\":\"x\",\"n\":7,\"b\":true,\"a\":[1]}");
+    EXPECT_EQ(doc.str("s"), "x");
+    EXPECT_EQ(doc.str("missing", "fb"), "fb");
+    EXPECT_EQ(doc.num("n"), 7.0);
+    EXPECT_EQ(doc.num("s", -1.0), -1.0) << "wrong type falls back";
+    EXPECT_TRUE(doc.boolean("b"));
+    EXPECT_EQ(doc.get("a")->size(), 1u);
+    EXPECT_EQ(doc.get("nope"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Wire framing.
+// ---------------------------------------------------------------------------
+
+class ServiceWire : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds_), 0);
+    }
+    void TearDown() override
+    {
+        ::close(fds_[0]);
+        ::close(fds_[1]);
+    }
+    int fds_[2] = {-1, -1};
+};
+
+TEST_F(ServiceWire, RoundTripsFrames)
+{
+    std::string err, got;
+    ASSERT_TRUE(writeFrame(fds_[0], "{\"op\":\"ping\"}", err)) << err;
+    ASSERT_TRUE(writeFrame(fds_[0], "", err)) << "empty frame is legal";
+    ASSERT_TRUE(readFrame(fds_[1], got, err, 1000)) << err;
+    EXPECT_EQ(got, "{\"op\":\"ping\"}");
+    ASSERT_TRUE(readFrame(fds_[1], got, err, 1000)) << err;
+    EXPECT_EQ(got, "");
+}
+
+TEST_F(ServiceWire, RoundTripsLargePayloads)
+{
+    // Bigger than the reader's internal chunk, with binary-ish content.
+    std::string big(300000, 'x');
+    for (std::size_t i = 0; i < big.size(); i += 7)
+        big[i] = static_cast<char>('A' + i % 26);
+    std::string err, got;
+    std::thread writer(
+        [&] { ASSERT_TRUE(writeFrame(fds_[0], big, err)) << err; });
+    std::string rerr;
+    ASSERT_TRUE(readFrame(fds_[1], got, rerr, 5000)) << rerr;
+    writer.join();
+    EXPECT_EQ(got, big);
+}
+
+TEST_F(ServiceWire, RejectsMalformedLengthPrefix)
+{
+    const char *frames[] = {"\n", "12a\n3", "999999999999\nx", "-3\nxyz"};
+    for (const char *frame : frames) {
+        int pair[2];
+        ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, pair), 0);
+        ASSERT_GT(::send(pair[0], frame, std::strlen(frame), 0), 0);
+        std::string got, err;
+        EXPECT_FALSE(readFrame(pair[1], got, err, 500))
+            << "accepted: " << frame;
+        ::close(pair[0]);
+        ::close(pair[1]);
+    }
+}
+
+TEST_F(ServiceWire, ReportsEofAndTimeoutDistinctly)
+{
+    std::string got, err;
+    ::close(fds_[0]);
+    EXPECT_FALSE(readFrame(fds_[1], got, err, 500));
+    EXPECT_NE(err.find("closed"), std::string::npos) << err;
+    int pair[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, pair), 0);
+    EXPECT_FALSE(readFrame(pair[1], got, err, 50));
+    EXPECT_NE(err.find("timed out"), std::string::npos) << err;
+    ::close(pair[0]);
+    ::close(pair[1]);
+}
+
+TEST_F(ServiceWire, RejectsOversizedWrites)
+{
+    std::string err;
+    std::string huge;
+    huge.resize(kMaxFrameBytes + 1);
+    EXPECT_FALSE(writeFrame(fds_[0], huge, err));
+    EXPECT_NE(err.find("too large"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Failure classification: the table mapsd's honesty rests on.
+// ---------------------------------------------------------------------------
+
+TEST(ServiceClassify, TableDriven)
+{
+    using Kind = ChildOutcome::Kind;
+    struct Case
+    {
+        Kind kind;
+        int exitCode;
+        int signal;
+        const char *stderrText;
+        FailureClass want;
+        const char *why;
+    };
+    const Case cases[] = {
+        {Kind::Exited, 0, 0, "", FailureClass::None, "clean exit"},
+        {Kind::Exited, 1, 0, "cell exceeded --cell-timeout=2s",
+         FailureClass::Transient, "cooperative timeout is transient"},
+        {Kind::Exited, 1, 0, "assertion failed: tree depth",
+         FailureClass::Deterministic,
+         "a failing simulation replays identically"},
+        {Kind::Exited, 2, 0, "unknown option: --frobnicate",
+         FailureClass::Deterministic, "usage errors never heal"},
+        {Kind::Exited, 4, 0, "--only-cells named unknown cells",
+         FailureClass::Deterministic, "bad cell ids never heal"},
+        {Kind::Signaled, -1, SIGKILL, "", FailureClass::Transient,
+         "an external kill (OOM, chaos) deserves a retry"},
+        {Kind::Signaled, -1, SIGSEGV, "", FailureClass::Transient,
+         "crash of one attempt; checkpoints make retry cheap"},
+        {Kind::Signaled, -1, SIGABRT, "", FailureClass::Deterministic,
+         "assert() in the driver replays identically"},
+        {Kind::TimedOut, -1, 0, "", FailureClass::Transient,
+         "hard-deadline kill (hung or stopped cell)"},
+        {Kind::SpawnFailed, -1, 0, "", FailureClass::Deterministic,
+         "missing binary cannot appear by retrying"},
+    };
+    for (const auto &c : cases) {
+        ChildOutcome outcome;
+        outcome.kind = c.kind;
+        outcome.exitCode = c.exitCode;
+        outcome.termSignal = c.signal;
+        EXPECT_EQ(classifyOutcome(outcome, c.stderrText), c.want)
+            << c.why;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Retry policy: transient-only, exponential, budgeted.
+// ---------------------------------------------------------------------------
+
+TEST(ServiceRetry, TableDriven)
+{
+    RetryPolicy policy;
+    policy.budget = 3;
+    policy.baseMs = 100;
+    policy.capMs = 350;
+    struct Case
+    {
+        FailureClass cls;
+        int attempt;
+        double want; // Negative: no retry allowed.
+        const char *why;
+    };
+    const Case cases[] = {
+        {FailureClass::Transient, 0, 100, "first retry at base"},
+        {FailureClass::Transient, 1, 200, "doubles"},
+        {FailureClass::Transient, 2, 350, "clamped at the cap"},
+        {FailureClass::Transient, 3, -1, "budget of 3 exhausted"},
+        {FailureClass::Transient, 99, -1, "way past budget"},
+        {FailureClass::Shed, 0, 100, "shed admissions back off too"},
+        {FailureClass::Shed, 2, 350, "shed shares the schedule"},
+        {FailureClass::Deterministic, 0, -1,
+         "deterministic failures are never retried"},
+        {FailureClass::Deterministic, 1, -1, "not even later"},
+        {FailureClass::None, 0, -1, "success is not retried"},
+    };
+    for (const auto &c : cases) {
+        const double got = policy.nextDelayMs(c.cls, c.attempt);
+        if (c.want < 0)
+            EXPECT_LT(got, 0.0) << c.why;
+        else
+            EXPECT_DOUBLE_EQ(got, c.want) << c.why;
+    }
+}
+
+TEST(ServiceRetry, ZeroBudgetNeverRetries)
+{
+    RetryPolicy policy;
+    policy.budget = 0;
+    EXPECT_LT(policy.nextDelayMs(FailureClass::Transient, 0), 0.0);
+    EXPECT_LT(policy.nextDelayMs(FailureClass::Shed, 0), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Chaos spec parsing (mirrors the maps::fault grammar).
+// ---------------------------------------------------------------------------
+
+TEST(ServiceChaos, ParsesWellFormedSpecs)
+{
+    std::vector<ChaosEvent> events;
+    EXPECT_EQ(parseChaosSpec("", events), "");
+    EXPECT_TRUE(events.empty());
+    EXPECT_EQ(parseChaosSpec(
+                  "kill:worker@n=3,hang:worker@n=5,kill:worker@n=7",
+                  events),
+              "");
+    ASSERT_EQ(events.size(), 3u);
+    EXPECT_EQ(events[0].kind, ChaosEvent::Kind::KillWorker);
+    EXPECT_EQ(events[0].nth, 3u);
+    EXPECT_EQ(events[1].kind, ChaosEvent::Kind::HangWorker);
+    EXPECT_EQ(events[1].nth, 5u);
+    EXPECT_FALSE(events[2].fired);
+}
+
+TEST(ServiceChaos, RejectsMalformedSpecs)
+{
+    const char *bad[] = {
+        "explode:worker@n=1", "kill:worker@when=later", "kill:worker@n=",
+        "kill:worker@n=x",    "kill:worker@n=0",        "kill:worker",
+    };
+    std::vector<ChaosEvent> events;
+    for (const char *spec : bad)
+        EXPECT_FALSE(parseChaosSpec(spec, events).empty())
+            << "accepted: " << spec;
+}
+
+// ---------------------------------------------------------------------------
+// Request canonicalization: job identity is what makes retries safe.
+// ---------------------------------------------------------------------------
+
+TEST(ServiceRequest, JobIdIgnoresFlagOrderOnly)
+{
+    RequestSpec a;
+    a.driver = "fig3_reuse_cdf";
+    a.args = {"--quick", "--seed=7"};
+    RequestSpec b = a;
+    b.args = {"--seed=7", "--quick"};
+    EXPECT_EQ(a.jobId(), b.jobId()) << "flag order is irrelevant";
+    EXPECT_EQ(a.jobId().size(), 16u);
+
+    RequestSpec c = a;
+    c.args = {"--quick", "--seed=8"};
+    EXPECT_NE(a.jobId(), c.jobId()) << "different seed, different job";
+    RequestSpec d = a;
+    d.metrics = "full";
+    EXPECT_NE(a.jobId(), d.jobId()) << "metrics level changes the job";
+    RequestSpec e = a;
+    e.cellTimeoutSec = 2.5;
+    EXPECT_NE(a.jobId(), e.jobId()) << "deadline changes the job";
+}
+
+TEST(ServiceRequest, ValidateRejectsDaemonOwnedFlags)
+{
+    RequestSpec spec;
+    spec.driver = "fig3_reuse_cdf";
+    EXPECT_EQ(spec.validate(), "");
+    const char *owned[] = {
+        "--resume=/tmp/x",   "--only-cells=a", "--list-cells",
+        "--jobs=8",          "--metrics=full", "--cell-timeout=3",
+    };
+    for (const char *flag : owned) {
+        RequestSpec bad = spec;
+        bad.args = {flag};
+        EXPECT_FALSE(bad.validate().empty()) << "accepted: " << flag;
+    }
+    RequestSpec traversal = spec;
+    traversal.driver = "../evil";
+    EXPECT_FALSE(traversal.validate().empty());
+    RequestSpec metrics = spec;
+    metrics.metrics = "verbose";
+    EXPECT_FALSE(metrics.validate().empty());
+    RequestSpec positional = spec;
+    positional.args = {"quick"};
+    EXPECT_FALSE(positional.validate().empty());
+}
+
+TEST(ServiceRequest, SurvivesJsonRoundTrip)
+{
+    RequestSpec spec;
+    spec.driver = "fig7_partitioning";
+    spec.args = {"--quick", "--seed=9"};
+    spec.metrics = "summary";
+    spec.cellTimeoutSec = 1.5;
+    RequestSpec back;
+    ASSERT_EQ(RequestSpec::fromJson(spec.toJson(), back), "");
+    EXPECT_EQ(back.jobId(), spec.jobId());
+    EXPECT_EQ(back.args, spec.args);
+    EXPECT_EQ(back.metrics, "summary");
+}
+
+// ---------------------------------------------------------------------------
+// Journal: atomic publish, recovery scan, torn-file tolerance.
+// ---------------------------------------------------------------------------
+
+TEST(ServiceJournal, SavesLoadsAndRemoves)
+{
+    const auto dir = tempDir("journal");
+    Journal journal;
+    ASSERT_EQ(journal.open(dir.string()), "");
+
+    Json state = Json::object();
+    state.set("state", "queued");
+    state.set("n", 7);
+    std::string err;
+    ASSERT_TRUE(journal.save("job-b", state, err)) << err;
+    state.set("state", "running");
+    ASSERT_TRUE(journal.save("job-b", state, err)) << "rewrite: " << err;
+    ASSERT_TRUE(journal.save("job-a", state, err)) << err;
+
+    std::vector<std::string> skipped;
+    auto jobs = journal.loadAll(skipped);
+    ASSERT_EQ(jobs.size(), 2u);
+    EXPECT_TRUE(skipped.empty());
+    EXPECT_EQ(jobs[0].first, "job-a") << "deterministic recovery order";
+    EXPECT_EQ(jobs[1].first, "job-b");
+    EXPECT_EQ(jobs[1].second.str("state"), "running")
+        << "rewrite replaced the document";
+
+    journal.remove("job-a");
+    jobs = journal.loadAll(skipped);
+    ASSERT_EQ(jobs.size(), 1u);
+    EXPECT_EQ(jobs[0].first, "job-b");
+    fs::remove_all(dir);
+}
+
+TEST(ServiceJournal, SkipsTornAndForeignFiles)
+{
+    const auto dir = tempDir("journal_torn");
+    Journal journal;
+    ASSERT_EQ(journal.open(dir.string()), "");
+    std::string err;
+    ASSERT_TRUE(journal.save("good", parseOk("{\"state\":\"done\"}"),
+                             err));
+    // A crash mid-publish leaves a .tmp; a torn rename target would be
+    // unparsable. Neither may break recovery of the good entry.
+    std::ofstream(dir / "jobs" / "torn.json") << "{\"state\":";
+    std::ofstream(dir / "jobs" / "leftover.json.tmp.123") << "x";
+    std::vector<std::string> skipped;
+    const auto jobs = journal.loadAll(skipped);
+    ASSERT_EQ(jobs.size(), 1u);
+    EXPECT_EQ(jobs[0].first, "good");
+    EXPECT_EQ(skipped.size(), 2u);
+    fs::remove_all(dir);
+}
+
+TEST(ServiceJournal, AtomicWritePublishesAllOrNothing)
+{
+    const auto dir = tempDir("atomic");
+    const auto path = (dir / "doc.json").string();
+    std::string err;
+    ASSERT_TRUE(atomicWriteFile(path, "first", err)) << err;
+    ASSERT_TRUE(atomicWriteFile(path, "second", err)) << err;
+    std::string got;
+    ASSERT_TRUE(readWholeFile(path, got, err));
+    EXPECT_EQ(got, "second");
+    // No tmp droppings under the final name's directory.
+    std::size_t entries = 0;
+    for (const auto &e : fs::directory_iterator(dir)) {
+        (void)e;
+        ++entries;
+    }
+    EXPECT_EQ(entries, 1u);
+    fs::remove_all(dir);
+}
+
+TEST(ServiceJournal, CountersRoundTrip)
+{
+    JobCounters counters;
+    counters.cellsRun = 11;
+    counters.workersKilled = 5;
+    counters.hungCells = 2;
+    counters.requeuedCells = 7;
+    counters.downgradedCells = 3;
+    counters.daemonRestarts = 1;
+    counters.rounds = 4;
+    JobCounters back;
+    back.fromJson(counters.toJson());
+    EXPECT_EQ(back.cellsRun, 11u);
+    EXPECT_EQ(back.workersKilled, 5u);
+    EXPECT_EQ(back.hungCells, 2u);
+    EXPECT_EQ(back.requeuedCells, 7u);
+    EXPECT_EQ(back.downgradedCells, 3u);
+    EXPECT_EQ(back.daemonRestarts, 1u);
+    EXPECT_EQ(back.rounds, 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Out-of-process execution: outcomes and the hard deadline.
+// ---------------------------------------------------------------------------
+
+TEST(ServiceChild, ReportsExitCodesAndSignals)
+{
+    const auto dir = tempDir("child");
+    ChildSpec spec;
+    spec.exe = "/bin/sh";
+    spec.argv = {"-c", "exit 3"};
+    spec.stdoutPath = (dir / "out").string();
+    spec.stderrPath = (dir / "err").string();
+    auto outcome = runChild(spec);
+    EXPECT_EQ(outcome.kind, ChildOutcome::Kind::Exited);
+    EXPECT_EQ(outcome.exitCode, 3);
+
+    spec.argv = {"-c", "kill -KILL $$"};
+    outcome = runChild(spec);
+    EXPECT_EQ(outcome.kind, ChildOutcome::Kind::Signaled);
+    EXPECT_EQ(outcome.termSignal, SIGKILL);
+
+    spec.exe = (dir / "definitely-not-here").string();
+    spec.argv = {};
+    outcome = runChild(spec);
+    EXPECT_EQ(outcome.kind, ChildOutcome::Kind::SpawnFailed);
+    EXPECT_NE(outcome.error.find("exec"), std::string::npos);
+    fs::remove_all(dir);
+}
+
+TEST(ServiceChild, HardDeadlineReapsHungChildren)
+{
+    const auto dir = tempDir("child_deadline");
+    ChildSpec spec;
+    spec.exe = "/bin/sh";
+    spec.argv = {"-c", "sleep 30"};
+    spec.stdoutPath = (dir / "out").string();
+    spec.stderrPath = (dir / "err").string();
+    spec.deadlineMs = 300;
+    const auto outcome = runChild(spec);
+    EXPECT_EQ(outcome.kind, ChildOutcome::Kind::TimedOut);
+    EXPECT_LT(outcome.elapsedMs, 10000.0) << "did not wait for sleep 30";
+    fs::remove_all(dir);
+}
+
+TEST(ServiceChild, HardDeadlineReapsStoppedChildren)
+{
+    // The chaos harness SIGSTOPs children immediately after fork — the
+    // deadline must still reap them (a stopped child never execs, never
+    // writes the exec pipe, and never exits on its own).
+    const auto dir = tempDir("child_stopped");
+    ChildSpec spec;
+    spec.exe = "/bin/sh";
+    spec.argv = {"-c", "sleep 30"};
+    spec.stdoutPath = (dir / "out").string();
+    spec.stderrPath = (dir / "err").string();
+    spec.deadlineMs = 300;
+    const auto stopIt = [](pid_t pid, void *) { ::kill(pid, SIGSTOP); };
+    const auto outcome = runChild(spec, +stopIt, nullptr);
+    EXPECT_EQ(outcome.kind, ChildOutcome::Kind::TimedOut);
+    EXPECT_LT(outcome.elapsedMs, 10000.0);
+    fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Name tables stay in sync with the enums.
+// ---------------------------------------------------------------------------
+
+TEST(ServiceNames, ClassAndStateNames)
+{
+    EXPECT_STREQ(failureClassName(FailureClass::None), "none");
+    EXPECT_STREQ(failureClassName(FailureClass::Transient), "transient");
+    EXPECT_STREQ(failureClassName(FailureClass::Deterministic),
+                 "deterministic");
+    EXPECT_STREQ(failureClassName(FailureClass::Shed), "shed");
+    EXPECT_STREQ(jobStateName(JobState::Queued), "queued");
+    EXPECT_STREQ(jobStateName(JobState::Running), "running");
+    EXPECT_STREQ(jobStateName(JobState::Done), "done");
+    EXPECT_STREQ(jobStateName(JobState::Failed), "failed");
+}

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * mapsctl — client for the mapsd experiment daemon.
+ *
+ *   mapsctl --socket=PATH ping
+ *   mapsctl --socket=PATH submit --driver=fig3_reuse_cdf \
+ *           [--metrics=off|summary|full] [--cell-timeout=SECS] \
+ *           [--retries=N] [--retry-base-ms=MS] [--json] \
+ *           [-- --quick --seed=7 ...]
+ *   mapsctl --socket=PATH status --job=ID
+ *
+ * `submit` blocks until the job is terminal, retrying transient
+ * failures and shed admissions with exponential backoff, and prints the
+ * job's result stream — byte-identical to running the driver directly —
+ * to stdout. With --json the full maps-svc-v1 response document is
+ * printed instead (one JSON object, jq-able). Deterministic failures
+ * are reported and never retried. Exit codes: 0 done, 1 failed, 2 bad
+ * usage, 3 retry budget exhausted.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "service/client.hpp"
+#include "service/wire.hpp"
+
+namespace {
+
+void
+usage(std::FILE *to)
+{
+    std::fprintf(
+        to,
+        "usage: mapsctl --socket=PATH ping\n"
+        "       mapsctl --socket=PATH submit --driver=NAME\n"
+        "               [--metrics=off|summary|full]\n"
+        "               [--cell-timeout=SECS] [--retries=N]\n"
+        "               [--retry-base-ms=MS] [--json]\n"
+        "               [-- DRIVER-FLAGS...]\n"
+        "       mapsctl --socket=PATH status --job=ID\n"
+        "\n"
+        "Each option may be given at most once; repeats are errors.\n");
+}
+
+int
+fail(const std::string &what)
+{
+    std::fprintf(stderr, "mapsctl: %s\n", what.c_str());
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using maps::service::Client;
+    using maps::service::Json;
+    using maps::service::RequestSpec;
+    using maps::service::RetryPolicy;
+
+    std::string socket, op, jobId;
+    RequestSpec spec;
+    RetryPolicy policy;
+    bool json = false;
+    std::vector<std::string> seen;
+    int i = 1;
+    for (; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--") {
+            ++i;
+            break;
+        }
+        if (arg == "--help" || arg == "-h") {
+            usage(stdout);
+            return 0;
+        }
+        if (arg.rfind("--", 0) != 0) {
+            if (!op.empty())
+                return fail("unexpected argument '" + arg + "'");
+            op = arg;
+            continue;
+        }
+        const std::string key = arg.substr(0, arg.find('='));
+        for (const auto &s : seen)
+            if (s == key)
+                return fail("duplicate option " + arg + " (" + key +
+                            " was already given)");
+        seen.push_back(key);
+        const std::string value =
+            arg.find('=') == std::string::npos
+                ? ""
+                : arg.substr(arg.find('=') + 1);
+        if (arg.rfind("--socket=", 0) == 0) {
+            socket = value;
+        } else if (arg.rfind("--driver=", 0) == 0) {
+            spec.driver = value;
+        } else if (arg.rfind("--metrics=", 0) == 0) {
+            spec.metrics = value;
+        } else if (arg.rfind("--cell-timeout=", 0) == 0) {
+            char *end = nullptr;
+            spec.cellTimeoutSec = std::strtod(value.c_str(), &end);
+            if (end != value.c_str() + value.size() ||
+                spec.cellTimeoutSec < 0.0)
+                return fail("bad --cell-timeout '" + value + "'");
+        } else if (arg.rfind("--retries=", 0) == 0) {
+            policy.budget = std::atoi(value.c_str());
+            if (policy.budget < 0)
+                return fail("bad --retries '" + value + "'");
+        } else if (arg.rfind("--retry-base-ms=", 0) == 0) {
+            policy.baseMs = std::atof(value.c_str());
+            if (policy.baseMs <= 0.0)
+                return fail("bad --retry-base-ms '" + value + "'");
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg.rfind("--job=", 0) == 0) {
+            jobId = value;
+        } else {
+            return fail("unknown option '" + arg + "'");
+        }
+    }
+    for (; i < argc; ++i)
+        spec.args.push_back(argv[i]);
+
+    if (socket.empty())
+        return fail("--socket is required");
+    Client client(socket);
+
+    if (op == "ping") {
+        Json req = Json::object();
+        req.set("v", maps::service::kProtocolVersion);
+        req.set("op", "ping");
+        std::string err;
+        auto resp = client.rpc(req, err, 10000);
+        if (!resp)
+            return fail("ping failed: " + err);
+        std::printf("%s\n", resp->dump().c_str());
+        return resp->boolean("ok") ? 0 : 1;
+    }
+    if (op == "status") {
+        if (jobId.empty())
+            return fail("status needs --job=ID");
+        Json req = Json::object();
+        req.set("v", maps::service::kProtocolVersion);
+        req.set("op", "status");
+        req.set("job", jobId);
+        std::string err;
+        auto resp = client.rpc(req, err, 10000);
+        if (!resp)
+            return fail("status failed: " + err);
+        std::printf("%s\n", resp->dump().c_str());
+        return resp->boolean("ok") ? 0 : 1;
+    }
+    if (op != "submit") {
+        usage(stderr);
+        return 2;
+    }
+    const std::string specErr = spec.validate();
+    if (!specErr.empty())
+        return fail(specErr);
+
+    std::string err;
+    auto final = client.submitAndWait(spec, policy, err, stderr);
+    if (!final) {
+        std::fprintf(stderr, "mapsctl: %s\n", err.c_str());
+        return 3;
+    }
+    if (json) {
+        std::printf("%s\n", final->dump().c_str());
+    } else if (const Json *result = final->get("result");
+               result != nullptr && result->isString()) {
+        std::fputs(result->asString().c_str(), stdout);
+    }
+    if (final->str("state") != "done") {
+        std::fprintf(stderr, "mapsctl: job %s %s: %s\n",
+                     final->str("job").c_str(),
+                     final->str("state").c_str(),
+                     final->str("error").c_str());
+        return 1;
+    }
+    return 0;
+}

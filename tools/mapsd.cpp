@@ -1,0 +1,142 @@
+/**
+ * @file
+ * mapsd — the maps experiment daemon.
+ *
+ * Serves maps-svc-v1 on a UNIX socket: accepts experiment requests for
+ * any fig/tab/abl driver, runs their cells out of process on a shared
+ * worker pool with per-request deadlines, journals every job-state
+ * transition, and survives SIGKILL by resuming unfinished jobs from the
+ * journal and the drivers' --resume checkpoints. SIGTERM drains: no new
+ * admissions, running jobs finish, queued ones stay journaled.
+ *
+ *   mapsd --socket=/tmp/mapsd.sock --state-dir=/tmp/mapsd \
+ *         --drivers-dir=build/bench [--workers=4] [--queue-max=16]
+ *         [--max-active-jobs=2] [--degrade-depth=32]
+ *         [--cell-timeout=SECS] [--chaos=kill:worker@n=3,...]
+ *
+ * See docs/SERVICE.md for the protocol and the robustness model.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "service/service.hpp"
+
+namespace {
+
+void
+usage(std::FILE *to)
+{
+    std::fprintf(
+        to,
+        "usage: mapsd --socket=PATH --state-dir=DIR --drivers-dir=DIR\n"
+        "             [--workers=N] [--queue-max=N]\n"
+        "             [--max-active-jobs=N] [--degrade-depth=N]\n"
+        "             [--cell-timeout=SECS] [--chaos=SPEC]\n"
+        "\n"
+        "  --socket=PATH          UNIX socket to serve maps-svc-v1 on\n"
+        "  --state-dir=DIR        journal, checkpoints, logs, results\n"
+        "  --drivers-dir=DIR      directory with the driver binaries\n"
+        "  --workers=N            cell worker pool size (default 4)\n"
+        "  --queue-max=N          shed submits beyond N queued jobs\n"
+        "  --max-active-jobs=N    concurrent jobs (default 2)\n"
+        "  --degrade-depth=N      cell-queue depth that downgrades\n"
+        "                         --metrics=full cells to summary\n"
+        "  --cell-timeout=SECS    default per-cell budget when the\n"
+        "                         request does not set one\n"
+        "  --chaos=SPEC           deterministic fault injection, e.g.\n"
+        "                         kill:worker@n=3,hang:worker@n=5\n"
+        "\n"
+        "Each option may be given at most once; repeats are errors.\n");
+}
+
+bool
+parseCount(const std::string &value, std::size_t &out)
+{
+    if (value.empty() ||
+        value.find_first_not_of("0123456789") != std::string::npos)
+        return false;
+    out = std::stoull(value);
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    maps::service::ServiceConfig cfg;
+    std::vector<std::string> seen;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage(stdout);
+            return 0;
+        }
+        const std::string key = arg.substr(0, arg.find('='));
+        for (const auto &s : seen) {
+            if (s == key) {
+                std::fprintf(stderr,
+                             "mapsd: duplicate option %s (%s was "
+                             "already given)\n",
+                             arg.c_str(), key.c_str());
+                return 2;
+            }
+        }
+        seen.push_back(key);
+        const std::string value =
+            arg.find('=') == std::string::npos
+                ? ""
+                : arg.substr(arg.find('=') + 1);
+        std::size_t count = 0;
+        if (arg.rfind("--socket=", 0) == 0) {
+            cfg.socketPath = value;
+        } else if (arg.rfind("--state-dir=", 0) == 0) {
+            cfg.stateDir = value;
+        } else if (arg.rfind("--drivers-dir=", 0) == 0) {
+            cfg.driversDir = value;
+        } else if (arg.rfind("--workers=", 0) == 0 &&
+                   parseCount(value, count) && count > 0) {
+            cfg.workers = static_cast<unsigned>(count);
+        } else if (arg.rfind("--queue-max=", 0) == 0 &&
+                   parseCount(value, count) && count > 0) {
+            cfg.queueMax = count;
+        } else if (arg.rfind("--max-active-jobs=", 0) == 0 &&
+                   parseCount(value, count) && count > 0) {
+            cfg.maxActiveJobs = count;
+        } else if (arg.rfind("--degrade-depth=", 0) == 0 &&
+                   parseCount(value, count) && count > 0) {
+            cfg.degradeDepth = count;
+        } else if (arg.rfind("--cell-timeout=", 0) == 0) {
+            char *end = nullptr;
+            cfg.defaultCellTimeoutSec = std::strtod(value.c_str(), &end);
+            if (end != value.c_str() + value.size() ||
+                cfg.defaultCellTimeoutSec < 0.0) {
+                std::fprintf(stderr, "mapsd: bad --cell-timeout '%s'\n",
+                             value.c_str());
+                return 2;
+            }
+        } else if (arg.rfind("--chaos=", 0) == 0) {
+            cfg.chaosSpec = value;
+        } else {
+            std::fprintf(stderr, "mapsd: unknown option '%s'\n",
+                         arg.c_str());
+            usage(stderr);
+            return 2;
+        }
+    }
+    if (cfg.socketPath.empty() || cfg.stateDir.empty() ||
+        cfg.driversDir.empty()) {
+        std::fprintf(stderr, "mapsd: --socket, --state-dir and "
+                             "--drivers-dir are required\n");
+        usage(stderr);
+        return 2;
+    }
+    maps::service::Service service(cfg);
+    std::string err;
+    const int code = service.run(err);
+    if (!err.empty())
+        std::fprintf(stderr, "mapsd: %s\n", err.c_str());
+    return code;
+}
